@@ -1,0 +1,36 @@
+//! Extension experiment: **automatic update vs deliberate update** — the
+//! two SHRIMP transfer strategies (§9, \[5\]).
+//!
+//! Run: `cargo run --release -p shrimp-bench --bin auto_update`
+
+use shrimp_bench::auto_update;
+use shrimp_bench::table::{fmt_bytes, print_table};
+
+fn main() {
+    let r = auto_update::sweep(&auto_update::DEFAULT_SIZES);
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            let winner = if p.auto < p.deliberate { "auto" } else { "deliberate" };
+            vec![
+                fmt_bytes(p.bytes),
+                format!("{:.2}", p.auto.as_micros_f64()),
+                format!("{:.2}", p.auto_cpu.as_micros_f64()),
+                format!("{:.2}", p.deliberate.as_micros_f64()),
+                winner.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "X-auto — automatic update (snooped stores) vs deliberate update (UDMA send)",
+        &["update", "auto e2e(us)", "auto cpu(us)", "deliberate e2e(us)", "winner"],
+        &rows,
+    );
+    match r.crossover_bytes {
+        Some(b) => println!("\ncrossover: deliberate update wins from {} bytes", b),
+        None => println!("\nno crossover in sweep"),
+    }
+    println!("[§9/[5]: the design retains automatic update alongside UDMA's deliberate update;");
+    println!(" fine-grained shared-memory-style updates are free, bulk messages use DMA]");
+}

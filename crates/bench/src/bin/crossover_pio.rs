@@ -1,0 +1,36 @@
+//! Regenerates the **§9 UDMA vs memory-mapped-FIFO (PIO) comparison**:
+//! PIO wins latency for short messages, DMA wins bandwidth for long ones.
+//!
+//! Run: `cargo run --release -p shrimp-bench --bin crossover_pio`
+
+use shrimp_bench::crossover;
+use shrimp_bench::table::{fmt_bytes, print_table};
+
+fn main() {
+    let r = crossover::sweep(&crossover::DEFAULT_SIZES);
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            let winner = if p.pio < p.udma { "PIO" } else { "UDMA" };
+            vec![
+                fmt_bytes(p.bytes),
+                format!("{:.2}", p.udma.as_micros_f64()),
+                format!("{:.2}", p.pio.as_micros_f64()),
+                format!("{:.2}", p.bytes as f64 / p.udma.as_micros_f64()),
+                format!("{:.2}", p.bytes as f64 / p.pio.as_micros_f64()),
+                winner.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "F-crossover — UDMA vs memory-mapped FIFO (programmed I/O)",
+        &["size", "udma(us)", "pio(us)", "udma MB/s", "pio MB/s", "winner"],
+        &rows,
+    );
+    match r.crossover_bytes {
+        Some(b) => println!("\ncrossover: UDMA overtakes PIO at {} bytes", b),
+        None => println!("\nno crossover found in sweep"),
+    }
+    println!("[paper §9: FIFO \"good latency for short messages\"; DMA wins for long ones]");
+}

@@ -1,0 +1,30 @@
+//! Extension experiment: **multicomputer scaling** — aggregate bandwidth
+//! under permutation vs fan-in traffic as the node count grows.
+//!
+//! Run: `cargo run --release -p shrimp-bench --bin scaling`
+
+use shrimp_bench::scaling::{measure, Pattern};
+use shrimp_bench::table::print_table;
+
+fn main() {
+    const ROUNDS: u32 = 8;
+    let mut rows = Vec::new();
+    for n in [2u16, 4, 8, 16] {
+        let perm = measure(n, Pattern::Permutation, ROUNDS);
+        let fan = measure(n, Pattern::FanIn, ROUNDS);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", perm.aggregate_mb_per_s),
+            format!("{:.1}", fan.aggregate_mb_per_s),
+            format!("{:.1}x", perm.aggregate_mb_per_s / fan.aggregate_mb_per_s),
+        ]);
+    }
+    print_table(
+        "X-scale — aggregate delivered bandwidth (MB/s), page-sized messages",
+        &["nodes", "permutation", "fan-in (all->0)", "ratio"],
+        &rows,
+    );
+    println!("\n[permutation scales with private destination links; fan-in serializes on");
+    println!(" the receiver's inbound link + EISA bus — deliberate update is receiver-passive");
+    println!(" but not receiver-free]");
+}

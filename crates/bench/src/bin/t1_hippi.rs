@@ -1,0 +1,45 @@
+//! Regenerates the **§1 motivation table**: traditional kernel DMA on a
+//! 100 MB/s Paragon/HIPPI channel — overhead makes fine-grained transfers
+//! useless.
+//!
+//! Run: `cargo run --release -p shrimp-bench --bin t1_hippi`
+
+use shrimp_bench::hippi;
+use shrimp_bench::table::{fmt_bytes, print_table};
+
+fn main() {
+    let points = hippi::sweep(&hippi::DEFAULT_SIZES);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                fmt_bytes(p.bytes),
+                format!("{:.2}", p.mb_per_s),
+                format!("{:.1}%", p.pct_of_raw * 100.0),
+                format!("{:.0}", p.overhead_us),
+            ]
+        })
+        .collect();
+    print_table(
+        "T1 — traditional DMA on a 100 MB/s HIPPI channel (Paragon, [13])",
+        &["block", "MB/s", "% of raw", "overhead(us)"],
+        &rows,
+    );
+
+    println!("\nPaper checkpoints (§1):");
+    let p1k = points.iter().find(|p| p.bytes == 1024).expect("1KB in sweep");
+    println!(
+        "  1KB block  => {:.2} MB/s, {:.0}us overhead  (paper: 2.7 MB/s, >350us)",
+        p1k.mb_per_s, p1k.overhead_us
+    );
+    let p64k = points.iter().find(|p| p.bytes == 65536).expect("64KB in sweep");
+    let big = points.iter().find(|p| p.mb_per_s >= 80.0);
+    println!(
+        "  64KB block => {:.1} MB/s (<80)             (paper: 80 MB/s needs >64KB)",
+        p64k.mb_per_s
+    );
+    match big {
+        Some(p) => println!("  80 MB/s first reached at block size {}", fmt_bytes(p.bytes)),
+        None => println!("  80 MB/s not reached in sweep"),
+    }
+}

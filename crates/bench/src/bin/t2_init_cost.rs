@@ -1,0 +1,38 @@
+//! Regenerates the **initiation-cost comparison** (§8's 2.8 µs figure vs
+//! §2's "hundreds, possibly thousands of CPU instructions").
+//!
+//! Run: `cargo run --release -p shrimp-bench --bin t2_init_cost`
+
+use shrimp_bench::init_cost;
+use shrimp_bench::table::print_table;
+
+fn main() {
+    let m = init_cost::measure(&[1, 2, 4, 8, 16]);
+
+    println!("\nUDMA initiation (two user-level references + alignment check):");
+    println!(
+        "  {:.2} us  (~{} instructions at 60 MHz)   [paper §8: ~2.8 us]",
+        m.udma.as_micros_f64(),
+        m.udma_instructions
+    );
+
+    let rows: Vec<Vec<String>> = m
+        .kernel
+        .iter()
+        .zip(&m.kernel_instructions)
+        .map(|(&(pages, d), &(_, instr))| {
+            vec![
+                pages.to_string(),
+                format!("{:.1}", d.as_micros_f64()),
+                instr.to_string(),
+                format!("{:.0}x", d.as_micros_f64() / m.udma.as_micros_f64()),
+            ]
+        })
+        .collect();
+    print_table(
+        "T2 — traditional kernel DMA overhead (syscall + pin + descriptor + interrupt + unpin)",
+        &["pages", "overhead(us)", "~instructions", "vs UDMA"],
+        &rows,
+    );
+    println!("\n[paper §2: \"hundreds, possibly thousands of CPU instructions\"]");
+}

@@ -1,0 +1,132 @@
+//! §9 related-work comparison: memory-mapped FIFO (programmed I/O) versus
+//! UDMA. "This approach results in good latency for short messages.
+//! However, for longer messages the DMA-based controller is preferable
+//! because it makes use of the bus burst mode, which is much faster than
+//! processor-generated single word transactions."
+
+use shrimp::Multicomputer;
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_os::Pid;
+use shrimp_sim::SimDuration;
+
+/// One comparison point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrossoverPoint {
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Sender-side time for a UDMA send.
+    pub udma: SimDuration,
+    /// Sender-side time for a PIO send.
+    pub pio: SimDuration,
+}
+
+/// The sweep result plus the located crossover.
+#[derive(Clone, Debug)]
+pub struct CrossoverResult {
+    /// Points in ascending size.
+    pub points: Vec<CrossoverPoint>,
+    /// Smallest measured size where UDMA is at least as fast as PIO.
+    pub crossover_bytes: Option<u64>,
+}
+
+struct Harness {
+    mc: Multicomputer,
+    sender: Pid,
+    dev_page: u64,
+}
+
+fn harness(msg_bytes: u64) -> Harness {
+    let mut mc = Multicomputer::new(2, Default::default());
+    let sender = mc.spawn_process(0);
+    let receiver = mc.spawn_process(1);
+    let pages = msg_bytes.div_ceil(PAGE_SIZE).max(1) + 1;
+    mc.map_user_buffer(0, sender, 0x10_0000, pages).expect("map sender");
+    mc.map_user_buffer(1, receiver, 0x40_0000, pages).expect("map receiver");
+    let dev_page = mc
+        .export(1, receiver, VirtAddr::new(0x40_0000), pages, 0, sender)
+        .expect("export");
+    mc.write_user(0, sender, VirtAddr::new(0x10_0000), &vec![7u8; msg_bytes as usize])
+        .expect("fill");
+    Harness { mc, sender, dev_page }
+}
+
+/// Measures both paths at each message size (sizes must be multiples of 4;
+/// PIO messages above a page are sent page by page).
+pub fn sweep(sizes: &[u64]) -> CrossoverResult {
+    let mut points = Vec::new();
+    for &bytes in sizes {
+        assert!(bytes % 4 == 0, "NIC requires 4-byte alignment");
+        let Harness { mut mc, sender, dev_page } = harness(bytes);
+
+        // Warm both paths.
+        mc.send(0, sender, VirtAddr::new(0x10_0000), dev_page, 0, bytes).expect("warm udma");
+        send_pio_message(&mut mc, sender, dev_page, bytes);
+
+        let t0 = mc.node(0).os().machine().now();
+        mc.send(0, sender, VirtAddr::new(0x10_0000), dev_page, 0, bytes).expect("udma");
+        let udma = mc.node(0).os().machine().now() - t0;
+
+        let t0 = mc.node(0).os().machine().now();
+        send_pio_message(&mut mc, sender, dev_page, bytes);
+        let pio = mc.node(0).os().machine().now() - t0;
+
+        points.push(CrossoverPoint { bytes, udma, pio });
+    }
+    let crossover_bytes = points.iter().find(|p| p.udma <= p.pio).map(|p| p.bytes);
+    CrossoverResult { points, crossover_bytes }
+}
+
+/// Sends one message by PIO, one page chunk at a time.
+fn send_pio_message(mc: &mut Multicomputer, sender: Pid, dev_page: u64, bytes: u64) {
+    let data = vec![7u8; bytes as usize];
+    let mut off = 0u64;
+    while off < bytes {
+        let chunk = (bytes - off).min(PAGE_SIZE);
+        mc.send_pio(
+            0,
+            sender,
+            dev_page + off / PAGE_SIZE,
+            off % PAGE_SIZE,
+            &data[off as usize..(off + chunk) as usize],
+        )
+        .expect("pio send");
+        off += chunk;
+    }
+}
+
+/// The default sweep sizes (word scale through 4 pages).
+pub const DEFAULT_SIZES: [u64; 10] = [8, 16, 32, 64, 128, 256, 1024, 4096, 8192, 16384];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pio_wins_small_udma_wins_large() {
+        let r = sweep(&[8, 16, 4096, 8192]);
+        assert!(r.points[0].pio < r.points[0].udma, "8B: PIO should win (latency)");
+        assert!(r.points[2].udma < r.points[2].pio, "4KB: UDMA should win (burst mode)");
+        assert!(r.points[3].udma < r.points[3].pio, "8KB: UDMA should win");
+    }
+
+    #[test]
+    fn crossover_is_sub_page() {
+        let r = sweep(&DEFAULT_SIZES);
+        let x = r.crossover_bytes.expect("a crossover exists");
+        assert!(
+            (16..2048).contains(&x),
+            "crossover at {x}B should be well below a page"
+        );
+    }
+
+    #[test]
+    fn pio_time_scales_linearly_with_words() {
+        let r = sweep(&[64, 128]);
+        let t64 = r.points[0].pio.as_micros_f64();
+        let t128 = r.points[1].pio.as_micros_f64();
+        // Doubling the words roughly doubles the store count (fixed setup
+        // stores amortize): expect a ratio in (1.4, 2.2).
+        let ratio = t128 / t64;
+        assert!((1.4..2.2).contains(&ratio), "ratio {ratio:.2}");
+    }
+}

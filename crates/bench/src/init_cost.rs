@@ -1,0 +1,120 @@
+//! §8 / §2 initiation-cost comparison: the UDMA two-instruction sequence
+//! (~2.8 µs, two user-level references) against the traditional kernel DMA
+//! setup path ("hundreds, possibly thousands of CPU instructions").
+//!
+//! Both are measured on the same simulated node; the traditional path's
+//! data-movement time is subtracted out so the table isolates *overhead*.
+
+use shrimp_devices::StreamSink;
+use shrimp_machine::MachineConfig;
+use shrimp_mem::{VirtAddr, DEV_PROXY_BASE, PAGE_SIZE};
+use shrimp_os::{DmaStrategy, Node, NodeConfig};
+use shrimp_sim::SimDuration;
+
+/// Initiation-cost measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitCost {
+    /// Steady-state UDMA initiation (two proxy refs + alignment check).
+    pub udma: SimDuration,
+    /// Equivalent instruction count at the node's clock rate.
+    pub udma_instructions: u64,
+    /// Traditional kernel DMA overhead for an `n`-page transfer, per entry
+    /// `(pages, overhead)`.
+    pub kernel: Vec<(u64, SimDuration)>,
+    /// Equivalent instruction counts for each kernel entry.
+    pub kernel_instructions: Vec<(u64, u64)>,
+}
+
+fn to_instructions(d: SimDuration, mhz: f64) -> u64 {
+    (d.as_micros_f64() * mhz).round() as u64
+}
+
+/// Runs the comparison for the given traditional-DMA page counts.
+pub fn measure(page_counts: &[u64]) -> InitCost {
+    let config = NodeConfig {
+        machine: MachineConfig { mem_bytes: 1024 * PAGE_SIZE, ..MachineConfig::default() },
+        user_frames: None,
+    };
+    let mut node = Node::new(config, StreamSink::new("sink"));
+    let mhz = node.machine().cost().cpu_mhz;
+    let pid = node.spawn();
+    let max_pages = page_counts.iter().copied().max().unwrap_or(1);
+    node.mmap(pid, 0x10_0000, max_pages + 1, true).expect("map buffer");
+    node.grant_device_proxy(pid, 0, max_pages + 1, true).expect("grant device");
+    node.write_user(pid, VirtAddr::new(0x10_0000), &vec![1u8; (max_pages * PAGE_SIZE) as usize])
+        .expect("fill");
+
+    // --- UDMA: measure the steady-state two-instruction sequence + check.
+    // Warm mappings with a full send, then time STORE+LOAD directly.
+    node.udma_send(pid, VirtAddr::new(0x10_0000), 0, 0, 64).expect("warm");
+    let vdev = VirtAddr::new(DEV_PROXY_BASE);
+    let vproxy = node
+        .machine()
+        .layout()
+        .proxy_of_virt(VirtAddr::new(0x10_0000))
+        .expect("user buffer is in memory region");
+    // The §8 figure includes the user-level alignment check.
+    let check = node.machine().cost().udma_user_check;
+    let t0 = node.machine().now();
+    node.machine_mut().advance(check);
+    let status = node.udma_initiate(pid, vdev, vproxy, 64).expect("initiate");
+    assert!(status.started(), "initiation must succeed: {status}");
+    let udma = node.machine().now() - t0;
+    // Drain before the kernel measurements.
+    let drained = node.machine().udma_drained_at();
+    node.machine_mut().advance_to(drained);
+
+    // --- Traditional DMA: overhead = elapsed - pure data time.
+    let mut kernel = Vec::new();
+    for &pages in page_counts {
+        let bytes = pages * PAGE_SIZE;
+        // Warm residency so we measure the syscall path, not paging.
+        node.sys_dma_to_device(pid, VirtAddr::new(0x10_0000), 0, bytes, DmaStrategy::PinPages)
+            .expect("warm");
+        let r = node
+            .sys_dma_to_device(pid, VirtAddr::new(0x10_0000), 0, bytes, DmaStrategy::PinPages)
+            .expect("measured");
+        let data_time = node.machine().cost().bus_transfer(bytes)
+            + node.machine().cost().dma_start * pages;
+        kernel.push((pages, r.elapsed.saturating_sub(data_time)));
+    }
+
+    InitCost {
+        udma,
+        udma_instructions: to_instructions(udma, mhz),
+        kernel_instructions: kernel
+            .iter()
+            .map(|&(p, d)| (p, to_instructions(d, mhz)))
+            .collect(),
+        kernel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udma_initiation_is_about_2_8_us() {
+        let m = measure(&[1]);
+        let us = m.udma.as_micros_f64();
+        assert!((2.6..3.1).contains(&us), "initiation = {us:.2}us (paper: ~2.8us)");
+    }
+
+    #[test]
+    fn kernel_path_is_hundreds_of_instructions_minimum() {
+        let m = measure(&[1, 4]);
+        // "hundreds, possibly thousands of CPU instructions" [2].
+        let (_, one_page) = m.kernel_instructions[0];
+        assert!(one_page > 500, "1-page kernel overhead = {one_page} instructions");
+        // And it grows with page count (per-page pin/unpin).
+        assert!(m.kernel[1].1 > m.kernel[0].1);
+    }
+
+    #[test]
+    fn udma_is_at_least_an_order_of_magnitude_cheaper() {
+        let m = measure(&[1]);
+        let ratio = m.kernel[0].1.as_micros_f64() / m.udma.as_micros_f64();
+        assert!(ratio > 8.0, "kernel/udma overhead ratio = {ratio:.1}");
+    }
+}

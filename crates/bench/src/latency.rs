@@ -1,0 +1,118 @@
+//! Extension experiment: one-way end-to-end latency and its breakdown.
+//!
+//! The companion question to Figure 8's bandwidth: how long from the
+//! sender's first instruction until the last byte sits in remote memory,
+//! and where does the time go? Components measured separately:
+//! user-level initiation, sender DMA (start + bus), packetization, fabric
+//! (hops + wire), and receive-side EISA DMA.
+
+use shrimp::Multicomputer;
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_sim::{CostModel, SimDuration};
+
+/// Latency measurement for one message size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyPoint {
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Measured end-to-end one-way latency.
+    pub end_to_end: SimDuration,
+    /// Model components (for the breakdown columns).
+    pub initiation: SimDuration,
+    /// Sender-side DMA: engine start + bus burst.
+    pub sender_dma: SimDuration,
+    /// NIC packetization (header build).
+    pub packetize: SimDuration,
+    /// Fabric: routing hops + wire time.
+    pub fabric: SimDuration,
+    /// Receive-side EISA DMA (start + burst).
+    pub receive_dma: SimDuration,
+}
+
+/// Measures one-way latency (sender's first instruction to delivery
+/// completion at the receiver) for each message size.
+pub fn sweep(sizes: &[u64]) -> Vec<LatencyPoint> {
+    let cost = CostModel::default();
+    sizes
+        .iter()
+        .map(|&bytes| {
+            assert!(bytes % 4 == 0 && bytes <= PAGE_SIZE, "single-transfer sizes only");
+            let mut mc = Multicomputer::new(2, Default::default());
+            let s = mc.spawn_process(0);
+            let r = mc.spawn_process(1);
+            mc.map_user_buffer(0, s, 0x10_0000, 2).expect("map src");
+            mc.map_user_buffer(1, r, 0x40_0000, 2).expect("map dst");
+            let dev = mc.export(1, r, VirtAddr::new(0x40_0000), 2, 0, s).expect("export");
+            mc.write_user(0, s, VirtAddr::new(0x10_0000), &vec![1u8; bytes as usize])
+                .expect("fill");
+            mc.send(0, s, VirtAddr::new(0x10_0000), dev, 0, bytes).expect("warm");
+
+            let t0 = mc.node(0).os().machine().now();
+            mc.send(0, s, VirtAddr::new(0x10_0000), dev, 0, bytes).expect("send");
+            let end_to_end = mc.last_delivery(1) - t0;
+
+            let wire = Packets::wire(bytes, &cost);
+            LatencyPoint {
+                bytes,
+                end_to_end,
+                initiation: cost.udma_per_message_sw + cost.udma_initiation(),
+                sender_dma: cost.dma_start + cost.bus_transfer(bytes),
+                packetize: cost.packet_header,
+                fabric: wire,
+                receive_dma: cost.dma_start + cost.bus_transfer(bytes),
+            }
+        })
+        .collect()
+}
+
+struct Packets;
+impl Packets {
+    fn wire(bytes: u64, cost: &CostModel) -> SimDuration {
+        // 2x2 mesh neighbours: 2 hops + wire bytes (header + payload).
+        cost.net_hop * 2 + cost.net_transfer(bytes + 16)
+    }
+}
+
+/// Default sizes: a word through a full page.
+pub const DEFAULT_SIZES: [u64; 6] = [8, 64, 256, 1024, 2048, 4096];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_components_account_for_end_to_end() {
+        for p in sweep(&[64, 1024, 4096]) {
+            let model = p.initiation + p.sender_dma + p.packetize + p.fabric + p.receive_dma;
+            let ratio = p.end_to_end.as_nanos() as f64 / model.as_nanos() as f64;
+            assert!(
+                (0.85..1.25).contains(&ratio),
+                "{}B: measured {} vs model {} (ratio {ratio:.2})",
+                p.bytes,
+                p.end_to_end,
+                model
+            );
+        }
+    }
+
+    #[test]
+    fn small_message_latency_is_tens_of_microseconds() {
+        let p = sweep(&[8])[0];
+        let us = p.end_to_end.as_micros_f64();
+        assert!(
+            (15.0..40.0).contains(&us),
+            "8B one-way latency {us:.1}us (expected tens of us on this platform)"
+        );
+    }
+
+    #[test]
+    fn latency_grows_linearly_with_size_at_page_scale() {
+        let points = sweep(&[1024, 2048, 4096]);
+        let d1 = points[1].end_to_end - points[0].end_to_end;
+        let d2 = points[2].end_to_end - points[1].end_to_end;
+        // 2KB increments: both deltas should be ~2KB of (sender + receiver)
+        // pipeline time; allow generous slack for pipelining effects.
+        let ratio = d2.as_nanos() as f64 / d1.as_nanos().max(1) as f64;
+        assert!((0.5..3.0).contains(&ratio), "nonlinear growth: {d1} then {d2}");
+    }
+}

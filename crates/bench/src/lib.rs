@@ -1,0 +1,32 @@
+//! Experiment implementations for every table and figure of the paper.
+//!
+//! Each experiment is a library function returning structured data, with a
+//! thin `src/bin/*` wrapper that prints the paper-style table. This lets
+//! the crate's own tests assert the *shape* results (who wins, crossover
+//! locations, checkpoint percentages) that EXPERIMENTS.md records.
+//!
+//! | id | paper artifact | binary |
+//! |----|----------------|--------|
+//! | [`fig8`] | Figure 8: deliberate-update bandwidth vs message size | `fig8` |
+//! | [`hippi`] | §1 motivation: Paragon/HIPPI overhead table | `t1_hippi` |
+//! | [`init_cost`] | §8/§2: initiation cost, UDMA vs kernel DMA | `t2_init_cost` |
+//! | [`crossover`] | §9: UDMA vs memory-mapped-FIFO (PIO) crossover | `crossover_pio` |
+//! | [`queueing`] | §7: hardware queueing vs serialized per-page UDMA | `queueing` |
+//! | [`ctxswitch`] | §6 I1: context-switch Inval retry behaviour | `ctxswitch` |
+//! | [`pinning`] | §6 I4: register-check vs pin/unpin | `pinning` |
+
+#![forbid(unsafe_code)]
+
+pub mod auto_update;
+pub mod crossover;
+pub mod ctxswitch;
+pub mod fig8;
+pub mod hippi;
+pub mod init_cost;
+pub mod latency;
+pub mod pinning;
+pub mod queueing;
+pub mod scaling;
+pub mod sensitivity;
+pub mod table;
+pub mod workloads;

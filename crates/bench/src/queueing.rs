@@ -1,0 +1,126 @@
+//! §7 ablation: multi-page transfers with hardware queueing versus the
+//! basic single-transfer device versus traditional kernel DMA.
+//!
+//! "Queueing allows a user-level process to start multi-page transfers
+//! with only two instructions per page in the best case."
+
+use shrimp_devices::StreamSink;
+use shrimp_machine::{MachineConfig, UdmaMode};
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_os::{DmaStrategy, Node, NodeConfig};
+use shrimp_sim::SimDuration;
+
+/// One transfer-size comparison row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueueingPoint {
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Basic UDMA (serialized per-page initiations with busy retries).
+    pub basic: SimDuration,
+    /// Queued UDMA (§7, queue depth per [`sweep`]'s argument).
+    pub queued: SimDuration,
+    /// Traditional kernel DMA (pin/unpin).
+    pub kernel: SimDuration,
+    /// Retries the basic device forced on the user library.
+    pub basic_retries: u64,
+    /// Retries under queueing (only on queue overflow).
+    pub queued_retries: u64,
+}
+
+fn node(mode: UdmaMode, pages: u64) -> Node<StreamSink> {
+    let config = NodeConfig {
+        machine: MachineConfig {
+            mem_bytes: (pages + 64) * PAGE_SIZE,
+            udma: mode,
+            ..MachineConfig::default()
+        },
+        user_frames: None,
+    };
+    Node::new(config, StreamSink::new("sink"))
+}
+
+fn measure_udma(mode: UdmaMode, bytes: u64) -> (SimDuration, u64) {
+    let pages = bytes.div_ceil(PAGE_SIZE);
+    let mut n = node(mode, pages);
+    let pid = n.spawn();
+    n.mmap(pid, 0x10_0000, pages, true).expect("map");
+    n.grant_device_proxy(pid, 0, pages, true).expect("grant");
+    n.write_user(pid, VirtAddr::new(0x10_0000), &vec![1u8; bytes as usize]).expect("fill");
+    n.udma_send(pid, VirtAddr::new(0x10_0000), 0, 0, bytes).expect("warm");
+    let r = n.udma_send(pid, VirtAddr::new(0x10_0000), 0, 0, bytes).expect("measured");
+    (r.elapsed, r.retries)
+}
+
+fn measure_kernel(bytes: u64) -> SimDuration {
+    let pages = bytes.div_ceil(PAGE_SIZE);
+    let mut n = node(UdmaMode::Basic, pages);
+    let pid = n.spawn();
+    n.mmap(pid, 0x10_0000, pages, true).expect("map");
+    n.write_user(pid, VirtAddr::new(0x10_0000), &vec![1u8; bytes as usize]).expect("fill");
+    n.sys_dma_to_device(pid, VirtAddr::new(0x10_0000), 0, bytes, DmaStrategy::PinPages)
+        .expect("warm");
+    n.sys_dma_to_device(pid, VirtAddr::new(0x10_0000), 0, bytes, DmaStrategy::PinPages)
+        .expect("measured")
+        .elapsed
+}
+
+/// Runs the comparison at each transfer size with the given queue depth.
+pub fn sweep(sizes: &[u64], queue_depth: usize) -> Vec<QueueingPoint> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let (basic, basic_retries) = measure_udma(UdmaMode::Basic, bytes);
+            let (queued, queued_retries) =
+                measure_udma(UdmaMode::Queued(queue_depth), bytes);
+            let kernel = measure_kernel(bytes);
+            QueueingPoint { bytes, basic, queued, kernel, basic_retries, queued_retries }
+        })
+        .collect()
+}
+
+/// Default sizes: 1 page through 64 pages.
+pub const DEFAULT_SIZES: [u64; 6] = [
+    PAGE_SIZE,
+    4 * PAGE_SIZE,
+    8 * PAGE_SIZE,
+    16 * PAGE_SIZE,
+    32 * PAGE_SIZE,
+    64 * PAGE_SIZE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queueing_beats_basic_for_multi_page() {
+        let points = sweep(&[16 * PAGE_SIZE], 32);
+        let p = points[0];
+        assert!(p.queued < p.basic, "queued {} !< basic {}", p.queued, p.basic);
+        // Two instructions per page: no busy retries with a deep queue.
+        assert_eq!(p.queued_retries, 0);
+        assert!(p.basic_retries >= 15, "basic retries = {}", p.basic_retries);
+    }
+
+    #[test]
+    fn single_page_is_equivalent() {
+        let points = sweep(&[PAGE_SIZE], 8);
+        let p = points[0];
+        let ratio = p.queued.as_micros_f64() / p.basic.as_micros_f64();
+        assert!((0.9..1.1).contains(&ratio), "single page ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn both_udma_variants_beat_kernel_dma() {
+        for p in sweep(&[4 * PAGE_SIZE, 16 * PAGE_SIZE], 32) {
+            assert!(p.basic < p.kernel, "{}B basic {} !< kernel {}", p.bytes, p.basic, p.kernel);
+            assert!(p.queued < p.kernel);
+        }
+    }
+
+    #[test]
+    fn shallow_queue_forces_overflow_retries() {
+        let points = sweep(&[32 * PAGE_SIZE], 2);
+        assert!(points[0].queued_retries > 0, "depth-2 queue must overflow on 32 pages");
+    }
+}

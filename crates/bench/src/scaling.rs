@@ -1,0 +1,139 @@
+//! Extension experiment: multicomputer scaling.
+//!
+//! Two traffic patterns on an N-node SHRIMP:
+//!
+//! - **permutation** — node *i* streams to node *i+1* (mod N): every
+//!   sender has a private destination link, so aggregate bandwidth should
+//!   scale with N,
+//! - **fan-in** — every node streams to node 0: the receiver's inbound
+//!   link and EISA bus serialize everything, so aggregate bandwidth
+//!   plateaus at a single link's rate regardless of N.
+//!
+//! Aggregate bandwidth = total delivered payload ÷ (latest delivery time).
+
+use shrimp::{Multicomputer, MulticomputerConfig};
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_os::Pid;
+use shrimp_sim::SimTime;
+
+/// Traffic pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// i -> (i + 1) mod N.
+    Permutation,
+    /// i -> 0 for all i > 0.
+    FanIn,
+}
+
+/// One (N, pattern) measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Node count.
+    pub nodes: u16,
+    /// Pattern measured.
+    pub pattern: Pattern,
+    /// Aggregate delivered bandwidth, MB/s.
+    pub aggregate_mb_per_s: f64,
+}
+
+/// Streams `rounds` pages per sender under `pattern` on `n` nodes.
+pub fn measure(n: u16, pattern: Pattern, rounds: u32) -> ScalingPoint {
+    assert!(n >= 2, "need at least two nodes");
+    // Active receivers everywhere: flows must overlap, not ping-pong.
+    let mut mc = Multicomputer::new(
+        n,
+        MulticomputerConfig { passive_receivers: false, ..MulticomputerConfig::default() },
+    );
+
+    // Set up one (sender pid, dev page) pair per flow.
+    struct Flow {
+        src_node: usize,
+        pid: Pid,
+        dev_page: u64,
+    }
+    let senders: Vec<usize> = match pattern {
+        Pattern::Permutation => (0..n as usize).collect(),
+        Pattern::FanIn => (1..n as usize).collect(),
+    };
+    // Receivers need distinct buffers per inbound flow.
+    let mut recv_pids = vec![None::<Pid>; n as usize];
+    let mut flows = Vec::new();
+    for (k, &src) in senders.iter().enumerate() {
+        let dst = match pattern {
+            Pattern::Permutation => (src + 1) % n as usize,
+            Pattern::FanIn => 0,
+        };
+        let pid = mc.spawn_process(src);
+        mc.map_user_buffer(src, pid, 0x10_0000, 1).expect("map src");
+        let rpid = *recv_pids[dst].get_or_insert_with(|| mc.spawn_process(dst));
+        let recv_va = 0x40_0000 + (k as u64) * PAGE_SIZE;
+        mc.map_user_buffer(dst, rpid, recv_va, 1).expect("map dst");
+        let dev_page = mc
+            .export(dst, rpid, VirtAddr::new(recv_va), 1, src, pid)
+            .expect("export");
+        mc.write_user(src, pid, VirtAddr::new(0x10_0000), &vec![k as u8; PAGE_SIZE as usize])
+            .expect("fill");
+        // Warm.
+        mc.send(src, pid, VirtAddr::new(0x10_0000), dev_page, 0, PAGE_SIZE).expect("warm");
+        flows.push(Flow { src_node: src, pid, dev_page });
+    }
+
+    // Barrier: all flows start at the same instant.
+    let t0: SimTime = mc.barrier_sync();
+    // Round-robin across senders: node clocks advance independently, so
+    // flows overlap in simulated time.
+    for _ in 0..rounds {
+        for f in &flows {
+            mc.send(f.src_node, f.pid, VirtAddr::new(0x10_0000), f.dev_page, 0, PAGE_SIZE)
+                .expect("send");
+        }
+    }
+    mc.run_until_quiet();
+    let last = (0..n as usize)
+        .map(|i| mc.last_delivery(i))
+        .max()
+        .expect("deliveries happened");
+    let bytes = flows.len() as u64 * u64::from(rounds) * PAGE_SIZE;
+    ScalingPoint {
+        nodes: n,
+        pattern,
+        aggregate_mb_per_s: bytes as f64 / (last - t0).as_micros_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_traffic_scales_with_nodes() {
+        let two = measure(2, Pattern::Permutation, 6);
+        let eight = measure(8, Pattern::Permutation, 6);
+        assert!(
+            eight.aggregate_mb_per_s > two.aggregate_mb_per_s * 2.5,
+            "8 nodes {:.1} !> 2.5x 2 nodes {:.1}",
+            eight.aggregate_mb_per_s,
+            two.aggregate_mb_per_s
+        );
+    }
+
+    #[test]
+    fn fan_in_plateaus_at_the_receiver_link() {
+        let four = measure(4, Pattern::FanIn, 6);
+        let eight = measure(8, Pattern::FanIn, 6);
+        // Doubling the senders gains little: the receiver serializes.
+        assert!(
+            eight.aggregate_mb_per_s < four.aggregate_mb_per_s * 1.5,
+            "fan-in must plateau: 8 senders {:.1} vs 4 senders {:.1}",
+            eight.aggregate_mb_per_s,
+            four.aggregate_mb_per_s
+        );
+    }
+
+    #[test]
+    fn permutation_beats_fan_in_at_scale() {
+        let perm = measure(8, Pattern::Permutation, 4);
+        let fan = measure(8, Pattern::FanIn, 4);
+        assert!(perm.aggregate_mb_per_s > fan.aggregate_mb_per_s * 2.0);
+    }
+}

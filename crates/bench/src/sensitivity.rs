@@ -1,0 +1,144 @@
+//! Extension experiment: sensitivity of the paper's headline result to the
+//! platform parameters.
+//!
+//! The paper's core claim is that two-reference initiation makes DMA
+//! efficient at *fine grain*: the half-peak message size is proportional
+//! to (per-transfer overhead × channel bandwidth). This experiment sweeps
+//! the two parameters that dominate that product — I/O-bus bandwidth and
+//! the uncached proxy-reference cost — and reports where the half-peak
+//! point lands, probing how the conclusion would transfer to faster
+//! platforms (the question the RDMA lineage answered in practice).
+
+use shrimp::Multicomputer;
+use shrimp_machine::MachineConfig;
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_sim::{CostModel, SimDuration};
+
+/// Result of one parameter setting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SensitivityPoint {
+    /// Human-readable parameter description index (into the sweep's labels).
+    pub bus_mb_per_s: f64,
+    /// Proxy reference cost used.
+    pub proxy_ref: SimDuration,
+    /// Peak bandwidth achieved (MB/s).
+    pub peak_mb_per_s: f64,
+    /// Smallest message size reaching 50% of that peak.
+    pub half_peak_bytes: u64,
+    /// Fraction of peak at 4 KB.
+    pub at_4k: f64,
+}
+
+fn bandwidth(mc: &mut Multicomputer, bytes: u64) -> f64 {
+    let s = mc.spawn_process(0);
+    let r = mc.spawn_process(1);
+    let pages = bytes.div_ceil(PAGE_SIZE).max(1) + 1;
+    mc.map_user_buffer(0, s, 0x10_0000, pages).expect("map src");
+    mc.map_user_buffer(1, r, 0x40_0000, pages).expect("map dst");
+    let dev = mc.export(1, r, VirtAddr::new(0x40_0000), pages, 0, s).expect("export");
+    mc.write_user(0, s, VirtAddr::new(0x10_0000), &vec![1u8; bytes as usize]).expect("fill");
+    mc.send(0, s, VirtAddr::new(0x10_0000), dev, 0, bytes).expect("warm");
+    let t0 = mc.node(0).os().machine().now();
+    for _ in 0..4 {
+        mc.send(0, s, VirtAddr::new(0x10_0000), dev, 0, bytes).expect("send");
+    }
+    let dt = mc.node(0).os().machine().now() - t0;
+    (4 * bytes) as f64 / dt.as_micros_f64()
+}
+
+/// Measures one configuration across a coarse size sweep.
+pub fn measure(cost: CostModel) -> SensitivityPoint {
+    let bus = cost.bus_mb_per_s;
+    let proxy_ref = cost.proxy_store;
+    let sizes: Vec<u64> = (1..=32).map(|i| i * 256).collect(); // 256B..8KB
+    let mut best = 0.0f64;
+    let mut curve = Vec::new();
+    for &bytes in &sizes {
+        let mut mc = Multicomputer::with_machine_config(
+            2,
+            MachineConfig { cost: cost.clone(), ..MachineConfig::default() },
+        );
+        let bw = bandwidth(&mut mc, bytes);
+        best = best.max(bw);
+        curve.push((bytes, bw));
+    }
+    let half_peak_bytes = curve
+        .iter()
+        .find(|&&(_, bw)| bw >= best / 2.0)
+        .map(|&(b, _)| b)
+        .unwrap_or(u64::MAX);
+    let at_4k = curve
+        .iter()
+        .min_by_key(|&&(b, _)| b.abs_diff(4096))
+        .map(|&(_, bw)| bw / best)
+        .unwrap_or(0.0);
+    SensitivityPoint { bus_mb_per_s: bus, proxy_ref, peak_mb_per_s: best, half_peak_bytes, at_4k }
+}
+
+/// Sweeps bus bandwidth at the calibrated proxy cost, then proxy cost at
+/// the calibrated bus bandwidth.
+pub fn sweep() -> (Vec<SensitivityPoint>, Vec<SensitivityPoint>) {
+    let base = CostModel::default();
+    let bus_points = [16.5, 33.0, 66.0, 132.0]
+        .iter()
+        .map(|&b| measure(base.clone().with_bus_mb_per_s(b)))
+        .collect();
+    let proxy_points = [0.55, 1.1, 2.2, 4.4]
+        .iter()
+        .map(|&us| {
+            let mut c = base.clone();
+            c.proxy_store = SimDuration::from_us(us);
+            c.proxy_load = SimDuration::from_us(us);
+            measure(c)
+        })
+        .collect();
+    (bus_points, proxy_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_bus_pushes_half_peak_out() {
+        // Same overhead on a faster channel wastes relatively more time:
+        // half-peak size grows with bandwidth.
+        let base = CostModel::default();
+        let slow = measure(base.clone().with_bus_mb_per_s(16.5));
+        let fast = measure(base.with_bus_mb_per_s(66.0));
+        assert!(
+            fast.half_peak_bytes > slow.half_peak_bytes,
+            "fast {} !> slow {}",
+            fast.half_peak_bytes,
+            slow.half_peak_bytes
+        );
+        assert!(fast.peak_mb_per_s > slow.peak_mb_per_s * 2.0);
+    }
+
+    #[test]
+    fn cheaper_proxy_references_pull_half_peak_in() {
+        let base = CostModel::default();
+        let mut cheap = base.clone();
+        cheap.proxy_store = SimDuration::from_us(0.25);
+        cheap.proxy_load = SimDuration::from_us(0.25);
+        let mut dear = base;
+        dear.proxy_store = SimDuration::from_us(4.4);
+        dear.proxy_load = SimDuration::from_us(4.4);
+        let cheap = measure(cheap);
+        let dear = measure(dear);
+        assert!(
+            cheap.half_peak_bytes <= dear.half_peak_bytes,
+            "cheap {} !<= dear {}",
+            cheap.half_peak_bytes,
+            dear.half_peak_bytes
+        );
+        assert!(cheap.at_4k >= dear.at_4k);
+    }
+
+    #[test]
+    fn calibrated_point_matches_fig8() {
+        let p = measure(CostModel::default());
+        assert!(p.half_peak_bytes <= 512, "half-peak at {}B", p.half_peak_bytes);
+        assert!((0.88..=1.0).contains(&p.at_4k), "4KB at {:.2}", p.at_4k);
+    }
+}

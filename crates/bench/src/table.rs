@@ -1,0 +1,51 @@
+//! Minimal aligned-table printing for the experiment binaries.
+
+/// Prints a header line, a rule, and aligned rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a byte count compactly (`512`, `4K`, `64K`...).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1024 && b.is_multiple_of(1024) {
+        format!("{}K", b / 1024)
+    } else {
+        format!("{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_cases() {
+        assert_eq!(fmt_bytes(512), "512");
+        assert_eq!(fmt_bytes(4096), "4K");
+        assert_eq!(fmt_bytes(65536), "64K");
+        assert_eq!(fmt_bytes(1000), "1000");
+    }
+}

@@ -1,0 +1,155 @@
+//! Translating a (destination proxy, source proxy) pair into a concrete
+//! transfer — the `PROXY⁻¹` hardware translation plus BadLoad detection.
+
+use std::error::Error;
+use std::fmt;
+
+use shrimp_dma::Direction;
+use shrimp_mem::{Layout, PhysAddr, Region, DEV_PROXY_BASE};
+
+/// A fully resolved transfer: direction, real memory address and
+/// device-relative address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// Direction relative to main memory.
+    pub direction: Direction,
+    /// The real (non-proxy) memory-side physical address.
+    pub mem_addr: PhysAddr,
+    /// The device-side address, relative to the device proxy base (the
+    /// device interprets it; for SHRIMP it is `NIPT index ‖ page offset`).
+    pub dev_addr: u64,
+    /// Bytes to move.
+    pub nbytes: u64,
+}
+
+/// Why a (dest, source) pair cannot become a transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// Source and destination are in the same proxy region: a
+    /// memory-to-memory or device-to-device request — the BadLoad event
+    /// (§5); reported to the user as the WRONG-SPACE flag.
+    WrongSpace,
+    /// An address is not in a proxy region at all. Cannot normally happen:
+    /// only proxy-region physical addresses reach the UDMA hardware.
+    NotProxy(u64),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::WrongSpace => {
+                write!(f, "source and destination are in the same proxy space")
+            }
+            PlanError::NotProxy(a) => write!(f, "address {a:#x} is not a proxy address"),
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+/// Resolves the latched destination proxy address and the initiating
+/// source proxy address into a [`TransferPlan`].
+///
+/// # Errors
+///
+/// - [`PlanError::WrongSpace`] when both addresses are memory proxies or
+///   both are device proxies,
+/// - [`PlanError::NotProxy`] when either address is outside proxy space.
+pub fn plan_transfer(
+    layout: &Layout,
+    dest_proxy: PhysAddr,
+    source_proxy: PhysAddr,
+    nbytes: u64,
+) -> Result<TransferPlan, PlanError> {
+    let dest_region = layout.region_of_phys(dest_proxy);
+    let source_region = layout.region_of_phys(source_proxy);
+
+    match (source_region, dest_region) {
+        (Region::MemoryProxy, Region::DeviceProxy) => Ok(TransferPlan {
+            direction: Direction::MemToDev,
+            mem_addr: layout
+                .phys_of_proxy(source_proxy)
+                .expect("region pre-checked as memory proxy"),
+            dev_addr: dest_proxy.raw() - DEV_PROXY_BASE,
+            nbytes,
+        }),
+        (Region::DeviceProxy, Region::MemoryProxy) => Ok(TransferPlan {
+            direction: Direction::DevToMem,
+            mem_addr: layout
+                .phys_of_proxy(dest_proxy)
+                .expect("region pre-checked as memory proxy"),
+            dev_addr: source_proxy.raw() - DEV_PROXY_BASE,
+            nbytes,
+        }),
+        (Region::MemoryProxy, Region::MemoryProxy)
+        | (Region::DeviceProxy, Region::DeviceProxy) => Err(PlanError::WrongSpace),
+        (Region::MemoryProxy | Region::DeviceProxy, _) => {
+            Err(PlanError::NotProxy(dest_proxy.raw()))
+        }
+        (_, _) => Err(PlanError::NotProxy(source_proxy.raw())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mem::PAGE_SIZE;
+
+    fn layout() -> Layout {
+        Layout::new(64 * PAGE_SIZE, 32 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn mem_to_dev() {
+        let l = layout();
+        let src = l.proxy_of_phys(PhysAddr::new(0x3123)).unwrap();
+        let dst = l.dev_proxy_addr(2, 0x40);
+        let plan = plan_transfer(&l, dst, src, 128).unwrap();
+        assert_eq!(plan.direction, Direction::MemToDev);
+        assert_eq!(plan.mem_addr, PhysAddr::new(0x3123));
+        assert_eq!(plan.dev_addr, 2 * PAGE_SIZE + 0x40);
+        assert_eq!(plan.nbytes, 128);
+    }
+
+    #[test]
+    fn dev_to_mem() {
+        let l = layout();
+        let src = l.dev_proxy_addr(1, 0);
+        let dst = l.proxy_of_phys(PhysAddr::new(0x5000)).unwrap();
+        let plan = plan_transfer(&l, dst, src, 64).unwrap();
+        assert_eq!(plan.direction, Direction::DevToMem);
+        assert_eq!(plan.mem_addr, PhysAddr::new(0x5000));
+        assert_eq!(plan.dev_addr, PAGE_SIZE);
+    }
+
+    #[test]
+    fn mem_to_mem_is_wrong_space() {
+        let l = layout();
+        let a = l.proxy_of_phys(PhysAddr::new(0x1000)).unwrap();
+        let b = l.proxy_of_phys(PhysAddr::new(0x2000)).unwrap();
+        assert_eq!(plan_transfer(&l, a, b, 4), Err(PlanError::WrongSpace));
+    }
+
+    #[test]
+    fn dev_to_dev_is_wrong_space() {
+        let l = layout();
+        let a = l.dev_proxy_addr(0, 0);
+        let b = l.dev_proxy_addr(1, 0);
+        assert_eq!(plan_transfer(&l, a, b, 4), Err(PlanError::WrongSpace));
+    }
+
+    #[test]
+    fn non_proxy_addresses_rejected() {
+        let l = layout();
+        let mem = PhysAddr::new(0x1000); // real memory, not proxy
+        let dev = l.dev_proxy_addr(0, 0);
+        assert!(matches!(plan_transfer(&l, dev, mem, 4), Err(PlanError::NotProxy(_))));
+        assert!(matches!(plan_transfer(&l, mem, dev, 4), Err(PlanError::NotProxy(_))));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(PlanError::WrongSpace.to_string().contains("same proxy space"));
+        assert!(PlanError::NotProxy(0x10).to_string().contains("0x10"));
+    }
+}

@@ -1,0 +1,185 @@
+//! The UDMA hardware state machine (paper §5, Figure 5).
+//!
+//! The machine has three states and five transition events. Where Figure 5
+//! depicts no transition for an event in a state, the event causes no state
+//! change ("if no transition is depicted for a given event in a given
+//! state, then that event does not cause a state transition").
+//!
+//! [`transition`] is a *total pure function* so it can be exhaustively and
+//! property tested; the [`UdmaController`](crate::UdmaController) feeds it
+//! events and executes the returned [`Effect`].
+
+use std::fmt;
+
+/// The three hardware states.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum UdmaState {
+    /// No initiation in progress; ready for a destination STORE.
+    #[default]
+    Idle,
+    /// Destination and count latched; waiting for the source LOAD.
+    DestLoaded,
+    /// The standard DMA engine is moving data.
+    Transferring,
+}
+
+impl fmt::Display for UdmaState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UdmaState::Idle => "Idle",
+            UdmaState::DestLoaded => "DestLoaded",
+            UdmaState::Transferring => "Transferring",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Transition events recognized by the hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UdmaEvent {
+    /// A STORE of a positive `nbytes` value to a proxy address.
+    Store,
+    /// A STORE of a non-positive value to any valid proxy address — used by
+    /// the kernel on every context switch (invariant I1) and by users to
+    /// abandon a partial initiation.
+    Inval,
+    /// A LOAD from a proxy address in a *different* proxy region than the
+    /// latched destination (the normal initiating/status load).
+    Load,
+    /// A LOAD from a proxy address in the *same* proxy region as the
+    /// latched destination — a memory-to-memory or device-to-device request
+    /// the basic device does not support.
+    BadLoad,
+    /// The standard DMA engine signalled completion.
+    TransferDone,
+}
+
+/// The action the surrounding controller must take for a transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Effect {
+    /// Nothing to do.
+    None,
+    /// Latch the stored address into DESTINATION and the value into COUNT.
+    LatchDest,
+    /// Clear DESTINATION/COUNT (Inval or BadLoad).
+    ClearDest,
+    /// Latch the loaded address into SOURCE and start the DMA engine.
+    StartTransfer,
+    /// The transfer finished; release the engine.
+    Complete,
+}
+
+/// The total transition function of Figure 5.
+///
+/// Returns the next state and the controller effect. Impossible hardware
+/// events (e.g. [`UdmaEvent::TransferDone`] outside
+/// [`UdmaState::Transferring`]) are no-ops, keeping the function total for
+/// property testing.
+pub fn transition(state: UdmaState, event: UdmaEvent) -> (UdmaState, Effect) {
+    use Effect as F;
+    use UdmaEvent as E;
+    use UdmaState as S;
+
+    match (state, event) {
+        // Idle: only a destination store leaves the state.
+        (S::Idle, E::Store) => (S::DestLoaded, F::LatchDest),
+        (S::Idle, _) => (S::Idle, F::None),
+
+        // DestLoaded: the interesting state.
+        (S::DestLoaded, E::Store) => (S::DestLoaded, F::LatchDest), // overwrite
+        (S::DestLoaded, E::Inval) => (S::Idle, F::ClearDest),
+        (S::DestLoaded, E::Load) => (S::Transferring, F::StartTransfer),
+        (S::DestLoaded, E::BadLoad) => (S::Idle, F::ClearDest),
+        (S::DestLoaded, E::TransferDone) => (S::DestLoaded, F::None),
+
+        // Transferring: stores and loads are status-only; the engine runs
+        // to completion regardless of scheduling (§6: "once started, a UDMA
+        // transfer continues regardless of whether the process that started
+        // it is de-scheduled").
+        (S::Transferring, E::TransferDone) => (S::Idle, F::Complete),
+        (S::Transferring, _) => (S::Transferring, F::None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Effect as F;
+    use super::UdmaEvent as E;
+    use super::UdmaState as S;
+    use super::*;
+
+    #[test]
+    fn figure5_happy_path() {
+        let (s, e) = transition(S::Idle, E::Store);
+        assert_eq!((s, e), (S::DestLoaded, F::LatchDest));
+        let (s, e) = transition(s, E::Load);
+        assert_eq!((s, e), (S::Transferring, F::StartTransfer));
+        let (s, e) = transition(s, E::TransferDone);
+        assert_eq!((s, e), (S::Idle, F::Complete));
+    }
+
+    #[test]
+    fn store_in_destloaded_overwrites() {
+        assert_eq!(transition(S::DestLoaded, E::Store), (S::DestLoaded, F::LatchDest));
+    }
+
+    #[test]
+    fn inval_terminates_partial_initiation() {
+        assert_eq!(transition(S::DestLoaded, E::Inval), (S::Idle, F::ClearDest));
+    }
+
+    #[test]
+    fn inval_in_idle_is_noop() {
+        assert_eq!(transition(S::Idle, E::Inval), (S::Idle, F::None));
+    }
+
+    #[test]
+    fn badload_returns_to_idle() {
+        assert_eq!(transition(S::DestLoaded, E::BadLoad), (S::Idle, F::ClearDest));
+    }
+
+    #[test]
+    fn load_in_idle_does_not_start() {
+        assert_eq!(transition(S::Idle, E::Load), (S::Idle, F::None));
+    }
+
+    #[test]
+    fn transferring_ignores_initiation_events() {
+        for ev in [E::Store, E::Inval, E::Load, E::BadLoad] {
+            assert_eq!(transition(S::Transferring, ev), (S::Transferring, F::None));
+        }
+    }
+
+    #[test]
+    fn transfer_continues_across_inval() {
+        // I1's context-switch Inval must not kill an in-flight transfer.
+        let (s, _) = transition(S::Transferring, E::Inval);
+        assert_eq!(s, S::Transferring);
+    }
+
+    #[test]
+    fn totality_no_panics() {
+        for s in [S::Idle, S::DestLoaded, S::Transferring] {
+            for ev in [E::Store, E::Inval, E::Load, E::BadLoad, E::TransferDone] {
+                let _ = transition(s, ev);
+            }
+        }
+    }
+
+    #[test]
+    fn only_destloaded_load_starts_a_transfer() {
+        for s in [S::Idle, S::DestLoaded, S::Transferring] {
+            for ev in [E::Store, E::Inval, E::Load, E::BadLoad, E::TransferDone] {
+                let (_, effect) = transition(s, ev);
+                if effect == F::StartTransfer {
+                    assert_eq!((s, ev), (S::DestLoaded, E::Load));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(S::DestLoaded.to_string(), "DestLoaded");
+    }
+}

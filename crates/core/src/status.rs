@@ -1,0 +1,201 @@
+//! The status word returned by every proxy LOAD (paper §5, "Status
+//! Returned by Proxy LOADs").
+
+use std::fmt;
+
+/// The value a proxy LOAD deposits in the CPU's destination register.
+///
+/// Field semantics follow the paper exactly:
+///
+/// - `initiation` — **zero** if this access caused the DestLoaded →
+///   Transferring transition (i.e. it started a transfer); one otherwise.
+/// - `transferring` — one if the device is in the Transferring state.
+/// - `invalid` — one if the device is in the Idle state.
+/// - `matches` — one if the machine is Transferring *and* the referenced
+///   address equals the base address of the transfer in progress (repeating
+///   the initiating LOAD with this flag clear means the transfer is done).
+/// - `wrong_space` — one if the access was a BadLoad (memory-to-memory or
+///   device-to-device request).
+/// - `remaining_bytes` — bytes left if DestLoaded or Transferring.
+/// - `device_error` — device-specific error bits (e.g. misalignment).
+///
+/// [`pack`](UdmaStatus::pack)/[`unpack`](UdmaStatus::unpack) give the exact
+/// 64-bit register image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct UdmaStatus {
+    /// INITIATION FLAG (1 bit): zero when the access started a transfer.
+    pub initiation: bool,
+    /// TRANSFERRING FLAG (1 bit).
+    pub transferring: bool,
+    /// INVALID FLAG (1 bit): device is Idle.
+    pub invalid: bool,
+    /// MATCH FLAG (1 bit).
+    pub matches: bool,
+    /// WRONG-SPACE FLAG (1 bit).
+    pub wrong_space: bool,
+    /// DEVICE-SPECIFIC ERRORS (11 bits here).
+    pub device_error: u16,
+    /// REMAINING-BYTES (48 bits here; "variable size, based on page size").
+    pub remaining_bytes: u64,
+}
+
+/// Bit positions of the packed register image.
+mod bits {
+    pub const INITIATION: u64 = 1 << 0;
+    pub const TRANSFERRING: u64 = 1 << 1;
+    pub const INVALID: u64 = 1 << 2;
+    pub const MATCH: u64 = 1 << 3;
+    pub const WRONG_SPACE: u64 = 1 << 4;
+    pub const DEV_ERR_SHIFT: u32 = 5;
+    pub const DEV_ERR_MASK: u64 = 0x7ff; // 11 bits
+    pub const REMAINING_SHIFT: u32 = 16;
+    pub const REMAINING_MASK: u64 = (1 << 48) - 1;
+}
+
+impl UdmaStatus {
+    /// Convenience: did this LOAD successfully initiate a transfer?
+    pub fn started(&self) -> bool {
+        !self.initiation && self.device_error == 0
+    }
+
+    /// Convenience: should the user retry the two-instruction sequence?
+    ///
+    /// Per §5: "if the transferring flag or the invalid flag is set, the
+    /// user process may want to re-try"; other error bits are real errors.
+    pub fn should_retry(&self) -> bool {
+        self.initiation
+            && (self.transferring || self.invalid)
+            && !self.wrong_space
+            && self.device_error == 0
+    }
+
+    /// Convenience: is this a hard (non-retryable) failure?
+    pub fn is_error(&self) -> bool {
+        self.wrong_space || self.device_error != 0
+    }
+
+    /// Packs the status into the 64-bit register image a LOAD returns.
+    pub fn pack(&self) -> u64 {
+        let mut w = 0u64;
+        if self.initiation {
+            w |= bits::INITIATION;
+        }
+        if self.transferring {
+            w |= bits::TRANSFERRING;
+        }
+        if self.invalid {
+            w |= bits::INVALID;
+        }
+        if self.matches {
+            w |= bits::MATCH;
+        }
+        if self.wrong_space {
+            w |= bits::WRONG_SPACE;
+        }
+        w |= (u64::from(self.device_error) & bits::DEV_ERR_MASK) << bits::DEV_ERR_SHIFT;
+        w |= (self.remaining_bytes & bits::REMAINING_MASK) << bits::REMAINING_SHIFT;
+        w
+    }
+
+    /// Decodes a packed register image.
+    pub fn unpack(w: u64) -> Self {
+        UdmaStatus {
+            initiation: w & bits::INITIATION != 0,
+            transferring: w & bits::TRANSFERRING != 0,
+            invalid: w & bits::INVALID != 0,
+            matches: w & bits::MATCH != 0,
+            wrong_space: w & bits::WRONG_SPACE != 0,
+            device_error: ((w >> bits::DEV_ERR_SHIFT) & bits::DEV_ERR_MASK) as u16,
+            remaining_bytes: (w >> bits::REMAINING_SHIFT) & bits::REMAINING_MASK,
+        }
+    }
+}
+
+impl fmt::Display for UdmaStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "init={} xfer={} inval={} match={} wrong={} err={:#x} remaining={}",
+            u8::from(self.initiation),
+            u8::from(self.transferring),
+            u8::from(self.invalid),
+            u8::from(self.matches),
+            u8::from(self.wrong_space),
+            self.device_error,
+            self.remaining_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successful_initiation_word() {
+        let s = UdmaStatus {
+            initiation: false,
+            transferring: true,
+            matches: true,
+            remaining_bytes: 4096,
+            ..UdmaStatus::default()
+        };
+        assert!(s.started());
+        assert!(!s.should_retry());
+        assert!(!s.is_error());
+        assert_eq!(s.pack() & 1, 0, "INITIATION bit must be zero on success");
+    }
+
+    #[test]
+    fn retry_conditions() {
+        let idle = UdmaStatus { initiation: true, invalid: true, ..UdmaStatus::default() };
+        assert!(idle.should_retry());
+        let busy = UdmaStatus { initiation: true, transferring: true, ..UdmaStatus::default() };
+        assert!(busy.should_retry());
+        let bad = UdmaStatus { initiation: true, wrong_space: true, ..UdmaStatus::default() };
+        assert!(!bad.should_retry());
+        assert!(bad.is_error());
+    }
+
+    #[test]
+    fn device_error_is_hard_failure() {
+        let s = UdmaStatus {
+            initiation: true,
+            invalid: true,
+            device_error: 0x1,
+            ..UdmaStatus::default()
+        };
+        assert!(!s.should_retry());
+        assert!(s.is_error());
+        assert!(!s.started());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let s = UdmaStatus {
+            initiation: true,
+            transferring: false,
+            invalid: true,
+            matches: true,
+            wrong_space: false,
+            device_error: 0x55,
+            remaining_bytes: 123_456,
+        };
+        assert_eq!(UdmaStatus::unpack(s.pack()), s);
+    }
+
+    #[test]
+    fn remaining_bytes_masked_to_48_bits() {
+        let s = UdmaStatus { remaining_bytes: u64::MAX, ..UdmaStatus::default() };
+        let rt = UdmaStatus::unpack(s.pack());
+        assert_eq!(rt.remaining_bytes, (1 << 48) - 1);
+    }
+
+    #[test]
+    fn display_renders_all_fields() {
+        let s = UdmaStatus { matches: true, remaining_bytes: 7, ..UdmaStatus::default() };
+        let text = s.to_string();
+        assert!(text.contains("match=1"));
+        assert!(text.contains("remaining=7"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Virtual/physical address and page-number newtypes.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Page size in bytes. The paper's platform uses 4 KB x86 pages.
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Mask selecting the within-page offset bits.
+pub const PAGE_MASK: u64 = PAGE_SIZE - 1;
+
+macro_rules! addr_type {
+    ($(#[$doc:meta])* $name:ident, $page:ident, $(#[$pdoc:meta])*) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw address.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// The raw address value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The page this address falls in.
+            pub const fn page(self) -> $page {
+                $page(self.0 >> PAGE_SHIFT)
+            }
+
+            /// The offset within the page.
+            pub const fn page_offset(self) -> u64 {
+                self.0 & PAGE_MASK
+            }
+
+            /// True when page-aligned.
+            pub const fn is_page_aligned(self) -> bool {
+                self.page_offset() == 0
+            }
+
+            /// True when aligned to `n` bytes (`n` must be a power of two).
+            pub const fn is_aligned_to(self, n: u64) -> bool {
+                self.0 & (n - 1) == 0
+            }
+
+            /// Bytes remaining on this address's page, counting the
+            /// addressed byte itself (`PAGE_SIZE` when page-aligned).
+            pub const fn bytes_to_page_end(self) -> u64 {
+                PAGE_SIZE - self.page_offset()
+            }
+
+            /// Checked addition of a byte offset.
+            pub fn checked_add(self, bytes: u64) -> Option<Self> {
+                self.0.checked_add(bytes).map($name)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl Sub<u64> for $name {
+            type Output = $name;
+            fn sub(self, rhs: u64) -> $name {
+                $name(self.0 - rhs)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        $(#[$pdoc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $page(u64);
+
+        impl $page {
+            /// Wraps a raw page number.
+            pub const fn new(raw: u64) -> Self {
+                $page(raw)
+            }
+
+            /// The raw page number.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The first address on this page.
+            pub const fn base(self) -> $name {
+                $name(self.0 << PAGE_SHIFT)
+            }
+
+            /// The address at `offset` bytes into this page.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `offset >= PAGE_SIZE`.
+            pub fn addr(self, offset: u64) -> $name {
+                assert!(offset < PAGE_SIZE, "page offset {offset} out of range");
+                $name((self.0 << PAGE_SHIFT) | offset)
+            }
+
+            /// The next page.
+            pub const fn next(self) -> $page {
+                $page(self.0 + 1)
+            }
+        }
+
+        impl fmt::Display for $page {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}#{}", stringify!($page), self.0)
+            }
+        }
+    };
+}
+
+addr_type!(
+    /// A virtual address in some process's address space.
+    VirtAddr,
+    Vpn,
+    /// A virtual page number.
+);
+
+addr_type!(
+    /// A physical address on the simulated machine's bus.
+    PhysAddr,
+    Pfn,
+    /// A physical page frame number.
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_decomposition() {
+        let va = VirtAddr::new(0x1234);
+        assert_eq!(va.page(), Vpn::new(1));
+        assert_eq!(va.page_offset(), 0x234);
+        assert_eq!(va.page().addr(0x234), va);
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(VirtAddr::new(0x2000).is_page_aligned());
+        assert!(!VirtAddr::new(0x2001).is_page_aligned());
+        assert!(PhysAddr::new(0x104).is_aligned_to(4));
+        assert!(!PhysAddr::new(0x106).is_aligned_to(4));
+    }
+
+    #[test]
+    fn bytes_to_page_end() {
+        assert_eq!(VirtAddr::new(0x1000).bytes_to_page_end(), PAGE_SIZE);
+        assert_eq!(VirtAddr::new(0x1ffe).bytes_to_page_end(), 2);
+    }
+
+    #[test]
+    fn page_base_and_next() {
+        let p = Pfn::new(3);
+        assert_eq!(p.base(), PhysAddr::new(0x3000));
+        assert_eq!(p.next(), Pfn::new(4));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let pa = PhysAddr::new(0x100);
+        assert_eq!((pa + 0x10).raw(), 0x110);
+        assert_eq!((pa - 0x10).raw(), 0xf0);
+        assert_eq!(pa.checked_add(u64::MAX), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_addr_offset_bounds() {
+        let _ = Vpn::new(0).addr(PAGE_SIZE);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PhysAddr::new(0xbeef).to_string(), "0xbeef");
+        assert_eq!(format!("{:x}", VirtAddr::new(0xcafe)), "cafe");
+    }
+}

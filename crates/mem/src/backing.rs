@@ -1,0 +1,164 @@
+//! Backing store (swap) for the virtual memory system.
+//!
+//! The paper's invariant I3 is all about when page contents must reach
+//! backing store; this module is the destination of those "clean" writes.
+
+use std::collections::HashMap;
+
+use crate::{MemError, PAGE_SIZE};
+
+/// Identifier of one page-sized slot on the backing store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwapSlot(u64);
+
+impl SwapSlot {
+    /// The raw slot index.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A paging device holding evicted page contents.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_mem::BackingStore;
+///
+/// let mut swap = BackingStore::new();
+/// let slot = swap.alloc();
+/// swap.write(slot, &[0xab; 4096]);
+/// assert_eq!(swap.read(slot)?[0], 0xab);
+/// # Ok::<(), shrimp_mem::MemError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BackingStore {
+    slots: HashMap<u64, Vec<u8>>,
+    next_slot: u64,
+    writes: u64,
+    reads: u64,
+}
+
+impl BackingStore {
+    /// An empty backing store.
+    pub fn new() -> Self {
+        BackingStore::default()
+    }
+
+    /// Reserves a fresh slot (contents undefined until written).
+    pub fn alloc(&mut self) -> SwapSlot {
+        let slot = SwapSlot(self.next_slot);
+        self.next_slot += 1;
+        slot
+    }
+
+    /// Writes one page of data to `slot` (a "clean" operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one page.
+    pub fn write(&mut self, slot: SwapSlot, data: &[u8]) {
+        assert_eq!(data.len() as u64, PAGE_SIZE, "swap writes are page-sized");
+        self.slots.insert(slot.0, data.to_vec());
+        self.writes += 1;
+    }
+
+    /// Reads the page stored in `slot`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadSwapSlot`] if the slot was never written.
+    pub fn read(&mut self, slot: SwapSlot) -> Result<&[u8], MemError> {
+        self.reads += 1;
+        self.slots
+            .get(&slot.0)
+            .map(Vec::as_slice)
+            .ok_or(MemError::BadSwapSlot(slot.0))
+    }
+
+    /// True if `slot` holds data.
+    pub fn contains(&self, slot: SwapSlot) -> bool {
+        self.slots.contains_key(&slot.0)
+    }
+
+    /// Releases a slot.
+    pub fn release(&mut self, slot: SwapSlot) {
+        self.slots.remove(&slot.0);
+    }
+
+    /// Pages written to the store so far (clean operations).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Pages read back so far (page-ins).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; PAGE_SIZE as usize]
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = BackingStore::new();
+        let slot = s.alloc();
+        s.write(slot, &page(0x5a));
+        assert_eq!(s.read(slot).unwrap(), &page(0x5a)[..]);
+    }
+
+    #[test]
+    fn unwritten_slot_errors() {
+        let mut s = BackingStore::new();
+        let slot = s.alloc();
+        assert_eq!(s.read(slot).unwrap_err(), MemError::BadSwapSlot(slot.raw()));
+    }
+
+    #[test]
+    fn slots_are_distinct() {
+        let mut s = BackingStore::new();
+        let a = s.alloc();
+        let b = s.alloc();
+        assert_ne!(a, b);
+        s.write(a, &page(1));
+        s.write(b, &page(2));
+        assert_eq!(s.read(a).unwrap()[0], 1);
+        assert_eq!(s.read(b).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn release_forgets_contents() {
+        let mut s = BackingStore::new();
+        let slot = s.alloc();
+        s.write(slot, &page(9));
+        assert!(s.contains(slot));
+        s.release(slot);
+        assert!(!s.contains(slot));
+        assert!(s.read(slot).is_err());
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut s = BackingStore::new();
+        let slot = s.alloc();
+        s.write(slot, &page(0));
+        let _ = s.read(slot);
+        let _ = s.read(slot);
+        assert_eq!(s.write_count(), 1);
+        assert_eq!(s.read_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-sized")]
+    fn non_page_write_panics() {
+        let mut s = BackingStore::new();
+        let slot = s.alloc();
+        s.write(slot, &[1, 2, 3]);
+    }
+}

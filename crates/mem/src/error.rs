@@ -1,0 +1,68 @@
+//! Error type for address/memory operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from address classification and memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The address is not in the real-memory region.
+    NotMemory(u64),
+    /// The address is not in the memory-proxy region.
+    NotMemoryProxy(u64),
+    /// The address is not in the device-proxy region.
+    NotDeviceProxy(u64),
+    /// A physical access fell outside installed memory.
+    OutOfRange {
+        /// The faulting address.
+        addr: u64,
+        /// Number of bytes the access covered.
+        len: u64,
+    },
+    /// The frame allocator is out of free frames.
+    OutOfFrames,
+    /// A backing-store slot was referenced but never written.
+    BadSwapSlot(u64),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::NotMemory(a) => write!(f, "address {a:#x} is not in real memory space"),
+            MemError::NotMemoryProxy(a) => {
+                write!(f, "address {a:#x} is not in memory proxy space")
+            }
+            MemError::NotDeviceProxy(a) => {
+                write!(f, "address {a:#x} is not in device proxy space")
+            }
+            MemError::OutOfRange { addr, len } => {
+                write!(f, "physical access [{addr:#x}, {addr:#x}+{len}) out of range")
+            }
+            MemError::OutOfFrames => write!(f, "no free physical frames"),
+            MemError::BadSwapSlot(s) => write!(f, "backing-store slot {s} has no contents"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            MemError::NotMemory(0x10).to_string(),
+            "address 0x10 is not in real memory space"
+        );
+        assert_eq!(MemError::OutOfFrames.to_string(), "no free physical frames");
+        assert!(MemError::OutOfRange { addr: 0x20, len: 4 }.to_string().contains("0x20"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync>(_: E) {}
+        takes_err(MemError::OutOfFrames);
+    }
+}

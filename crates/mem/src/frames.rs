@@ -1,0 +1,145 @@
+//! Physical page-frame allocator.
+
+use crate::{MemError, Pfn};
+
+/// A free-list allocator over the machine's page frames.
+///
+/// Frames are handed out lowest-numbered first from an initial pool and
+/// recycled LIFO, which keeps allocation deterministic.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_mem::FrameAllocator;
+///
+/// let mut alloc = FrameAllocator::new(4);
+/// let f = alloc.alloc()?;
+/// alloc.free(f);
+/// # Ok::<(), shrimp_mem::MemError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameAllocator {
+    total: u64,
+    next_fresh: u64,
+    free_list: Vec<Pfn>,
+    allocated: u64,
+}
+
+impl FrameAllocator {
+    /// An allocator over frames `0..total`.
+    pub fn new(total: u64) -> Self {
+        FrameAllocator { total, next_fresh: 0, free_list: Vec::new(), allocated: 0 }
+    }
+
+    /// An allocator over frames `first..total`, reserving `0..first` (e.g.
+    /// for the kernel image).
+    pub fn with_reserved(total: u64, first: u64) -> Self {
+        assert!(first <= total, "reserved frames exceed total");
+        FrameAllocator { total, next_fresh: first, free_list: Vec::new(), allocated: 0 }
+    }
+
+    /// Total frames managed (including reserved ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Frames currently available.
+    pub fn free_frames(&self) -> u64 {
+        (self.total - self.next_fresh) + self.free_list.len() as u64
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfFrames`] when no frame is available; callers (the
+    /// kernel pager) respond by evicting a page.
+    pub fn alloc(&mut self) -> Result<Pfn, MemError> {
+        let pfn = if let Some(pfn) = self.free_list.pop() {
+            pfn
+        } else if self.next_fresh < self.total {
+            let pfn = Pfn::new(self.next_fresh);
+            self.next_fresh += 1;
+            pfn
+        } else {
+            return Err(MemError::OutOfFrames);
+        };
+        self.allocated += 1;
+        Ok(pfn)
+    }
+
+    /// Returns a frame to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was never handed out (double free or foreign
+    /// frame), which would indicate a kernel bug.
+    pub fn free(&mut self, pfn: Pfn) {
+        assert!(pfn.raw() < self.next_fresh, "freeing frame {pfn} never allocated");
+        assert!(!self.free_list.contains(&pfn), "double free of frame {pfn}");
+        assert!(self.allocated > 0, "free with no outstanding allocations");
+        self.free_list.push(pfn);
+        self.allocated -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_lowest_first() {
+        let mut a = FrameAllocator::new(3);
+        assert_eq!(a.alloc().unwrap(), Pfn::new(0));
+        assert_eq!(a.alloc().unwrap(), Pfn::new(1));
+        assert_eq!(a.allocated(), 2);
+        assert_eq!(a.free_frames(), 1);
+    }
+
+    #[test]
+    fn recycles_lifo() {
+        let mut a = FrameAllocator::new(3);
+        let f0 = a.alloc().unwrap();
+        let _f1 = a.alloc().unwrap();
+        a.free(f0);
+        assert_eq!(a.alloc().unwrap(), f0);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut a = FrameAllocator::new(1);
+        let f = a.alloc().unwrap();
+        assert_eq!(a.alloc(), Err(MemError::OutOfFrames));
+        a.free(f);
+        assert!(a.alloc().is_ok());
+    }
+
+    #[test]
+    fn reserved_frames_skipped() {
+        let mut a = FrameAllocator::with_reserved(4, 2);
+        assert_eq!(a.alloc().unwrap(), Pfn::new(2));
+        assert_eq!(a.free_frames(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = FrameAllocator::new(2);
+        let f = a.alloc().unwrap();
+        let _g = a.alloc().unwrap();
+        a.free(f);
+        a.free(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn foreign_free_panics() {
+        let mut a = FrameAllocator::new(2);
+        a.free(Pfn::new(1));
+    }
+}

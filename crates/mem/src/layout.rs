@@ -1,0 +1,282 @@
+//! Address-space layout: memory, memory proxy, device proxy and MMIO
+//! regions, and the `PROXY()` / `PROXY⁻¹()` bijection (paper §4).
+//!
+//! The paper lays the memory proxy space out "at some fixed offset from the
+//! real memory space", so that `PROXY` and `PROXY⁻¹` "amount to nothing more
+//! than" adding or subtracting that offset (§4, Figure 3). We use the same
+//! constants for the virtual and physical manifestations, which keeps the
+//! MMU mapping for proxy pages an ordinary page mapping.
+
+use crate::{MemError, PhysAddr, VirtAddr};
+
+/// Fixed offset between a real memory address and its memory-proxy address.
+pub const PROXY_OFFSET: u64 = 0x1_0000_0000;
+/// Base of the device proxy region.
+pub const DEV_PROXY_BASE: u64 = 0x2_0000_0000;
+/// Base of the memory-mapped device-register (MMIO) region, used by the
+/// programmed-I/O baseline NIC (§9 comparison).
+pub const MMIO_BASE: u64 = 0x3_0000_0000;
+
+/// Which architectural region an address falls in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Ordinary (real) memory.
+    Memory,
+    /// Memory proxy space: `PROXY(real memory)`.
+    MemoryProxy,
+    /// Device proxy space: names DMA sources/destinations inside a device.
+    DeviceProxy,
+    /// Memory-mapped device registers (not part of the UDMA mechanism).
+    Mmio,
+    /// Not decoded by anything on the bus.
+    Invalid,
+}
+
+impl Region {
+    /// True for either proxy region — the address patterns recognized by
+    /// the UDMA hardware.
+    pub fn is_proxy(self) -> bool {
+        matches!(self, Region::MemoryProxy | Region::DeviceProxy)
+    }
+}
+
+/// The address-space layout of one simulated node.
+///
+/// The same layout governs both virtual and physical spaces: each region of
+/// physical space "has a corresponding region in the virtual space which can
+/// be mapped to it" (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    mem_bytes: u64,
+    dev_proxy_bytes: u64,
+}
+
+impl Layout {
+    /// A layout with `mem_bytes` of real memory and `dev_proxy_bytes` of
+    /// device proxy space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_bytes` exceeds [`PROXY_OFFSET`] (regions would
+    /// overlap) or `dev_proxy_bytes` exceeds the device proxy region size.
+    pub fn new(mem_bytes: u64, dev_proxy_bytes: u64) -> Self {
+        assert!(mem_bytes <= PROXY_OFFSET, "memory overlaps proxy region");
+        assert!(
+            dev_proxy_bytes <= MMIO_BASE - DEV_PROXY_BASE,
+            "device proxy region too large"
+        );
+        Layout { mem_bytes, dev_proxy_bytes }
+    }
+
+    /// Bytes of real memory.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// Bytes of device proxy space.
+    pub fn dev_proxy_bytes(&self) -> u64 {
+        self.dev_proxy_bytes
+    }
+
+    fn region_of_raw(&self, raw: u64, mem_bound: u64) -> Region {
+        if raw < mem_bound {
+            Region::Memory
+        } else if (PROXY_OFFSET..PROXY_OFFSET + mem_bound).contains(&raw) {
+            Region::MemoryProxy
+        } else if (DEV_PROXY_BASE..DEV_PROXY_BASE + self.dev_proxy_bytes).contains(&raw) {
+            Region::DeviceProxy
+        } else if raw >= MMIO_BASE {
+            Region::Mmio
+        } else {
+            Region::Invalid
+        }
+    }
+
+    /// Region of a physical address. The memory region is bounded by
+    /// *installed* memory — the bus decodes nothing between the end of
+    /// memory and the proxy regions.
+    pub fn region_of_phys(&self, pa: PhysAddr) -> Region {
+        self.region_of_raw(pa.raw(), self.mem_bytes)
+    }
+
+    /// Region of a virtual address. The virtual memory region spans the
+    /// whole space below the proxy offset — virtual addresses are not
+    /// limited by installed physical memory (that is what paging is for).
+    pub fn region_of_virt(&self, va: VirtAddr) -> Region {
+        self.region_of_raw(va.raw(), PROXY_OFFSET)
+    }
+
+    /// `PROXY(pa)`: the memory-proxy address of real address `pa`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NotMemory`] if `pa` is not in the real memory region.
+    pub fn proxy_of_phys(&self, pa: PhysAddr) -> Result<PhysAddr, MemError> {
+        match self.region_of_phys(pa) {
+            Region::Memory => Ok(PhysAddr::new(pa.raw() + PROXY_OFFSET)),
+            _ => Err(MemError::NotMemory(pa.raw())),
+        }
+    }
+
+    /// `PROXY⁻¹(proxy)`: the real memory address behind a memory-proxy
+    /// address — the translation the UDMA hardware applies (§5).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NotMemoryProxy`] if `proxy` is not in memory proxy space.
+    pub fn phys_of_proxy(&self, proxy: PhysAddr) -> Result<PhysAddr, MemError> {
+        match self.region_of_phys(proxy) {
+            Region::MemoryProxy => Ok(PhysAddr::new(proxy.raw() - PROXY_OFFSET)),
+            _ => Err(MemError::NotMemoryProxy(proxy.raw())),
+        }
+    }
+
+    /// `PROXY(va)` in virtual space.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NotMemory`] if `va` is not in the ordinary-memory region
+    /// of virtual space.
+    pub fn proxy_of_virt(&self, va: VirtAddr) -> Result<VirtAddr, MemError> {
+        match self.region_of_virt(va) {
+            Region::Memory => Ok(VirtAddr::new(va.raw() + PROXY_OFFSET)),
+            _ => Err(MemError::NotMemory(va.raw())),
+        }
+    }
+
+    /// `PROXY⁻¹(vproxy)` in virtual space.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NotMemoryProxy`] if `vproxy` is not in the virtual
+    /// memory-proxy region.
+    pub fn virt_of_proxy(&self, vproxy: VirtAddr) -> Result<VirtAddr, MemError> {
+        match self.region_of_virt(vproxy) {
+            Region::MemoryProxy => Ok(VirtAddr::new(vproxy.raw() - PROXY_OFFSET)),
+            _ => Err(MemError::NotMemoryProxy(vproxy.raw())),
+        }
+    }
+
+    /// Decomposes a physical device-proxy address into `(device_page,
+    /// page_offset)` — the interpretation SHRIMP uses to index the NIPT
+    /// (§8: "a proxy page number and an offset on that page").
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NotDeviceProxy`] if the address is outside the device
+    /// proxy region.
+    pub fn dev_proxy_page(&self, pa: PhysAddr) -> Result<(u64, u64), MemError> {
+        match self.region_of_phys(pa) {
+            Region::DeviceProxy => {
+                let rel = pa.raw() - DEV_PROXY_BASE;
+                Ok((rel >> crate::PAGE_SHIFT, rel & crate::PAGE_MASK))
+            }
+            _ => Err(MemError::NotDeviceProxy(pa.raw())),
+        }
+    }
+
+    /// The physical device-proxy address for `(device_page, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting address would fall outside the device proxy
+    /// region or `offset >= PAGE_SIZE`.
+    pub fn dev_proxy_addr(&self, device_page: u64, offset: u64) -> PhysAddr {
+        assert!(offset < crate::PAGE_SIZE, "offset {offset} out of page range");
+        let rel = (device_page << crate::PAGE_SHIFT) | offset;
+        assert!(rel < self.dev_proxy_bytes, "device page {device_page} out of range");
+        PhysAddr::new(DEV_PROXY_BASE + rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    fn layout() -> Layout {
+        Layout::new(16 * 1024 * 1024, 64 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn region_classification() {
+        let l = layout();
+        assert_eq!(l.region_of_phys(PhysAddr::new(0)), Region::Memory);
+        assert_eq!(l.region_of_phys(PhysAddr::new(16 * 1024 * 1024 - 1)), Region::Memory);
+        assert_eq!(l.region_of_phys(PhysAddr::new(16 * 1024 * 1024)), Region::Invalid);
+        assert_eq!(l.region_of_phys(PhysAddr::new(PROXY_OFFSET)), Region::MemoryProxy);
+        assert_eq!(l.region_of_phys(PhysAddr::new(DEV_PROXY_BASE)), Region::DeviceProxy);
+        assert_eq!(
+            l.region_of_phys(PhysAddr::new(DEV_PROXY_BASE + 64 * PAGE_SIZE)),
+            Region::Invalid
+        );
+        assert_eq!(l.region_of_phys(PhysAddr::new(MMIO_BASE + 8)), Region::Mmio);
+    }
+
+    #[test]
+    fn proxy_roundtrip_phys() {
+        let l = layout();
+        let pa = PhysAddr::new(0x1234);
+        let proxy = l.proxy_of_phys(pa).unwrap();
+        assert_eq!(proxy.raw(), PROXY_OFFSET + 0x1234);
+        assert_eq!(l.phys_of_proxy(proxy).unwrap(), pa);
+    }
+
+    #[test]
+    fn proxy_roundtrip_virt() {
+        let l = layout();
+        let va = VirtAddr::new(0x5678);
+        let proxy = l.proxy_of_virt(va).unwrap();
+        assert_eq!(l.virt_of_proxy(proxy).unwrap(), va);
+    }
+
+    #[test]
+    fn proxy_of_non_memory_fails() {
+        let l = layout();
+        assert!(l.proxy_of_phys(PhysAddr::new(PROXY_OFFSET)).is_err());
+        assert!(l.phys_of_proxy(PhysAddr::new(0x10)).is_err());
+        assert!(l.proxy_of_virt(VirtAddr::new(DEV_PROXY_BASE)).is_err());
+    }
+
+    #[test]
+    fn proxy_preserves_page_offset() {
+        let l = layout();
+        let pa = PhysAddr::new(3 * PAGE_SIZE + 17);
+        let proxy = l.proxy_of_phys(pa).unwrap();
+        assert_eq!(proxy.page_offset(), 17);
+    }
+
+    #[test]
+    fn dev_proxy_decomposition() {
+        let l = layout();
+        let pa = l.dev_proxy_addr(5, 0x123);
+        assert_eq!(l.dev_proxy_page(pa).unwrap(), (5, 0x123));
+        assert_eq!(l.region_of_phys(pa), Region::DeviceProxy);
+    }
+
+    #[test]
+    fn dev_proxy_rejects_memory_addr() {
+        let l = layout();
+        assert!(l.dev_proxy_page(PhysAddr::new(0x100)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dev_proxy_addr_bounds() {
+        let _ = layout().dev_proxy_addr(64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn oversized_memory_rejected() {
+        let _ = Layout::new(PROXY_OFFSET + 1, PAGE_SIZE);
+    }
+
+    #[test]
+    fn is_proxy_predicate() {
+        assert!(Region::MemoryProxy.is_proxy());
+        assert!(Region::DeviceProxy.is_proxy());
+        assert!(!Region::Memory.is_proxy());
+        assert!(!Region::Mmio.is_proxy());
+    }
+}

@@ -1,0 +1,38 @@
+//! Address types, physical memory, frame allocation, backing store and the
+//! proxy-space layout for the SHRIMP UDMA simulator.
+//!
+//! The central concept from the paper modelled here is the **proxy space**
+//! bijection (§4): every real memory address has an associated *memory
+//! proxy* address at a fixed offset, and devices expose a *device proxy*
+//! region whose addresses name DMA sources/destinations inside the device.
+//! [`Layout`] classifies raw addresses into regions and implements
+//! `PROXY()` / `PROXY⁻¹()`.
+//!
+//! # Example
+//!
+//! ```
+//! use shrimp_mem::{Layout, PhysAddr, Region};
+//!
+//! let layout = Layout::new(8 * 1024 * 1024, 1024 * 4096);
+//! let pa = PhysAddr::new(0x2345);
+//! let proxy = layout.proxy_of_phys(pa).unwrap();
+//! assert_eq!(layout.region_of_phys(proxy), Region::MemoryProxy);
+//! assert_eq!(layout.phys_of_proxy(proxy).unwrap(), pa);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod backing;
+mod error;
+mod frames;
+mod layout;
+mod phys;
+
+pub use addr::{PhysAddr, Pfn, VirtAddr, Vpn, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+pub use backing::{BackingStore, SwapSlot};
+pub use error::MemError;
+pub use frames::FrameAllocator;
+pub use layout::{Layout, Region, DEV_PROXY_BASE, MMIO_BASE, PROXY_OFFSET};
+pub use phys::PhysMemory;

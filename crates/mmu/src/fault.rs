@@ -1,0 +1,115 @@
+//! Access kinds, privilege modes and the translation fault taxonomy.
+
+use std::error::Error;
+use std::fmt;
+
+use shrimp_mem::{VirtAddr, Vpn};
+
+/// What kind of memory access is being translated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Privilege mode of the access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Unprivileged user code (all UDMA initiation runs here).
+    User,
+    /// Kernel code (fault handlers, the pager, syscalls).
+    Kernel,
+}
+
+/// A translation fault raised by the MMU.
+///
+/// The kernel's fault handler distinguishes these to implement the three
+/// demand cases of §6 ("Maintaining I2") and the dirty-bit protocol of I3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// No valid mapping for the page.
+    NotMapped {
+        /// The faulting virtual address.
+        va: VirtAddr,
+        /// The faulting page.
+        vpn: Vpn,
+        /// The access that faulted.
+        access: AccessKind,
+    },
+    /// A store hit a page mapped read-only.
+    WriteProtected {
+        /// The faulting virtual address.
+        va: VirtAddr,
+        /// The faulting page.
+        vpn: Vpn,
+    },
+    /// A user-mode access hit a kernel-only page.
+    Privilege {
+        /// The faulting virtual address.
+        va: VirtAddr,
+        /// The faulting page.
+        vpn: Vpn,
+    },
+}
+
+impl Fault {
+    /// The faulting virtual address.
+    pub fn va(&self) -> VirtAddr {
+        match *self {
+            Fault::NotMapped { va, .. }
+            | Fault::WriteProtected { va, .. }
+            | Fault::Privilege { va, .. } => va,
+        }
+    }
+
+    /// The faulting virtual page.
+    pub fn vpn(&self) -> Vpn {
+        match *self {
+            Fault::NotMapped { vpn, .. }
+            | Fault::WriteProtected { vpn, .. }
+            | Fault::Privilege { vpn, .. } => vpn,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::NotMapped { va, access, .. } => {
+                write!(f, "page fault ({access:?}) at unmapped address {va}")
+            }
+            Fault::WriteProtected { va, .. } => {
+                write!(f, "write-protection fault at {va}")
+            }
+            Fault::Privilege { va, .. } => {
+                write!(f, "privilege violation at {va}")
+            }
+        }
+    }
+}
+
+impl Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let f = Fault::NotMapped {
+            va: VirtAddr::new(0x1234),
+            vpn: Vpn::new(1),
+            access: AccessKind::Write,
+        };
+        assert_eq!(f.va(), VirtAddr::new(0x1234));
+        assert_eq!(f.vpn(), Vpn::new(1));
+    }
+
+    #[test]
+    fn display() {
+        let f = Fault::WriteProtected { va: VirtAddr::new(0x2000), vpn: Vpn::new(2) };
+        assert_eq!(f.to_string(), "write-protection fault at 0x2000");
+    }
+}

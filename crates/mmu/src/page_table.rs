@@ -1,0 +1,149 @@
+//! A per-process page table.
+
+use std::collections::BTreeMap;
+
+use shrimp_mem::Vpn;
+
+use crate::{Pte, PteFlags};
+
+/// A sparse per-process page table mapping [`Vpn`]s to [`Pte`]s.
+///
+/// A real x86 table is a radix tree; a sorted map models the same contents
+/// with deterministic iteration, which the pager relies on.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_mem::{Pfn, Vpn};
+/// use shrimp_mmu::{PageTable, Pte, PteFlags};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(Vpn::new(1), Pte::new(Pfn::new(7), PteFlags::VALID | PteFlags::USER));
+/// assert!(pt.get(Vpn::new(1)).is_some());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageTable {
+    entries: BTreeMap<Vpn, Pte>,
+}
+
+impl PageTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Installs (or replaces) the entry for `vpn`, returning any previous
+    /// entry.
+    pub fn map(&mut self, vpn: Vpn, pte: Pte) -> Option<Pte> {
+        self.entries.insert(vpn, pte)
+    }
+
+    /// Removes the entry for `vpn`.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// The entry for `vpn`, if present.
+    pub fn get(&self, vpn: Vpn) -> Option<&Pte> {
+        self.entries.get(&vpn)
+    }
+
+    /// Mutable access to the entry for `vpn`.
+    pub fn get_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
+        self.entries.get_mut(&vpn)
+    }
+
+    /// Sets `flags` bits on the entry for `vpn`. Returns `false` when the
+    /// page is unmapped.
+    pub fn set_flags(&mut self, vpn: Vpn, flags: PteFlags) -> bool {
+        match self.entries.get_mut(&vpn) {
+            Some(pte) => {
+                pte.flags |= flags;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears `flags` bits on the entry for `vpn`. Returns `false` when the
+    /// page is unmapped.
+    pub fn clear_flags(&mut self, vpn: Vpn, flags: PteFlags) -> bool {
+        match self.entries.get_mut(&vpn) {
+            Some(pte) => {
+                pte.flags = pte.flags.without(flags);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(vpn, pte)` in ascending page order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, &Pte)> + '_ {
+        self.entries.iter().map(|(&vpn, pte)| (vpn, pte))
+    }
+
+    /// Iterates mutably over entries in ascending page order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Vpn, &mut Pte)> + '_ {
+        self.entries.iter_mut().map(|(&vpn, pte)| (vpn, pte))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mem::Pfn;
+
+    fn pte(pfn: u64) -> Pte {
+        Pte::new(Pfn::new(pfn), PteFlags::VALID | PteFlags::USER)
+    }
+
+    #[test]
+    fn map_get_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.map(Vpn::new(1), pte(7)).is_none());
+        assert_eq!(pt.get(Vpn::new(1)).unwrap().pfn, Pfn::new(7));
+        assert_eq!(pt.unmap(Vpn::new(1)).unwrap().pfn, Pfn::new(7));
+        assert!(pt.get(Vpn::new(1)).is_none());
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn remap_returns_previous() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn::new(1), pte(7));
+        let old = pt.map(Vpn::new(1), pte(8)).unwrap();
+        assert_eq!(old.pfn, Pfn::new(7));
+        assert_eq!(pt.len(), 1);
+    }
+
+    #[test]
+    fn flag_manipulation() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn::new(2), pte(3));
+        assert!(pt.set_flags(Vpn::new(2), PteFlags::DIRTY));
+        assert!(pt.get(Vpn::new(2)).unwrap().is_dirty());
+        assert!(pt.clear_flags(Vpn::new(2), PteFlags::DIRTY));
+        assert!(!pt.get(Vpn::new(2)).unwrap().is_dirty());
+        assert!(!pt.set_flags(Vpn::new(9), PteFlags::DIRTY));
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn::new(5), pte(0));
+        pt.map(Vpn::new(1), pte(0));
+        pt.map(Vpn::new(3), pte(0));
+        let order: Vec<u64> = pt.iter().map(|(v, _)| v.raw()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Page-table entries and their permission/status bits.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use shrimp_mem::Pfn;
+
+/// Permission and status bits of a [`Pte`].
+///
+/// A hand-rolled bitflag type (the workspace avoids external dependencies in
+/// the substrate crates). Supports `|` composition and containment queries.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PteFlags(u16);
+
+impl PteFlags {
+    /// No bits set.
+    pub const NONE: PteFlags = PteFlags(0);
+    /// The mapping is valid (present).
+    pub const VALID: PteFlags = PteFlags(1 << 0);
+    /// Writes are permitted.
+    pub const WRITABLE: PteFlags = PteFlags(1 << 1);
+    /// User-mode access is permitted.
+    pub const USER: PteFlags = PteFlags(1 << 2);
+    /// Hardware-set: the page has been written since the bit was cleared.
+    pub const DIRTY: PteFlags = PteFlags(1 << 3);
+    /// Hardware-set: the page has been accessed since the bit was cleared.
+    pub const REFERENCED: PteFlags = PteFlags(1 << 4);
+    /// Accesses bypass the cache (all proxy pages are uncachable, §4).
+    pub const UNCACHED: PteFlags = PteFlags(1 << 5);
+    /// Bookkeeping: this entry maps a proxy page (memory or device proxy).
+    pub const PROXY: PteFlags = PteFlags(1 << 6);
+
+    /// True if every bit of `other` is set in `self`.
+    pub const fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if any bit of `other` is set in `self`.
+    pub const fn intersects(self, other: PteFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns `self` with the bits of `other` set.
+    #[must_use]
+    pub const fn with(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Returns `self` with the bits of `other` cleared.
+    #[must_use]
+    pub const fn without(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 & !other.0)
+    }
+}
+
+impl BitOr for PteFlags {
+    type Output = PteFlags;
+    fn bitor(self, rhs: PteFlags) -> PteFlags {
+        self.with(rhs)
+    }
+}
+
+impl BitOrAssign for PteFlags {
+    fn bitor_assign(&mut self, rhs: PteFlags) {
+        *self = self.with(rhs);
+    }
+}
+
+impl fmt::Debug for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(PteFlags, &str); 7] = [
+            (PteFlags::VALID, "VALID"),
+            (PteFlags::WRITABLE, "WRITABLE"),
+            (PteFlags::USER, "USER"),
+            (PteFlags::DIRTY, "DIRTY"),
+            (PteFlags::REFERENCED, "REFERENCED"),
+            (PteFlags::UNCACHED, "UNCACHED"),
+            (PteFlags::PROXY, "PROXY"),
+        ];
+        let mut first = true;
+        for (flag, name) in NAMES {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "NONE")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// One page-table entry: a frame number plus [`PteFlags`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// The physical frame this virtual page maps to.
+    pub pfn: Pfn,
+    /// Permission and status bits.
+    pub flags: PteFlags,
+}
+
+impl Pte {
+    /// Builds an entry.
+    pub fn new(pfn: Pfn, flags: PteFlags) -> Self {
+        Pte { pfn, flags }
+    }
+
+    /// True if the entry is valid (present).
+    pub fn is_valid(&self) -> bool {
+        self.flags.contains(PteFlags::VALID)
+    }
+
+    /// True if user-mode writes are permitted.
+    pub fn is_writable(&self) -> bool {
+        self.flags.contains(PteFlags::WRITABLE)
+    }
+
+    /// True if the page has been written since DIRTY was last cleared.
+    pub fn is_dirty(&self) -> bool {
+        self.flags.contains(PteFlags::DIRTY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_intersects() {
+        let f = PteFlags::VALID | PteFlags::USER;
+        assert!(f.contains(PteFlags::VALID));
+        assert!(f.contains(PteFlags::VALID | PteFlags::USER));
+        assert!(!f.contains(PteFlags::VALID | PteFlags::WRITABLE));
+        assert!(f.intersects(PteFlags::WRITABLE | PteFlags::USER));
+        assert!(!f.intersects(PteFlags::DIRTY));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let f = PteFlags::VALID.with(PteFlags::DIRTY).without(PteFlags::VALID);
+        assert_eq!(f, PteFlags::DIRTY);
+    }
+
+    #[test]
+    fn or_assign() {
+        let mut f = PteFlags::NONE;
+        f |= PteFlags::REFERENCED;
+        assert!(f.contains(PteFlags::REFERENCED));
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let f = PteFlags::VALID | PteFlags::PROXY;
+        assert_eq!(format!("{f:?}"), "VALID|PROXY");
+        assert_eq!(format!("{:?}", PteFlags::NONE), "NONE");
+    }
+
+    #[test]
+    fn pte_predicates() {
+        let pte = Pte::new(Pfn::new(1), PteFlags::VALID | PteFlags::WRITABLE);
+        assert!(pte.is_valid());
+        assert!(pte.is_writable());
+        assert!(!pte.is_dirty());
+    }
+}

@@ -1,0 +1,162 @@
+//! A translation lookaside buffer model.
+
+use shrimp_mem::Vpn;
+use shrimp_sim::Counter;
+
+use crate::Pte;
+
+/// A fully associative TLB with FIFO replacement.
+///
+/// Caches recently used `(Vpn, Pte)` pairs. The MMU is responsible for
+/// keeping cached copies coherent with PTE status-bit updates (it writes
+/// through to both). The kernel must [`Tlb::flush_page`] on any remap and
+/// [`Tlb::flush_all`] on context switch — exactly the shootdown points the
+/// paper's invariants require.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<(Vpn, Pte)>,
+    capacity: usize,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl Tlb {
+    /// A TLB holding up to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb { entries: Vec::with_capacity(capacity), capacity, hits: Counter::new(), misses: Counter::new() }
+    }
+
+    /// Looks up `vpn`, recording a hit or miss.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Pte> {
+        match self.entries.iter().find(|(v, _)| *v == vpn) {
+            Some(&(_, pte)) => {
+                self.hits.incr();
+                Some(pte)
+            }
+            None => {
+                self.misses.incr();
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a translation, evicting the oldest entry when
+    /// full.
+    pub fn insert(&mut self, vpn: Vpn, pte: Pte) {
+        if let Some(slot) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            slot.1 = pte;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((vpn, pte));
+    }
+
+    /// Updates the cached copy of `vpn` if present (write-through of PTE
+    /// status bits).
+    pub fn update(&mut self, vpn: Vpn, pte: Pte) {
+        if let Some(slot) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            slot.1 = pte;
+        }
+    }
+
+    /// Invalidates the entry for `vpn` (single-page shootdown).
+    pub fn flush_page(&mut self, vpn: Vpn) {
+        self.entries.retain(|(v, _)| *v != vpn);
+    }
+
+    /// Invalidates everything (context switch).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no translations are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PteFlags;
+    use shrimp_mem::Pfn;
+
+    fn pte(pfn: u64) -> Pte {
+        Pte::new(Pfn::new(pfn), PteFlags::VALID)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut tlb = Tlb::new(4);
+        assert!(tlb.lookup(Vpn::new(1)).is_none());
+        tlb.insert(Vpn::new(1), pte(5));
+        assert_eq!(tlb.lookup(Vpn::new(1)).unwrap().pfn, Pfn::new(5));
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(Vpn::new(1), pte(1));
+        tlb.insert(Vpn::new(2), pte(2));
+        tlb.insert(Vpn::new(3), pte(3)); // evicts vpn 1
+        assert!(tlb.lookup(Vpn::new(1)).is_none());
+        assert!(tlb.lookup(Vpn::new(2)).is_some());
+        assert!(tlb.lookup(Vpn::new(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(Vpn::new(1), pte(1));
+        tlb.insert(Vpn::new(2), pte(2));
+        tlb.insert(Vpn::new(1), pte(9)); // refresh, no eviction
+        assert_eq!(tlb.len(), 2);
+        assert_eq!(tlb.lookup(Vpn::new(1)).unwrap().pfn, Pfn::new(9));
+    }
+
+    #[test]
+    fn update_only_touches_resident() {
+        let mut tlb = Tlb::new(2);
+        tlb.update(Vpn::new(7), pte(7));
+        assert!(tlb.is_empty());
+        tlb.insert(Vpn::new(7), pte(7));
+        tlb.update(Vpn::new(7), pte(8));
+        assert_eq!(tlb.lookup(Vpn::new(7)).unwrap().pfn, Pfn::new(8));
+    }
+
+    #[test]
+    fn flushes() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(Vpn::new(1), pte(1));
+        tlb.insert(Vpn::new(2), pte(2));
+        tlb.flush_page(Vpn::new(1));
+        assert!(tlb.lookup(Vpn::new(1)).is_none());
+        assert!(tlb.lookup(Vpn::new(2)).is_some());
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! The mesh fabric: routing, link occupancy and in-order delivery.
+
+use shrimp_sim::{EventQueue, SimDuration, SimTime, StatSet};
+
+use crate::{NodeId, Packet};
+
+/// Link and router parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkParams {
+    /// Per-hop router latency.
+    pub hop_latency: SimDuration,
+    /// Link bandwidth, MB/s (Paragon backplane links: far faster than the
+    /// node's EISA bus, keeping the sender the bottleneck).
+    pub mb_per_s: f64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams { hop_latency: SimDuration::from_us(0.5), mb_per_s: 175.0 }
+    }
+}
+
+/// A 2-D mesh interconnect with dimension-order routing distances.
+///
+/// Nodes are arranged on a near-square grid. A packet's latency is
+/// `hops × hop_latency + wire_bytes / bandwidth`, serialized on the
+/// destination's inbound link, which preserves point-to-point ordering —
+/// the property SHRIMP's deliberate update relies on.
+#[derive(Debug)]
+pub struct Interconnect {
+    nodes: u16,
+    cols: u16,
+    params: LinkParams,
+    in_flight: EventQueue<Packet>,
+    /// Inbound-link occupancy per destination node.
+    link_busy_until: Vec<SimTime>,
+    stats: StatSet,
+}
+
+impl Interconnect {
+    /// A fabric connecting `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: u16, params: LinkParams) -> Self {
+        assert!(nodes > 0, "a fabric needs at least one node");
+        let cols = (f64::from(nodes)).sqrt().ceil() as u16;
+        Interconnect {
+            nodes,
+            cols,
+            params,
+            in_flight: EventQueue::new(),
+            link_busy_until: vec![SimTime::ZERO; nodes as usize],
+            stats: StatSet::new("net"),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Mesh hop count between two nodes (Manhattan distance + 1 for the
+    /// ejection router; 1 for self-sends, which still traverse the NI).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        let (ar, ac) = (a.raw() / self.cols, a.raw() % self.cols);
+        let (br, bc) = (b.raw() / self.cols, b.raw() % self.cols);
+        u64::from(ar.abs_diff(br)) + u64::from(ac.abs_diff(bc)) + 1
+    }
+
+    /// Injects `packet` at instant `now`; returns its delivery time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the fabric.
+    pub fn send(&mut self, mut packet: Packet, now: SimTime) -> SimTime {
+        assert!(packet.src.raw() < self.nodes, "source {} not in fabric", packet.src);
+        assert!(packet.dst.raw() < self.nodes, "destination {} not in fabric", packet.dst);
+        packet.sent_at = now;
+
+        let route = self.params.hop_latency * self.hops(packet.src, packet.dst);
+        let wire = SimDuration::from_bytes_at_rate(packet.wire_bytes(), self.params.mb_per_s);
+
+        // Serialize on the destination's inbound link.
+        let link = &mut self.link_busy_until[packet.dst.raw() as usize];
+        let start = (now + route).max(*link);
+        let arrives = start + wire;
+        *link = arrives;
+
+        self.stats.bump("packets");
+        self.stats.add("payload_bytes", packet.payload.len() as u64);
+        self.in_flight.schedule(arrives, packet);
+        arrives
+    }
+
+    /// Removes and returns every packet that has arrived by `deadline`, as
+    /// `(arrival_time, packet)` in arrival order.
+    pub fn deliver_until(&mut self, deadline: SimTime) -> Vec<(SimTime, Packet)> {
+        self.in_flight.pop_until(deadline).map(|e| (e.at, e.payload)).collect()
+    }
+
+    /// Earliest pending arrival, if any.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        self.in_flight.next_deadline()
+    }
+
+    /// Packets still in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Fabric statistics.
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mem::PhysAddr;
+
+    fn pkt(src: u16, dst: u16, bytes: usize) -> Packet {
+        Packet::new(NodeId::new(src), NodeId::new(dst), PhysAddr::new(0), vec![0; bytes])
+    }
+
+    #[test]
+    fn hops_on_2x2_mesh() {
+        let net = Interconnect::new(4, LinkParams::default());
+        assert_eq!(net.hops(NodeId::new(0), NodeId::new(0)), 1);
+        assert_eq!(net.hops(NodeId::new(0), NodeId::new(1)), 2);
+        assert_eq!(net.hops(NodeId::new(0), NodeId::new(3)), 3); // diagonal
+    }
+
+    #[test]
+    fn delivery_time_scales_with_distance() {
+        let mut net = Interconnect::new(4, LinkParams::default());
+        let near = net.send(pkt(0, 1, 64), SimTime::ZERO);
+        let far = net.send(pkt(0, 3, 64), SimTime::ZERO);
+        assert!(far > near);
+        assert_eq!(far - near, LinkParams::default().hop_latency);
+    }
+
+    #[test]
+    fn destination_link_serializes() {
+        let mut net = Interconnect::new(4, LinkParams::default());
+        let first = net.send(pkt(0, 1, 1000), SimTime::ZERO);
+        let second = net.send(pkt(2, 1, 1000), SimTime::ZERO);
+        assert!(second > first, "second packet must queue behind the first");
+    }
+
+    #[test]
+    fn point_to_point_ordering_preserved() {
+        let mut net = Interconnect::new(2, LinkParams::default());
+        let mut expected = Vec::new();
+        for i in 0..5u8 {
+            let mut p = pkt(0, 1, 32);
+            p.payload[0] = i;
+            net.send(p, SimTime::from_nanos(u64::from(i)));
+            expected.push(i);
+        }
+        let got: Vec<u8> = net
+            .deliver_until(SimTime::from_nanos(u64::MAX / 2))
+            .into_iter()
+            .map(|(_, p)| p.payload[0])
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn deliver_until_respects_deadline() {
+        let mut net = Interconnect::new(2, LinkParams::default());
+        let arrives = net.send(pkt(0, 1, 64), SimTime::ZERO);
+        assert!(net.deliver_until(arrives - SimDuration::from_nanos(1)).is_empty());
+        assert_eq!(net.in_flight_count(), 1);
+        assert_eq!(net.deliver_until(arrives).len(), 1);
+        assert_eq!(net.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut net = Interconnect::new(2, LinkParams::default());
+        net.send(pkt(0, 1, 10), SimTime::ZERO);
+        net.send(pkt(1, 0, 20), SimTime::ZERO);
+        assert_eq!(net.stats().get("packets"), 2);
+        assert_eq!(net.stats().get("payload_bytes"), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in fabric")]
+    fn out_of_fabric_send_panics() {
+        let mut net = Interconnect::new(2, LinkParams::default());
+        net.send(pkt(0, 5, 1), SimTime::ZERO);
+    }
+}

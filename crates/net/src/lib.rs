@@ -1,0 +1,32 @@
+//! The interconnect fabric: a routing backplane connecting SHRIMP nodes.
+//!
+//! SHRIMP's interconnect is "an Intel Paragon routing backplane" (§8) — a
+//! 2-D mesh of wormhole routers. The model here captures what matters for
+//! reproducing the paper's measurements: per-hop routing latency, per-link
+//! bandwidth with serialization at the destination link, and in-order
+//! delivery between any pair of nodes. Backplane links are much faster than
+//! the EISA bus, so end-to-end bandwidth is sender-limited — exactly the
+//! regime of Figure 8.
+//!
+//! # Example
+//!
+//! ```
+//! use shrimp_mem::PhysAddr;
+//! use shrimp_net::{Interconnect, LinkParams, NodeId, Packet};
+//! use shrimp_sim::SimTime;
+//!
+//! let mut net = Interconnect::new(4, LinkParams::default());
+//! let p = Packet::new(NodeId::new(0), NodeId::new(3), PhysAddr::new(0x1000), vec![1, 2, 3]);
+//! let arrives = net.send(p, SimTime::ZERO);
+//! let delivered = net.deliver_until(arrives);
+//! assert_eq!(delivered.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fabric;
+mod packet;
+
+pub use fabric::{Interconnect, LinkParams};
+pub use packet::{NodeId, Packet};

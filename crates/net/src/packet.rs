@@ -1,0 +1,77 @@
+//! Network packets and node identifiers.
+
+use std::fmt;
+
+use shrimp_mem::PhysAddr;
+use shrimp_sim::SimTime;
+
+/// Identifies a node on the backplane.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Wraps a raw node index.
+    pub const fn new(raw: u16) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw node index.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// One SHRIMP packet: a header naming the destination node and destination
+/// *physical memory address*, plus the data (§8: the NIPT lookup produces
+/// "a destination node ID and a destination page number", concatenated with
+/// the offset "to form the destination physical address").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Destination physical memory address on the receiving node.
+    pub dst_paddr: PhysAddr,
+    /// Message data.
+    pub payload: Vec<u8>,
+    /// When the packet entered the network (stamped by the fabric).
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// Builds a packet (the fabric stamps `sent_at` on send).
+    pub fn new(src: NodeId, dst: NodeId, dst_paddr: PhysAddr, payload: Vec<u8>) -> Self {
+        Packet { src, dst, dst_paddr, payload, sent_at: SimTime::ZERO }
+    }
+
+    /// Header size on the wire (node id + physical address + length).
+    pub const HEADER_BYTES: u64 = 16;
+
+    /// Total bytes the packet occupies on a link.
+    pub fn wire_bytes(&self) -> u64 {
+        Self::HEADER_BYTES + self.payload.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::new(3).to_string(), "node3");
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let p = Packet::new(NodeId::new(0), NodeId::new(1), PhysAddr::new(0), vec![0; 100]);
+        assert_eq!(p.wire_bytes(), 116);
+    }
+}

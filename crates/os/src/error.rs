@@ -1,0 +1,79 @@
+//! Kernel traps delivered to (or about) user processes.
+
+use std::error::Error;
+use std::fmt;
+
+use shrimp_mem::VirtAddr;
+
+use crate::Pid;
+
+/// A fatal condition the kernel raises against a process — the simulation
+/// analog of "a core dump" (§6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// Access to an address outside any mapped segment.
+    SegFault {
+        /// The offending process.
+        pid: Pid,
+        /// The faulting address.
+        va: VirtAddr,
+    },
+    /// Write to a read-only segment (directly or via its proxy page).
+    ReadOnly {
+        /// The offending process.
+        pid: Pid,
+        /// The faulting address.
+        va: VirtAddr,
+    },
+    /// Access to device proxy space the process was never granted.
+    DeviceNotGranted {
+        /// The offending process.
+        pid: Pid,
+        /// The faulting address.
+        va: VirtAddr,
+    },
+    /// Operation referenced a nonexistent process.
+    NoSuchProcess(Pid),
+    /// The machine is out of memory and swap could not absorb the working
+    /// set (every frame is pinned or in use by the UDMA hardware).
+    OutOfMemory,
+    /// The UDMA device reported a hard (non-retryable) error.
+    DeviceError {
+        /// Device-specific error bits from the status word.
+        code: u16,
+    },
+    /// A transfer touched proxy space the basic device cannot serve
+    /// (WRONG-SPACE: memory-to-memory or device-to-device).
+    WrongSpace,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::SegFault { pid, va } => write!(f, "{pid}: segmentation fault at {va}"),
+            Trap::ReadOnly { pid, va } => write!(f, "{pid}: write to read-only page at {va}"),
+            Trap::DeviceNotGranted { pid, va } => {
+                write!(f, "{pid}: device proxy access without grant at {va}")
+            }
+            Trap::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            Trap::OutOfMemory => write!(f, "out of memory: all frames pinned or in use"),
+            Trap::DeviceError { code } => write!(f, "device error {code:#x}"),
+            Trap::WrongSpace => write!(f, "unsupported same-space transfer (WRONG-SPACE)"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let t = Trap::SegFault { pid: Pid::new(3), va: VirtAddr::new(0x1000) };
+        assert_eq!(t.to_string(), "pid3: segmentation fault at 0x1000");
+        assert!(Trap::OutOfMemory.to_string().contains("out of memory"));
+        assert!(Trap::DeviceError { code: 1 }.to_string().contains("0x1"));
+    }
+}

@@ -1,0 +1,230 @@
+//! A small user-level message-passing layer on top of deliberate update —
+//! the kind of library §8 envisions ("efficient, protected, user-level
+//! message passing based on the UDMA mechanism").
+//!
+//! Protocol: a [`Channel`] owns a run of exported receiver pages. Each
+//! message is written payload-first, then an 8-byte header word
+//! `(seq << 32) | len` is sent *last*; because the fabric preserves
+//! point-to-point ordering, a receiver that observes the header knows the
+//! payload preceded it. The receiver polls the header word — no interrupts,
+//! no kernel.
+
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_os::{Pid, UdmaXferResult};
+
+use crate::{Multicomputer, ShrimpError};
+
+/// One received message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelMessage {
+    /// Sender-assigned sequence number (1-based).
+    pub seq: u32,
+    /// Message payload.
+    pub data: Vec<u8>,
+}
+
+/// A one-way, single-producer message channel between two processes on two
+/// nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct Channel {
+    send_node: usize,
+    send_pid: Pid,
+    recv_node: usize,
+    recv_pid: Pid,
+    /// Receiver-side buffer base.
+    recv_va: VirtAddr,
+    /// Sender-side staging buffer base.
+    stage_va: VirtAddr,
+    /// Sender's first device proxy page for the receive buffer.
+    dev_page: u64,
+    /// Payload capacity in bytes (one header word is reserved).
+    capacity: u64,
+    next_seq: u32,
+    last_received: u32,
+}
+
+impl Channel {
+    /// Header size: one 8-byte word, stored at the end of the buffer.
+    const HEADER_BYTES: u64 = 8;
+
+    /// Establishes a channel of `pages` pages: maps a receive buffer at
+    /// `recv_va` and a staging buffer at `stage_va`, exports the receive
+    /// pages, and programs the sender's NIPT.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ShrimpError`] from mapping or export.
+    #[allow(clippy::too_many_arguments)]
+    pub fn establish(
+        mc: &mut Multicomputer,
+        send_node: usize,
+        send_pid: Pid,
+        recv_node: usize,
+        recv_pid: Pid,
+        recv_va: VirtAddr,
+        stage_va: VirtAddr,
+        pages: u64,
+    ) -> Result<Channel, ShrimpError> {
+        mc.map_user_buffer(recv_node, recv_pid, recv_va.raw(), pages)?;
+        mc.map_user_buffer(send_node, send_pid, stage_va.raw(), pages)?;
+        let dev_page = mc.export(recv_node, recv_pid, recv_va, pages, send_node, send_pid)?;
+        Ok(Channel {
+            send_node,
+            send_pid,
+            recv_node,
+            recv_pid,
+            recv_va,
+            stage_va,
+            dev_page,
+            capacity: pages * PAGE_SIZE - Self::HEADER_BYTES,
+            next_seq: 1,
+            last_received: 0,
+        })
+    }
+
+    /// Payload capacity per message.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Sends one message: payload first, header word last.
+    ///
+    /// # Errors
+    ///
+    /// [`ShrimpError`] on traps; messages larger than
+    /// [`Channel::capacity`] panic (caller bug).
+    pub fn send(
+        &mut self,
+        mc: &mut Multicomputer,
+        data: &[u8],
+    ) -> Result<UdmaXferResult, ShrimpError> {
+        assert!(data.len() as u64 <= self.capacity, "message exceeds channel capacity");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        // Stage payload + header in the sender's buffer. The NIC requires
+        // 4-byte-aligned lengths (§8), so pad the payload transfer.
+        let padded = (data.len() as u64 + 3) & !3;
+        let mut staged = vec![0u8; padded as usize];
+        staged[..data.len()].copy_from_slice(data);
+        mc.write_user(self.send_node, self.send_pid, self.stage_va, &staged)?;
+        let header = (u64::from(seq) << 32) | data.len() as u64;
+        let header_va = self.stage_va + self.capacity;
+        mc.write_user(self.send_node, self.send_pid, header_va, &header.to_le_bytes())?;
+
+        // Payload first...
+        let mut result = mc.send(
+            self.send_node,
+            self.send_pid,
+            self.stage_va,
+            self.dev_page,
+            0,
+            padded,
+        )?;
+        // ...header last (point-to-point ordering makes it the commit).
+        let hdr = mc.send(
+            self.send_node,
+            self.send_pid,
+            header_va,
+            self.dev_page + self.capacity / PAGE_SIZE,
+            self.capacity % PAGE_SIZE,
+            Self::HEADER_BYTES,
+        )?;
+        result.elapsed += hdr.elapsed;
+        result.transfers += hdr.transfers;
+        result.retries += hdr.retries;
+        Ok(result)
+    }
+
+    /// Polls for the next message; `None` if nothing new has arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`ShrimpError`] on receiver-side traps.
+    pub fn try_recv(&mut self, mc: &mut Multicomputer) -> Result<Option<ChannelMessage>, ShrimpError> {
+        mc.propagate();
+        let header_va = self.recv_va + self.capacity;
+        let raw = mc.read_user(self.recv_node, self.recv_pid, header_va, 8)?;
+        let word = u64::from_le_bytes(raw.try_into().expect("read 8 bytes"));
+        let seq = (word >> 32) as u32;
+        let len = word & 0xffff_ffff;
+        if seq <= self.last_received || seq == 0 {
+            return Ok(None);
+        }
+        self.last_received = seq;
+        let data = mc.read_user(self.recv_node, self.recv_pid, self.recv_va, len)?;
+        Ok(Some(ChannelMessage { seq, data }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MulticomputerConfig;
+
+    fn setup() -> (Multicomputer, Channel) {
+        let mut mc = Multicomputer::new(2, MulticomputerConfig::default());
+        let s = mc.spawn_process(0);
+        let r = mc.spawn_process(1);
+        let ch = Channel::establish(
+            &mut mc,
+            0,
+            s,
+            1,
+            r,
+            VirtAddr::new(0x40000),
+            VirtAddr::new(0x10000),
+            2,
+        )
+        .unwrap();
+        (mc, ch)
+    }
+
+    #[test]
+    fn send_then_recv() {
+        let (mut mc, mut ch) = setup();
+        assert!(ch.try_recv(&mut mc).unwrap().is_none(), "empty channel");
+        ch.send(&mut mc, b"first message").unwrap();
+        let msg = ch.try_recv(&mut mc).unwrap().expect("message arrived");
+        assert_eq!(msg.seq, 1);
+        assert_eq!(msg.data, b"first message");
+        assert!(ch.try_recv(&mut mc).unwrap().is_none(), "no duplicate delivery");
+    }
+
+    #[test]
+    fn sequence_numbers_advance() {
+        let (mut mc, mut ch) = setup();
+        ch.send(&mut mc, b"a").unwrap();
+        let m1 = ch.try_recv(&mut mc).unwrap().unwrap();
+        ch.send(&mut mc, b"bb").unwrap();
+        let m2 = ch.try_recv(&mut mc).unwrap().unwrap();
+        assert_eq!((m1.seq, m2.seq), (1, 2));
+        assert_eq!(m2.data, b"bb");
+    }
+
+    #[test]
+    fn odd_lengths_round_trip() {
+        // The NIC wants 4-byte-aligned transfers; the channel pads.
+        let (mut mc, mut ch) = setup();
+        for len in [1usize, 3, 5, 7, 63] {
+            let payload: Vec<u8> = (0..len).map(|i| i as u8 ^ 0x5a).collect();
+            ch.send(&mut mc, &payload).unwrap();
+            let msg = ch.try_recv(&mut mc).unwrap().unwrap();
+            assert_eq!(msg.data, payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn capacity_reserves_header() {
+        let (_, ch) = setup();
+        assert_eq!(ch.capacity(), 2 * PAGE_SIZE - 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds channel capacity")]
+    fn oversized_message_panics() {
+        let (mut mc, mut ch) = setup();
+        let big = vec![0u8; (2 * PAGE_SIZE) as usize];
+        let _ = ch.send(&mut mc, &big);
+    }
+}

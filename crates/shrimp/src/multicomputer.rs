@@ -1,0 +1,733 @@
+//! The assembled SHRIMP multicomputer: nodes, fabric, and the receive-side
+//! EISA DMA logic that completes "deliberate update".
+
+use std::error::Error;
+use std::fmt;
+
+use shrimp_machine::MachineConfig;
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_net::{Interconnect, LinkParams, NodeId};
+use shrimp_os::{NodeConfig, Pid, Trap, UdmaXferResult};
+use shrimp_sim::SimTime;
+
+use crate::{Nic, Nipt, ShrimpNode};
+
+/// Configuration shared by every node of the multicomputer.
+#[derive(Clone, Debug)]
+pub struct MulticomputerConfig {
+    /// Per-node kernel/hardware configuration.
+    pub node: NodeConfig,
+    /// Backplane link parameters.
+    pub link: LinkParams,
+    /// NIPT entries per NIC (the real board: 32K).
+    pub nipt_entries: usize,
+    /// Passive-receiver clock model: when `true` (default), applying a
+    /// delivery advances an idle receiver's clock to the delivery
+    /// completion, giving causal local timestamps for request/reply
+    /// protocols. Set `false` for throughput experiments where every node
+    /// actively streams — receivers then keep their own timelines and
+    /// flows overlap fully (measure with [`Multicomputer::last_delivery`]).
+    pub passive_receivers: bool,
+}
+
+impl Default for MulticomputerConfig {
+    fn default() -> Self {
+        MulticomputerConfig {
+            node: NodeConfig::default(),
+            link: LinkParams::default(),
+            nipt_entries: Nipt::SHRIMP_ENTRIES,
+            passive_receivers: true,
+        }
+    }
+}
+
+/// Errors from multicomputer operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShrimpError {
+    /// A kernel trap on some node.
+    Trap(Trap),
+    /// A node index outside the machine.
+    NoSuchNode(usize),
+}
+
+impl fmt::Display for ShrimpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShrimpError::Trap(t) => write!(f, "{t}"),
+            ShrimpError::NoSuchNode(i) => write!(f, "no such node: {i}"),
+        }
+    }
+}
+
+impl Error for ShrimpError {}
+
+impl From<Trap> for ShrimpError {
+    fn from(t: Trap) -> Self {
+        ShrimpError::Trap(t)
+    }
+}
+
+/// The SHRIMP multicomputer.
+///
+/// Owns every node plus the interconnect, and models the receive path: a
+/// delivered packet occupies the receiver's EISA bus for its payload time,
+/// then its data appears in the receiver's physical memory at the packet's
+/// destination physical address — no receiving CPU involvement, exactly the
+/// deliberate-update semantics of §8.
+///
+/// The receiver is modelled as passive: applying a delivery advances the
+/// receiving node's clock to the delivery completion if that node was idle
+/// earlier than it (a node busy past that instant is unaffected).
+#[derive(Debug)]
+pub struct Multicomputer {
+    nodes: Vec<ShrimpNode>,
+    fabric: Interconnect,
+    eisa_busy: Vec<SimTime>,
+    last_delivery: Vec<SimTime>,
+    passive_receivers: bool,
+    dropped: u64,
+}
+
+impl Multicomputer {
+    /// Builds an `n`-node machine.
+    pub fn new(n: u16, config: MulticomputerConfig) -> Self {
+        let header = config.node.machine.cost.packet_header;
+        let nodes = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i);
+                ShrimpNode::new(
+                    id,
+                    config.node.clone(),
+                    Nic::new(id, config.nipt_entries, header),
+                )
+            })
+            .collect();
+        Multicomputer {
+            nodes,
+            fabric: Interconnect::new(n, config.link),
+            eisa_busy: vec![SimTime::ZERO; n as usize],
+            last_delivery: vec![SimTime::ZERO; n as usize],
+            passive_receivers: config.passive_receivers,
+            dropped: 0,
+        }
+    }
+
+    /// A convenience config for benchmarks: default everything but the
+    /// given machine config.
+    pub fn with_machine_config(n: u16, machine: MachineConfig) -> Self {
+        Multicomputer::new(
+            n,
+            MulticomputerConfig {
+                node: NodeConfig { machine, user_frames: None },
+                ..MulticomputerConfig::default()
+            },
+        )
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable node access.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range index.
+    pub fn node(&self, i: usize) -> &ShrimpNode {
+        &self.nodes[i]
+    }
+
+    /// Mutable node access.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range index.
+    pub fn node_mut(&mut self, i: usize) -> &mut ShrimpNode {
+        &mut self.nodes[i]
+    }
+
+    /// The interconnect (statistics inspection).
+    pub fn fabric(&self) -> &Interconnect {
+        &self.fabric
+    }
+
+    /// When the last delivery to node `i` completed.
+    pub fn last_delivery(&self, i: usize) -> SimTime {
+        self.last_delivery[i]
+    }
+
+    /// Packets dropped for naming physical addresses outside the
+    /// receiver's memory (a corrupted NIPT entry would do this).
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Spawns a process on node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range node.
+    pub fn spawn_process(&mut self, i: usize) -> Pid {
+        self.nodes[i].os_mut().spawn()
+    }
+
+    /// Maps `pages` writable pages at `va_base` for `pid` on node `i`.
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps.
+    pub fn map_user_buffer(
+        &mut self,
+        i: usize,
+        pid: Pid,
+        va_base: u64,
+        pages: u64,
+    ) -> Result<(), ShrimpError> {
+        self.check_node(i)?;
+        self.nodes[i].os_mut().mmap(pid, va_base, pages, true)?;
+        Ok(())
+    }
+
+    /// Bulk user-memory write on node `i`.
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps.
+    pub fn write_user(
+        &mut self,
+        i: usize,
+        pid: Pid,
+        va: VirtAddr,
+        data: &[u8],
+    ) -> Result<(), ShrimpError> {
+        self.check_node(i)?;
+        self.nodes[i].os_mut().write_user(pid, va, data)?;
+        Ok(())
+    }
+
+    /// Bulk user-memory read on node `i`.
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps.
+    pub fn read_user(
+        &mut self,
+        i: usize,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<Vec<u8>, ShrimpError> {
+        self.check_node(i)?;
+        Ok(self.nodes[i].os_mut().read_user(pid, va, len)?)
+    }
+
+    /// Establishes a deliberate-update mapping: wires `pages` pages of the
+    /// receiver's buffer, installs NIPT entries on the sender, and grants
+    /// the sender the corresponding device proxy pages. Returns the first
+    /// device proxy page the sender should address.
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps on either side.
+    pub fn export(
+        &mut self,
+        recv_node: usize,
+        recv_pid: Pid,
+        recv_va: VirtAddr,
+        pages: u64,
+        send_node: usize,
+        send_pid: Pid,
+    ) -> Result<u64, ShrimpError> {
+        self.check_node(recv_node)?;
+        self.check_node(send_node)?;
+        let frames = self.nodes[recv_node].export_pages(recv_pid, recv_va, pages)?;
+        let dst = self.nodes[recv_node].id();
+        let dev_page = self.nodes[send_node].import_mapping(send_pid, dst, &frames, 0)?;
+        Ok(dev_page)
+    }
+
+    /// Establishes an **automatic update** binding (\[5\], retained per §9):
+    /// `pages` pages of the sender's buffer are bound page-for-page to the
+    /// receiver's buffer; every subsequent ordinary store to the bound
+    /// pages is snooped off the memory bus by the NIC and propagated
+    /// automatically — no per-transfer initiation at all.
+    ///
+    /// Both sides are wired (the fixed source→destination page mapping the
+    /// strategy relies on). Use [`Multicomputer::unbind_auto_update`] to
+    /// tear the binding down before the sender pages may move again.
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps on either side.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bind_auto_update(
+        &mut self,
+        send_node: usize,
+        send_pid: Pid,
+        send_va: VirtAddr,
+        pages: u64,
+        recv_node: usize,
+        recv_pid: Pid,
+        recv_va: VirtAddr,
+    ) -> Result<(), ShrimpError> {
+        self.check_node(send_node)?;
+        self.check_node(recv_node)?;
+        let dst_frames = self.nodes[recv_node].export_pages(recv_pid, recv_va, pages)?;
+        let src_frames = self.nodes[send_node].os_mut().wire_pages(send_pid, send_va, pages)?;
+        let dst_id = self.nodes[recv_node].id();
+        let nic = self.nodes[send_node].os_mut().machine_mut().device_mut();
+        for (src, dst) in src_frames.into_iter().zip(dst_frames) {
+            nic.bind_auto_update(src, crate::NiptEntry { node: dst_id, pfn: dst });
+        }
+        Ok(())
+    }
+
+    /// Removes automatic-update bindings and unwires the sender pages.
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps.
+    pub fn unbind_auto_update(
+        &mut self,
+        send_node: usize,
+        send_pid: Pid,
+        send_va: VirtAddr,
+        pages: u64,
+    ) -> Result<(), ShrimpError> {
+        self.check_node(send_node)?;
+        for i in 0..pages {
+            let va = send_va + i * PAGE_SIZE;
+            let pfn = self.nodes[send_node]
+                .os()
+                .process(send_pid)?
+                .vpages
+                .get(&va.page())
+                .and_then(|v| v.pfn());
+            if let Some(pfn) = pfn {
+                self.nodes[send_node]
+                    .os_mut()
+                    .machine_mut()
+                    .device_mut()
+                    .unbind_auto_update(pfn);
+            }
+        }
+        self.nodes[send_node].os_mut().unwire_pages(send_pid, send_va, pages);
+        Ok(())
+    }
+
+    /// An ordinary user store that, when the page is bound for automatic
+    /// update, also propagates to the remote node. (Any store does; this
+    /// helper just pairs the store with packet propagation.)
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps.
+    pub fn store_user(
+        &mut self,
+        i: usize,
+        pid: Pid,
+        va: VirtAddr,
+        value: i64,
+    ) -> Result<(), ShrimpError> {
+        self.check_node(i)?;
+        self.nodes[i].os_mut().user_store(pid, va, value)?;
+        self.propagate();
+        Ok(())
+    }
+
+    /// A user-level deliberate-update send: `nbytes` from `src_va` on node
+    /// `i` through device proxy page `dev_page` + `dev_off`, then packet
+    /// propagation.
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps.
+    pub fn send(
+        &mut self,
+        i: usize,
+        pid: Pid,
+        src_va: VirtAddr,
+        dev_page: u64,
+        dev_off: u64,
+        nbytes: u64,
+    ) -> Result<UdmaXferResult, ShrimpError> {
+        self.check_node(i)?;
+        let result = self.nodes[i].os_mut().udma_send(pid, src_va, dev_page, dev_off, nbytes)?;
+        self.propagate();
+        Ok(result)
+    }
+
+    /// Sends `data` by programmed I/O through the NIC's memory-mapped FIFO
+    /// window (the §9 baseline). The MMIO page must be reachable; the
+    /// kernel maps it for the process on first use.
+    ///
+    /// # Errors
+    ///
+    /// Node bounds, kernel traps, or a PIO status error surfaced as
+    /// [`Trap::DeviceError`].
+    pub fn send_pio(
+        &mut self,
+        i: usize,
+        pid: Pid,
+        dev_page: u64,
+        dev_off: u64,
+        data: &[u8],
+    ) -> Result<(), ShrimpError> {
+        self.check_node(i)?;
+        assert!(data.len() as u64 + dev_off <= PAGE_SIZE, "PIO send must fit one page");
+        self.ensure_mmio_mapped(i, pid)?;
+        let base = shrimp_mem::MMIO_BASE;
+        let os = self.nodes[i].os_mut();
+        os.user_store(pid, VirtAddr::new(base + crate::NIC_MMIO::DEST_PAGE), dev_page as i64)?;
+        os.user_store(pid, VirtAddr::new(base + crate::NIC_MMIO::DEST_OFFSET), dev_off as i64)?;
+        for chunk in data.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            os.user_store(
+                pid,
+                VirtAddr::new(base + crate::NIC_MMIO::DATA),
+                i64::from_le_bytes(word),
+            )?;
+        }
+        os.user_store(pid, VirtAddr::new(base + crate::NIC_MMIO::COMMIT), data.len() as i64)?;
+        let status = os.user_load(pid, VirtAddr::new(base + crate::NIC_MMIO::STATUS))?;
+        if status != 0 {
+            return Err(ShrimpError::Trap(Trap::DeviceError { code: status as u16 }));
+        }
+        self.propagate();
+        Ok(())
+    }
+
+    /// Maps the NIC's MMIO window into `pid` (idempotent).
+    fn ensure_mmio_mapped(&mut self, i: usize, pid: Pid) -> Result<(), ShrimpError> {
+        use shrimp_mmu::{Pte, PteFlags};
+        let os = self.nodes[i].os_mut();
+        let vpn = VirtAddr::new(shrimp_mem::MMIO_BASE).page();
+        let needs_map = os.process(pid)?.pt.get(vpn).is_none();
+        if needs_map {
+            let flags = PteFlags::VALID
+                | PteFlags::USER
+                | PteFlags::WRITABLE
+                | PteFlags::UNCACHED;
+            // Identity map of the MMIO window's first page.
+            let pte = Pte::new(shrimp_mem::Pfn::new(vpn.raw()), flags);
+            // Route through the kernel: a tiny syscall-ish cost.
+            let cost = os.machine().cost().syscall;
+            os.machine_mut().advance(cost);
+            os.kernel_map_page(pid, vpn, pte)?;
+        }
+        Ok(())
+    }
+
+    /// Injects every NIC's built packets into the fabric and applies all
+    /// deliveries: receive-side EISA DMA into physical memory.
+    pub fn propagate(&mut self) {
+        // Inject.
+        for node in &mut self.nodes {
+            for out in node.os_mut().machine_mut().device_mut().take_outgoing() {
+                self.fabric.send(out.packet, out.ready_at);
+            }
+        }
+        // Deliver everything currently in flight (new sends only happen
+        // from CPU activity, which happens between propagate calls).
+        while let Some(t) = self.fabric.next_arrival() {
+            for (arrival, packet) in self.fabric.deliver_until(t) {
+                let dst = packet.dst.raw() as usize;
+                let cost = self.nodes[dst].os().machine().cost().clone();
+                let start = arrival.max(self.eisa_busy[dst]);
+                // Each incoming packet is one receive-side EISA DMA
+                // transaction: arbitration/setup plus the payload burst.
+                let done = start + cost.dma_start + cost.bus_transfer(packet.payload.len() as u64);
+                self.eisa_busy[dst] = done;
+                let mem = self.nodes[dst].os_mut().machine_mut().mem_mut();
+                if mem.write(packet.dst_paddr, &packet.payload).is_err() {
+                    self.dropped += 1;
+                    continue;
+                }
+                self.last_delivery[dst] = self.last_delivery[dst].max(done);
+                // Passive receiver: an idle node's clock catches up to the
+                // delivery it was waiting for.
+                if self.passive_receivers {
+                    self.nodes[dst].os_mut().machine_mut().advance_to(done);
+                }
+            }
+        }
+    }
+
+    /// Advances every node's clock to the global maximum (a barrier) and
+    /// flushes in-flight traffic. Returns the synchronized instant. Use
+    /// before timing multi-node phases so flows start together.
+    pub fn barrier_sync(&mut self) -> SimTime {
+        self.run_until_quiet();
+        let horizon = self
+            .nodes
+            .iter()
+            .map(|n| n.os().machine().now())
+            .max()
+            .expect("at least one node");
+        for node in &mut self.nodes {
+            node.os_mut().machine_mut().advance_to(horizon);
+        }
+        horizon
+    }
+
+    /// Runs until no packets are in flight and no NIC holds built packets.
+    pub fn run_until_quiet(&mut self) {
+        loop {
+            self.propagate();
+            let pending = self.fabric.in_flight_count()
+                + self
+                    .nodes
+                    .iter()
+                    .map(|n| n.os().machine().device().outgoing_len())
+                    .sum::<usize>();
+            if pending == 0 {
+                return;
+            }
+        }
+    }
+
+    fn check_node(&self, i: usize) -> Result<(), ShrimpError> {
+        if i < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(ShrimpError::NoSuchNode(i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_sim::SimDuration as SD;
+
+    fn two_nodes() -> (Multicomputer, Pid, Pid, u64) {
+        let mut mc = Multicomputer::new(2, MulticomputerConfig::default());
+        let s = mc.spawn_process(0);
+        let r = mc.spawn_process(1);
+        mc.map_user_buffer(0, s, 0x10000, 4).unwrap();
+        mc.map_user_buffer(1, r, 0x40000, 4).unwrap();
+        let dev_page = mc.export(1, r, VirtAddr::new(0x40000), 4, 0, s).unwrap();
+        (mc, s, r, dev_page)
+    }
+
+    #[test]
+    fn deliberate_update_end_to_end() {
+        let (mut mc, s, r, dev_page) = two_nodes();
+        mc.write_user(0, s, VirtAddr::new(0x10000), b"hello remote node!!!").unwrap();
+        let result = mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, 20).unwrap();
+        assert!(result.transfers >= 1);
+        let got = mc.read_user(1, r, VirtAddr::new(0x40000), 20).unwrap();
+        assert_eq!(got, b"hello remote node!!!");
+        assert!(mc.last_delivery(1) > SimTime::ZERO);
+        assert_eq!(mc.dropped_packets(), 0);
+    }
+
+    #[test]
+    fn unaligned_length_is_rejected_by_the_nic() {
+        let (mut mc, s, _r, dev_page) = two_nodes();
+        mc.write_user(0, s, VirtAddr::new(0x10000), b"abc").unwrap();
+        // 3 bytes violates the §8 4-byte alignment rule.
+        let err = mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, 3).unwrap_err();
+        assert!(matches!(err, ShrimpError::Trap(Trap::DeviceError { .. })));
+    }
+
+    #[test]
+    fn multi_page_message_lands_contiguously() {
+        let (mut mc, s, r, dev_page) = two_nodes();
+        let data: Vec<u8> = (0..2 * PAGE_SIZE).map(|i| (i % 249) as u8).collect();
+        mc.write_user(0, s, VirtAddr::new(0x10000), &data).unwrap();
+        mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, data.len() as u64).unwrap();
+        let got = mc.read_user(1, r, VirtAddr::new(0x40000), data.len() as u64).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn offset_send_lands_at_offset() {
+        let (mut mc, s, r, dev_page) = two_nodes();
+        mc.write_user(0, s, VirtAddr::new(0x10000), &[7u8; 8]).unwrap();
+        mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0x100, 8).unwrap();
+        let got = mc.read_user(1, r, VirtAddr::new(0x40000 + 0x100), 8).unwrap();
+        assert_eq!(got, [7u8; 8]);
+        // Surrounding bytes untouched.
+        assert_eq!(mc.read_user(1, r, VirtAddr::new(0x40000), 8).unwrap(), [0u8; 8]);
+    }
+
+    #[test]
+    fn pio_send_arrives() {
+        let (mut mc, s, r, dev_page) = two_nodes();
+        mc.send_pio(0, s, dev_page, 0x40, b"pio bytes!!!").unwrap();
+        let got = mc.read_user(1, r, VirtAddr::new(0x40040), 12).unwrap();
+        assert_eq!(got, b"pio bytes!!!");
+    }
+
+    #[test]
+    fn pio_latency_beats_udma_for_tiny_messages() {
+        let (mut mc, s, _r, dev_page) = two_nodes();
+        mc.write_user(0, s, VirtAddr::new(0x10000), &[1u8; 16]).unwrap();
+        // Warm both paths.
+        mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, 16).unwrap();
+        mc.send_pio(0, s, dev_page, 0x20, &[1u8; 16]).unwrap();
+
+        let t0 = mc.node(0).os().machine().now();
+        mc.send_pio(0, s, dev_page, 0x20, &[1u8; 16]).unwrap();
+        let pio = mc.node(0).os().machine().now() - t0;
+
+        let t0 = mc.node(0).os().machine().now();
+        mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, 16).unwrap();
+        let udma = mc.node(0).os().machine().now() - t0;
+
+        assert!(pio < udma, "16B: pio {pio} should beat udma {udma} (§9)");
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let mut mc = Multicomputer::new(2, MulticomputerConfig::default());
+        let a = mc.spawn_process(0);
+        let b = mc.spawn_process(1);
+        mc.map_user_buffer(0, a, 0x10000, 2).unwrap();
+        mc.map_user_buffer(1, b, 0x10000, 2).unwrap();
+        let to_b = mc.export(1, b, VirtAddr::new(0x11000), 1, 0, a).unwrap();
+        let to_a = mc.export(0, a, VirtAddr::new(0x11000), 1, 1, b).unwrap();
+
+        mc.write_user(0, a, VirtAddr::new(0x10000), b"ping").unwrap();
+        mc.send(0, a, VirtAddr::new(0x10000), to_b, 0, 4).unwrap();
+        assert_eq!(mc.read_user(1, b, VirtAddr::new(0x11000), 4).unwrap(), b"ping");
+
+        mc.write_user(1, b, VirtAddr::new(0x10000), b"pong").unwrap();
+        mc.send(1, b, VirtAddr::new(0x10000), to_a, 0, 4).unwrap();
+        assert_eq!(mc.read_user(0, a, VirtAddr::new(0x11000), 4).unwrap(), b"pong");
+    }
+
+    #[test]
+    fn four_node_all_to_one() {
+        let mut mc = Multicomputer::new(4, MulticomputerConfig::default());
+        let recv = mc.spawn_process(3);
+        mc.map_user_buffer(3, recv, 0x40000, 3).unwrap();
+        let mut pids = Vec::new();
+        for i in 0..3usize {
+            let pid = mc.spawn_process(i);
+            mc.map_user_buffer(i, pid, 0x10000, 1).unwrap();
+            let dev = mc
+                .export(3, recv, VirtAddr::new(0x40000 + i as u64 * PAGE_SIZE), 1, i, pid)
+                .unwrap();
+            pids.push((pid, dev));
+        }
+        for (i, &(pid, dev)) in pids.iter().enumerate() {
+            let msg = vec![0x30 + i as u8; 64];
+            mc.write_user(i, pid, VirtAddr::new(0x10000), &msg).unwrap();
+            mc.send(i, pid, VirtAddr::new(0x10000), dev, 0, 64).unwrap();
+        }
+        mc.run_until_quiet();
+        for i in 0..3u64 {
+            let got = mc
+                .read_user(3, recv, VirtAddr::new(0x40000 + i * PAGE_SIZE), 64)
+                .unwrap();
+            assert_eq!(got, vec![0x30 + i as u8; 64], "sender {i}");
+        }
+    }
+
+    #[test]
+    fn automatic_update_propagates_ordinary_stores() {
+        let mut mc = Multicomputer::new(2, MulticomputerConfig::default());
+        let a = mc.spawn_process(0);
+        let b = mc.spawn_process(1);
+        mc.map_user_buffer(0, a, 0x10000, 2).unwrap();
+        mc.map_user_buffer(1, b, 0x30000, 2).unwrap();
+        mc.bind_auto_update(0, a, VirtAddr::new(0x10000), 2, 1, b, VirtAddr::new(0x30000))
+            .unwrap();
+
+        // An ordinary store — no STORE/LOAD initiation sequence at all.
+        mc.store_user(0, a, VirtAddr::new(0x10008), 0x1122_3344).unwrap();
+        let got = mc.read_user(1, b, VirtAddr::new(0x30008), 8).unwrap();
+        assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 0x1122_3344);
+
+        // Bulk writes propagate too (snooped as bursts), page-for-page.
+        mc.write_user(0, a, VirtAddr::new(0x10000 + PAGE_SIZE), b"second page data")
+            .unwrap();
+        mc.propagate();
+        let got = mc.read_user(1, b, VirtAddr::new(0x30000 + PAGE_SIZE), 16).unwrap();
+        assert_eq!(got, b"second page data");
+        assert!(
+            mc.node(0).os().machine().device().stats().get("auto_updates") >= 2
+        );
+    }
+
+    #[test]
+    fn unbind_stops_propagation() {
+        let mut mc = Multicomputer::new(2, MulticomputerConfig::default());
+        let a = mc.spawn_process(0);
+        let b = mc.spawn_process(1);
+        mc.map_user_buffer(0, a, 0x10000, 1).unwrap();
+        mc.map_user_buffer(1, b, 0x30000, 1).unwrap();
+        mc.bind_auto_update(0, a, VirtAddr::new(0x10000), 1, 1, b, VirtAddr::new(0x30000))
+            .unwrap();
+        mc.store_user(0, a, VirtAddr::new(0x10000), 7).unwrap();
+        mc.unbind_auto_update(0, a, VirtAddr::new(0x10000), 1).unwrap();
+        mc.store_user(0, a, VirtAddr::new(0x10000), 99).unwrap();
+        let got = mc.read_user(1, b, VirtAddr::new(0x30000), 8).unwrap();
+        assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 7, "99 must not propagate");
+        assert_eq!(mc.node(0).os().machine().device().auto_binding_count(), 0);
+    }
+
+    #[test]
+    fn auto_update_and_deliberate_update_coexist() {
+        let (mut mc, s, r, dev_page) = two_nodes();
+        // Bind a separate page pair for automatic update.
+        mc.map_user_buffer(0, s, 0x80000, 1).unwrap();
+        mc.map_user_buffer(1, r, 0x90000, 1).unwrap();
+        mc.bind_auto_update(0, s, VirtAddr::new(0x80000), 1, 1, r, VirtAddr::new(0x90000))
+            .unwrap();
+
+        mc.store_user(0, s, VirtAddr::new(0x80000), 42).unwrap();
+        mc.write_user(0, s, VirtAddr::new(0x10000), b"explicit").unwrap();
+        mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, 8).unwrap();
+
+        assert_eq!(mc.read_user(1, r, VirtAddr::new(0x40000), 8).unwrap(), b"explicit");
+        let got = mc.read_user(1, r, VirtAddr::new(0x90000), 8).unwrap();
+        assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn barrier_sync_aligns_all_clocks() {
+        let mut mc = Multicomputer::new(3, MulticomputerConfig::default());
+        // Skew the clocks: work on node 0 only.
+        let pid = mc.spawn_process(0);
+        mc.map_user_buffer(0, pid, 0x10000, 4).unwrap();
+        mc.write_user(0, pid, VirtAddr::new(0x10000), &[1u8; 4096]).unwrap();
+        let skewed: Vec<_> = (0..3).map(|i| mc.node(i).os().machine().now()).collect();
+        assert!(skewed[0] > skewed[1], "node 0 must be ahead");
+        let t = mc.barrier_sync();
+        for i in 0..3 {
+            assert_eq!(mc.node(i).os().machine().now(), t, "node {i} not synced");
+        }
+        assert!(t >= skewed[0]);
+    }
+
+    #[test]
+    fn no_such_node_errors() {
+        let mut mc = Multicomputer::new(1, MulticomputerConfig::default());
+        let pid = mc.spawn_process(0);
+        assert_eq!(
+            mc.map_user_buffer(5, pid, 0x10000, 1).unwrap_err(),
+            ShrimpError::NoSuchNode(5)
+        );
+    }
+
+    #[test]
+    fn send_time_scales_with_size() {
+        let (mut mc, s, _r, dev_page) = two_nodes();
+        let big = vec![0u8; PAGE_SIZE as usize];
+        mc.write_user(0, s, VirtAddr::new(0x10000), &big).unwrap();
+        // Warm.
+        mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, 64).unwrap();
+        let t0 = mc.node(0).os().machine().now();
+        mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, 64).unwrap();
+        let small = mc.node(0).os().machine().now() - t0;
+        let t0 = mc.node(0).os().machine().now();
+        mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, PAGE_SIZE).unwrap();
+        let large = mc.node(0).os().machine().now() - t0;
+        assert!(large > small + SD::from_us(50.0), "page send must be bus-bound");
+    }
+}

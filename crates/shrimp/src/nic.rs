@@ -1,0 +1,334 @@
+//! The SHRIMP network interface board (paper §8, Figure 6).
+//!
+//! The NIC is a UDMA device: the "EISA DMA Logic" block streams outgoing
+//! message data from memory into the outgoing FIFO; the packetizer looks up
+//! the destination in the NIPT ("the rightmost 15 bits of the page number
+//! are used to index directly into the Network Interface Page Table"),
+//! builds a header, and launches the packet.
+//!
+//! The board here also exposes a memory-mapped FIFO window (the §9
+//! related-work design: "the host processor communicates with the network
+//! interface by reading or writing special memory locations") so the
+//! programmed-I/O baseline can be measured on identical hardware.
+
+use std::collections::HashMap;
+
+use shrimp_devices::Device;
+use shrimp_dma::DevicePort;
+use shrimp_mem::{Pfn, PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+use shrimp_net::{NodeId, Packet};
+use shrimp_sim::{SimDuration, SimTime, StatSet};
+
+use crate::{Nipt, NiptEntry};
+
+/// A packet the NIC has built, ready for fabric injection at `ready_at`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutgoingPacket {
+    /// The packet.
+    pub packet: Packet,
+    /// When the packetizer finished the header and the packet may enter
+    /// the network.
+    pub ready_at: SimTime,
+}
+
+/// MMIO register map of the board's programmed-I/O window.
+pub mod NIC_MMIO {
+    #![allow(non_snake_case)]
+    /// Write: destination NIPT index for subsequent PIO sends.
+    pub const DEST_PAGE: u64 = 0x00;
+    /// Write: byte offset within the destination page.
+    pub const DEST_OFFSET: u64 = 0x08;
+    /// Write: push 8 bytes of message data into the outgoing FIFO.
+    pub const DATA: u64 = 0x10;
+    /// Write: commit `value` bytes of the pushed data as one packet.
+    pub const COMMIT: u64 = 0x18;
+    /// Read: PIO status (0 = ok, 1 = last commit failed).
+    pub const STATUS: u64 = 0x20;
+}
+
+/// Errors the PIO window can latch into its status register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PioError {
+    /// No valid NIPT entry for the selected destination page.
+    BadDestination,
+    /// Commit length exceeded the pushed data or a page boundary.
+    BadLength,
+}
+
+/// The SHRIMP network interface.
+#[derive(Debug)]
+pub struct Nic {
+    node: NodeId,
+    nipt: Nipt,
+    header_cost: SimDuration,
+    outgoing: Vec<OutgoingPacket>,
+    // Programmed-I/O window state.
+    pio_dest_page: u64,
+    pio_dest_offset: u64,
+    pio_fifo: Vec<u8>,
+    pio_status: u64,
+    /// Automatic-update bindings: local source frame -> remote page.
+    /// "Our current design retains the automatic update transfer strategy
+    /// described in [5] which still relies upon fixed mappings between
+    /// source and destination pages" (§9).
+    auto_bindings: HashMap<Pfn, NiptEntry>,
+    stats: StatSet,
+}
+
+impl Nic {
+    /// A NIC for `node` with `nipt_entries` NIPT slots.
+    pub fn new(node: NodeId, nipt_entries: usize, header_cost: SimDuration) -> Self {
+        Nic {
+            node,
+            nipt: Nipt::new(nipt_entries),
+            header_cost,
+            outgoing: Vec::new(),
+            pio_dest_page: 0,
+            pio_dest_offset: 0,
+            pio_fifo: Vec::new(),
+            pio_status: 0,
+            auto_bindings: HashMap::new(),
+            stats: StatSet::new("nic"),
+        }
+    }
+
+    /// Binds local frame `src` for automatic update: every snooped store
+    /// to the frame is forwarded to `dst` (fixed source-to-destination
+    /// page mapping, \[5\]).
+    pub fn bind_auto_update(&mut self, src: Pfn, dst: NiptEntry) {
+        self.auto_bindings.insert(src, dst);
+    }
+
+    /// Removes an automatic-update binding; returns whether one existed.
+    pub fn unbind_auto_update(&mut self, src: Pfn) -> bool {
+        self.auto_bindings.remove(&src).is_some()
+    }
+
+    /// Number of active automatic-update bindings.
+    pub fn auto_binding_count(&self) -> usize {
+        self.auto_bindings.len()
+    }
+
+    /// Forwards a snooped write to the bound remote page, if any.
+    fn auto_forward(&mut self, pa: PhysAddr, data: &[u8], now: SimTime) {
+        let Some(&NiptEntry { node, pfn }) = self.auto_bindings.get(&pa.page()) else {
+            return;
+        };
+        // A store straddling the page end only forwards the bytes on the
+        // bound page (the binding is per-page).
+        let len = (data.len() as u64).min(pa.bytes_to_page_end()) as usize;
+        let dst_paddr = PhysAddr::new(pfn.base().raw() + pa.page_offset());
+        let packet = Packet::new(self.node, node, dst_paddr, data[..len].to_vec());
+        self.outgoing
+            .push(OutgoingPacket { packet, ready_at: now + self.header_cost });
+        self.stats.bump("auto_updates");
+        self.stats.add("auto_update_bytes", len as u64);
+    }
+
+    /// This NIC's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The NIPT (kernel-managed).
+    pub fn nipt(&self) -> &Nipt {
+        &self.nipt
+    }
+
+    /// Mutable NIPT access (the kernel's export/import path).
+    pub fn nipt_mut(&mut self) -> &mut Nipt {
+        &mut self.nipt
+    }
+
+    /// Drains packets ready for fabric injection.
+    pub fn take_outgoing(&mut self) -> Vec<OutgoingPacket> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// Packets built but not yet injected.
+    pub fn outgoing_len(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// NIC statistics.
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Packetize `data` for the destination named by device-relative
+    /// address `dev_addr` (NIPT index ‖ page offset).
+    fn packetize(&mut self, dev_addr: u64, data: &[u8], now: SimTime) -> Result<(), PioError> {
+        let index = dev_addr >> PAGE_SHIFT;
+        let offset = dev_addr & PAGE_MASK;
+        let Some(NiptEntry { node, pfn }) = self.nipt.get(index) else {
+            return Err(PioError::BadDestination);
+        };
+        // "The destination page number is concatenated with the offset to
+        // form the destination physical address."
+        let dst_paddr = PhysAddr::new(pfn.base().raw() + offset);
+        let packet = Packet::new(self.node, node, dst_paddr, data.to_vec());
+        self.outgoing
+            .push(OutgoingPacket { packet, ready_at: now + self.header_cost });
+        self.stats.bump("packets_built");
+        self.stats.add("bytes_sent", data.len() as u64);
+        Ok(())
+    }
+}
+
+impl DevicePort for Nic {
+    fn dma_write(&mut self, dev_addr: u64, data: &[u8], now: SimTime) {
+        // `validate` ran at initiation; a failure here is a hardware bug.
+        self.packetize(dev_addr, data, now)
+            .expect("DMA to NIC passed validate but failed packetize");
+    }
+
+    fn dma_read(&mut self, _dev_addr: u64, len: u64, _now: SimTime) -> Vec<u8> {
+        // SHRIMP uses UDMA for memory-to-device only ("SHRIMP uses UDMA
+        // only for memory-to-device transfers", §8); incoming data goes
+        // straight to memory via the receive-side EISA DMA logic.
+        self.stats.bump("unsupported_reads");
+        vec![0; len as usize]
+    }
+
+    fn validate(&self, dev_addr: u64, nbytes: u64) -> bool {
+        // §8: outgoing data must be "aligned on 4-byte boundaries"; the
+        // destination must be a valid NIPT entry; a single transfer must
+        // not cross the destination page.
+        let index = dev_addr >> PAGE_SHIFT;
+        let offset = dev_addr & PAGE_MASK;
+        dev_addr & 0x3 == 0
+            && nbytes & 0x3 == 0
+            && self.nipt.get(index).is_some()
+            && offset + nbytes <= PAGE_SIZE
+    }
+}
+
+impl Device for Nic {
+    fn name(&self) -> &str {
+        "shrimp-nic"
+    }
+
+    fn proxy_space_bytes(&self) -> u64 {
+        self.nipt.capacity() as u64 * PAGE_SIZE
+    }
+
+    fn mmio_store(&mut self, offset: u64, value: u64, now: SimTime) {
+        match offset {
+            NIC_MMIO::DEST_PAGE => self.pio_dest_page = value,
+            NIC_MMIO::DEST_OFFSET => self.pio_dest_offset = value,
+            NIC_MMIO::DATA => self.pio_fifo.extend_from_slice(&value.to_le_bytes()),
+            NIC_MMIO::COMMIT => {
+                let len = value as usize;
+                let ok = len <= self.pio_fifo.len()
+                    && self.pio_dest_offset + len as u64 <= PAGE_SIZE;
+                if !ok {
+                    self.pio_status = 1;
+                    self.pio_fifo.clear();
+                    return;
+                }
+                let data: Vec<u8> = self.pio_fifo.drain(..len).collect();
+                self.pio_fifo.clear();
+                let dev_addr = (self.pio_dest_page << PAGE_SHIFT) | self.pio_dest_offset;
+                self.pio_status = match self.packetize(dev_addr, &data, now) {
+                    Ok(()) => 0,
+                    Err(_) => 1,
+                };
+                self.stats.bump("pio_commits");
+            }
+            _ => {}
+        }
+    }
+
+    fn snoop_store(&mut self, pa: PhysAddr, value: u64, now: SimTime) {
+        self.auto_forward(pa, &value.to_le_bytes(), now);
+    }
+
+    fn snoop_write(&mut self, pa: PhysAddr, data: &[u8], now: SimTime) {
+        self.auto_forward(pa, data, now);
+    }
+
+    fn mmio_load(&mut self, offset: u64, _now: SimTime) -> u64 {
+        match offset {
+            NIC_MMIO::STATUS => self.pio_status,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mem::Pfn;
+
+    fn nic() -> Nic {
+        let mut nic = Nic::new(NodeId::new(0), 16, SimDuration::from_us(1.2));
+        nic.nipt_mut().set(2, NiptEntry { node: NodeId::new(1), pfn: Pfn::new(40) });
+        nic
+    }
+
+    #[test]
+    fn dma_write_builds_packet_with_translated_address() {
+        let mut n = nic();
+        n.dma_write(2 * PAGE_SIZE + 0x100, b"data", SimTime::from_nanos(500));
+        let out = n.take_outgoing();
+        assert_eq!(out.len(), 1);
+        let pkt = &out[0].packet;
+        assert_eq!(pkt.dst, NodeId::new(1));
+        assert_eq!(pkt.dst_paddr, PhysAddr::new(40 * PAGE_SIZE + 0x100));
+        assert_eq!(pkt.payload, b"data");
+        assert_eq!(out[0].ready_at, SimTime::from_nanos(500) + SimDuration::from_us(1.2));
+        assert!(n.take_outgoing().is_empty(), "drained");
+    }
+
+    #[test]
+    fn validate_requires_alignment_and_nipt_entry() {
+        let n = nic();
+        assert!(n.validate(2 * PAGE_SIZE, 64));
+        assert!(!n.validate(2 * PAGE_SIZE + 1, 64), "unaligned address");
+        assert!(!n.validate(2 * PAGE_SIZE, 63), "unaligned length");
+        assert!(!n.validate(3 * PAGE_SIZE, 64), "invalid NIPT entry");
+        assert!(!n.validate(2 * PAGE_SIZE + 0x800, PAGE_SIZE), "page crossing");
+    }
+
+    #[test]
+    fn pio_send_path() {
+        let mut n = nic();
+        let now = SimTime::ZERO;
+        n.mmio_store(NIC_MMIO::DEST_PAGE, 2, now);
+        n.mmio_store(NIC_MMIO::DEST_OFFSET, 0x20, now);
+        n.mmio_store(NIC_MMIO::DATA, u64::from_le_bytes(*b"pio send"), now);
+        n.mmio_store(NIC_MMIO::COMMIT, 8, now);
+        assert_eq!(n.mmio_load(NIC_MMIO::STATUS, now), 0);
+        let out = n.take_outgoing();
+        assert_eq!(out[0].packet.payload, b"pio send");
+        assert_eq!(out[0].packet.dst_paddr, PhysAddr::new(40 * PAGE_SIZE + 0x20));
+    }
+
+    #[test]
+    fn pio_bad_destination_sets_status() {
+        let mut n = nic();
+        let now = SimTime::ZERO;
+        n.mmio_store(NIC_MMIO::DEST_PAGE, 9, now); // no NIPT entry
+        n.mmio_store(NIC_MMIO::DATA, 0, now);
+        n.mmio_store(NIC_MMIO::COMMIT, 8, now);
+        assert_eq!(n.mmio_load(NIC_MMIO::STATUS, now), 1);
+        assert!(n.take_outgoing().is_empty());
+    }
+
+    #[test]
+    fn pio_overlength_commit_sets_status() {
+        let mut n = nic();
+        let now = SimTime::ZERO;
+        n.mmio_store(NIC_MMIO::DEST_PAGE, 2, now);
+        n.mmio_store(NIC_MMIO::DATA, 0, now);
+        n.mmio_store(NIC_MMIO::COMMIT, 16, now); // only 8 pushed
+        assert_eq!(n.mmio_load(NIC_MMIO::STATUS, now), 1);
+    }
+
+    #[test]
+    fn dma_read_is_unsupported() {
+        let mut n = nic();
+        assert_eq!(n.dma_read(0, 4, SimTime::ZERO), vec![0; 4]);
+        assert_eq!(n.stats().get("unsupported_reads"), 1);
+    }
+}

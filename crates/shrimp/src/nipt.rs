@@ -1,0 +1,139 @@
+//! The Network Interface Page Table (paper §8).
+//!
+//! "All potential message destinations are stored in the Network Interface
+//! Page Table (NIPT), each entry of which specifies a remote node and a
+//! physical memory page on that node. ... Since the NIPT is indexed with 15
+//! bits, it can hold 32K different destination pages."
+
+use shrimp_mem::Pfn;
+use shrimp_net::NodeId;
+
+/// One NIPT entry: a remote destination page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NiptEntry {
+    /// Destination node.
+    pub node: NodeId,
+    /// Destination physical page on that node.
+    pub pfn: Pfn,
+}
+
+/// The NIPT: a direct-indexed table of destination pages.
+///
+/// # Example
+///
+/// ```
+/// use shrimp::{Nipt, NiptEntry};
+/// use shrimp_mem::Pfn;
+/// use shrimp_net::NodeId;
+///
+/// let mut nipt = Nipt::new(Nipt::SHRIMP_ENTRIES);
+/// nipt.set(5, NiptEntry { node: NodeId::new(3), pfn: Pfn::new(77) });
+/// assert_eq!(nipt.get(5).unwrap().pfn, Pfn::new(77));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Nipt {
+    entries: Vec<Option<NiptEntry>>,
+}
+
+impl Nipt {
+    /// The real board's capacity: 15 index bits → 32K entries.
+    pub const SHRIMP_ENTRIES: usize = 32 * 1024;
+
+    /// A NIPT with `capacity` entries, all invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "NIPT needs at least one entry");
+        Nipt { entries: vec![None; capacity] }
+    }
+
+    /// Number of entries (valid or not).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Installs an entry (kernel-only operation on the real board).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds capacity.
+    pub fn set(&mut self, index: u64, entry: NiptEntry) {
+        let slot = self
+            .entries
+            .get_mut(index as usize)
+            .unwrap_or_else(|| panic!("NIPT index {index} out of range"));
+        *slot = Some(entry);
+    }
+
+    /// Invalidates an entry.
+    pub fn clear(&mut self, index: u64) {
+        if let Some(slot) = self.entries.get_mut(index as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Looks up an entry; `None` for invalid or out-of-range indices.
+    pub fn get(&self, index: u64) -> Option<NiptEntry> {
+        self.entries.get(index as usize).copied().flatten()
+    }
+
+    /// First invalid index at or after `from`, for allocation.
+    pub fn first_free(&self, from: u64) -> Option<u64> {
+        (from as usize..self.entries.len())
+            .find(|&i| self.entries[i].is_none())
+            .map(|i| i as u64)
+    }
+
+    /// Number of valid entries.
+    pub fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut n = Nipt::new(8);
+        assert_eq!(n.get(3), None);
+        n.set(3, NiptEntry { node: NodeId::new(1), pfn: Pfn::new(9) });
+        assert_eq!(n.get(3).unwrap().node, NodeId::new(1));
+        n.clear(3);
+        assert_eq!(n.get(3), None);
+    }
+
+    #[test]
+    fn out_of_range_get_is_none() {
+        let n = Nipt::new(4);
+        assert_eq!(n.get(100), None);
+    }
+
+    #[test]
+    fn first_free_scans() {
+        let mut n = Nipt::new(4);
+        n.set(0, NiptEntry { node: NodeId::new(0), pfn: Pfn::new(0) });
+        n.set(1, NiptEntry { node: NodeId::new(0), pfn: Pfn::new(1) });
+        assert_eq!(n.first_free(0), Some(2));
+        assert_eq!(n.first_free(3), Some(3));
+        n.set(2, NiptEntry { node: NodeId::new(0), pfn: Pfn::new(2) });
+        n.set(3, NiptEntry { node: NodeId::new(0), pfn: Pfn::new(3) });
+        assert_eq!(n.first_free(0), None);
+        assert_eq!(n.valid_count(), 4);
+    }
+
+    #[test]
+    fn shrimp_capacity_is_32k() {
+        assert_eq!(Nipt::SHRIMP_ENTRIES, 32768);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut n = Nipt::new(2);
+        n.set(2, NiptEntry { node: NodeId::new(0), pfn: Pfn::new(0) });
+    }
+}

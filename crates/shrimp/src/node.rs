@@ -1,0 +1,100 @@
+//! One SHRIMP node: kernel + machine + network interface.
+
+use shrimp_mem::{Pfn, VirtAddr};
+use shrimp_net::NodeId;
+use shrimp_os::{Node, NodeConfig, Pid, Trap};
+
+use crate::Nic;
+
+/// A SHRIMP node — an [`shrimp_os::Node`] whose UDMA device is the
+/// [`Nic`] — plus the export bookkeeping the NIPT mapping path needs.
+#[derive(Debug)]
+pub struct ShrimpNode {
+    id: NodeId,
+    os: Node<Nic>,
+}
+
+impl ShrimpNode {
+    /// Boots a node with the given kernel/hardware configuration and NIC.
+    pub fn new(id: NodeId, config: NodeConfig, nic: Nic) -> Self {
+        ShrimpNode { id, os: Node::new(config, nic) }
+    }
+
+    /// This node's fabric id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The operating system (and through it the machine and NIC).
+    pub fn os(&self) -> &Node<Nic> {
+        &self.os
+    }
+
+    /// Mutable OS access.
+    pub fn os_mut(&mut self) -> &mut Node<Nic> {
+        &mut self.os
+    }
+
+    /// Export: wires down `pages` pages of `pid`'s buffer at `va` so
+    /// incoming deliberate updates can land in them, returning the physical
+    /// frames a remote NIPT entry should name.
+    ///
+    /// # Errors
+    ///
+    /// Any paging [`Trap`].
+    pub fn export_pages(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        pages: u64,
+    ) -> Result<Vec<Pfn>, Trap> {
+        self.os.wire_pages(pid, va, pages)
+    }
+
+    /// Import: installs NIPT entries (starting at the first free slot at
+    /// or after `from_index`) pointing at `(dst_node, frames)`, and grants
+    /// the device proxy pages to `pid`. Returns the first NIPT index used.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::DeviceNotGranted`] when the NIPT is full, plus any grant
+    /// trap.
+    pub fn import_mapping(
+        &mut self,
+        pid: Pid,
+        dst_node: NodeId,
+        frames: &[Pfn],
+        from_index: u64,
+    ) -> Result<u64, Trap> {
+        // Find a contiguous free run of NIPT slots.
+        let start = {
+            let nipt = self.os.machine().device().nipt();
+            let needed = frames.len() as u64;
+            let mut base = from_index;
+            loop {
+                let Some(start) = nipt.first_free(base) else {
+                    return Err(Trap::DeviceNotGranted {
+                        pid,
+                        va: VirtAddr::new(shrimp_mem::DEV_PROXY_BASE),
+                    });
+                };
+                if start + needed > nipt.capacity() as u64 {
+                    return Err(Trap::DeviceNotGranted {
+                        pid,
+                        va: VirtAddr::new(shrimp_mem::DEV_PROXY_BASE),
+                    });
+                }
+                match (0..needed).find(|&i| nipt.get(start + i).is_some()) {
+                    Some(i) => base = start + i + 1,
+                    None => break start,
+                }
+            }
+        };
+        let nic = self.os.machine_mut().device_mut();
+        for (i, &pfn) in frames.iter().enumerate() {
+            nic.nipt_mut().set(start + i as u64, crate::NiptEntry { node: dst_node, pfn });
+        }
+        self.os.grant_device_proxy(pid, start, frames.len() as u64, true)?;
+        Ok(start)
+    }
+}

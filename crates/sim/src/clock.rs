@@ -1,0 +1,79 @@
+//! A monotonically advancing simulated clock.
+
+use crate::{SimDuration, SimTime};
+
+/// A per-node simulated clock.
+///
+/// The clock only moves forward: components account for work by calling
+/// [`Clock::advance`], and cross-node synchronization uses
+/// [`Clock::advance_to`] with an absolute timestamp (e.g. a packet delivery
+/// time computed by the interconnect).
+///
+/// # Example
+///
+/// ```
+/// use shrimp_sim::{Clock, SimDuration};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(SimDuration::from_us(1.5));
+/// assert_eq!(clock.now().as_nanos(), 1_500);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// A clock starting at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Moves the clock forward by `d` and returns the new instant.
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Moves the clock forward to the absolute instant `t`.
+    ///
+    /// A no-op when `t` is in the past — the clock never runs backwards.
+    /// Returns the (possibly unchanged) current instant.
+    pub fn advance_to(&mut self, t: SimTime) -> SimTime {
+        self.now = self.now.max(t);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_nanos(10));
+        c.advance(SimDuration::from_nanos(5));
+        assert_eq!(c.now().as_nanos(), 15);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime::from_nanos(100));
+        assert_eq!(c.now().as_nanos(), 100);
+        // Past timestamps do not rewind the clock.
+        c.advance_to(SimTime::from_nanos(40));
+        assert_eq!(c.now().as_nanos(), 100);
+    }
+}

@@ -1,0 +1,244 @@
+//! The calibrated timing model for the simulated SHRIMP node.
+//!
+//! Every timing constant used anywhere in the simulator lives here, with its
+//! calibration source. The defaults model the paper's platform: a 60 MHz
+//! Pentium Xpress PC with an EISA expansion bus (Blumrich et al., §8 and
+//! [12]); see `DESIGN.md` §4 for the derivation of the tuned values.
+
+use crate::SimDuration;
+
+/// Timing constants for a simulated node.
+///
+/// Construct with [`CostModel::default`] (the calibrated SHRIMP platform) or
+/// [`CostModel::paragon_hippi`] (the §1 motivation platform), then override
+/// individual fields through the builder-style `with_*` methods.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_sim::CostModel;
+///
+/// let m = CostModel::default();
+/// // The two-reference initiation sequence plus the user-level alignment
+/// // check costs ~2.8us, matching Section 8 of the paper.
+/// let init = m.proxy_store + m.proxy_load + m.udma_user_check;
+/// assert!((init.as_micros_f64() - 2.8).abs() < 0.05);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// CPU clock frequency in MHz. Pentium Xpress PC: 60 MHz \[12\].
+    pub cpu_mhz: f64,
+    /// A cached user-level memory reference (L1 hit).
+    pub cached_ref: SimDuration,
+    /// An uncached reference to proxy space over the I/O bus. EISA I/O
+    /// cycles on period hardware cost on the order of a microsecond; tuned
+    /// with `udma_user_check` so two references + check = 2.8 µs (§8).
+    pub proxy_store: SimDuration,
+    /// An uncached proxy LOAD (same bus path as `proxy_store`).
+    pub proxy_load: SimDuration,
+    /// User-level software around the two-instruction sequence: computing
+    /// the proxy addresses and the page-boundary/alignment check §8 says is
+    /// included in the 2.8 µs figure (~36 instructions).
+    pub udma_user_check: SimDuration,
+    /// Per-message user-library overhead outside initiation: argument
+    /// marshalling, splitting loop setup, final completion poll. Tuned so
+    /// the Figure 8 curve reaches ~94% of peak at 4 KB (DESIGN.md §4).
+    pub udma_per_message_sw: SimDuration,
+    /// DMA engine start: bus arbitration + control-register write after the
+    /// initiating LOAD returns.
+    pub dma_start: SimDuration,
+    /// Building a packet header (NIPT lookup + header assembly) on the NIC.
+    pub packet_header: SimDuration,
+    /// I/O bus burst bandwidth in MB/s. EISA burst mode: 33 MB/s.
+    pub bus_mb_per_s: f64,
+    /// Bandwidth of a CPU doing programmed I/O: one uncached 4-byte store
+    /// per word, no burst mode (§9 memory-mapped FIFO comparison).
+    pub pio_word_store: SimDuration,
+    /// Syscall trap + dispatch + return ("hundreds of instructions" \[2\]).
+    pub syscall: SimDuration,
+    /// Kernel work to translate and pin one page for traditional DMA.
+    pub pin_page: SimDuration,
+    /// Kernel work to unpin one page and retire the completion interrupt.
+    pub unpin_page: SimDuration,
+    /// Kernel copy between a user page and a pre-pinned bounce buffer,
+    /// per byte (used by the copy-through variant of traditional DMA).
+    pub kernel_copy_mb_per_s: f64,
+    /// Building one DMA descriptor in the kernel.
+    pub build_descriptor: SimDuration,
+    /// A full context switch (register save/restore, scheduler), excluding
+    /// the single proxy STORE that I1 adds.
+    pub context_switch: SimDuration,
+    /// Hardware page-table walk on a TLB miss.
+    pub tlb_miss: SimDuration,
+    /// Kernel page-fault entry/exit overhead (on top of the work done).
+    pub page_fault_overhead: SimDuration,
+    /// Creating or updating one PTE (including proxy PTEs).
+    pub pte_update: SimDuration,
+    /// Disk I/O: average seek.
+    pub disk_seek: SimDuration,
+    /// Disk I/O: average rotational delay.
+    pub disk_rotation: SimDuration,
+    /// Disk media transfer rate in MB/s.
+    pub disk_mb_per_s: f64,
+    /// Network: per-hop router latency on the backplane.
+    pub net_hop: SimDuration,
+    /// Network: link bandwidth in MB/s (Paragon backplane links are much
+    /// faster than EISA, so the sender's bus is the bottleneck).
+    pub net_mb_per_s: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cpu_mhz: 60.0,
+            cached_ref: SimDuration::from_nanos(17), // one 60 MHz cycle
+            proxy_store: SimDuration::from_us(1.1),
+            proxy_load: SimDuration::from_us(1.1),
+            udma_user_check: SimDuration::from_us(0.6),
+            udma_per_message_sw: SimDuration::from_us(8.5),
+            dma_start: SimDuration::from_us(4.2),
+            packet_header: SimDuration::from_us(1.2),
+            bus_mb_per_s: 33.0,
+            pio_word_store: SimDuration::from_us(1.0),
+            syscall: SimDuration::from_us(5.0),
+            pin_page: SimDuration::from_us(8.0),
+            unpin_page: SimDuration::from_us(6.0),
+            kernel_copy_mb_per_s: 40.0,
+            build_descriptor: SimDuration::from_us(2.0),
+            context_switch: SimDuration::from_us(10.0),
+            tlb_miss: SimDuration::from_nanos(400),
+            page_fault_overhead: SimDuration::from_us(20.0),
+            pte_update: SimDuration::from_us(1.0),
+            disk_seek: SimDuration::from_us(9_000.0),
+            disk_rotation: SimDuration::from_us(4_200.0),
+            disk_mb_per_s: 5.0,
+            net_hop: SimDuration::from_us(0.5),
+            net_mb_per_s: 175.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// The Paragon/HIPPI platform of the §1 motivation example: a 100 MB/s
+    /// channel whose kernel-mediated send overhead is ~350 µs \[13\].
+    ///
+    /// With this model a 1 KB transfer achieves ~2.7 MB/s (<2% of raw) and
+    /// 80 MB/s requires blocks larger than 64 KB, as the paper reports.
+    pub fn paragon_hippi() -> Self {
+        CostModel {
+            cpu_mhz: 50.0,
+            bus_mb_per_s: 100.0,
+            // Fold the ~350us software overhead \[13\] into the syscall path:
+            // trap/dispatch dominates (the Paragon NX path), per-page costs
+            // are small because the interface uses pre-set-up buffers. With
+            // the completion interrupt at syscall/2, fixed overhead is
+            // ~373us: 1 KB ==> ~2.7 MB/s, and 80 MB/s needs >64 KB blocks,
+            // both as §1 reports.
+            syscall: SimDuration::from_us(240.0),
+            pin_page: SimDuration::from_us(2.0),
+            unpin_page: SimDuration::from_us(0.5),
+            build_descriptor: SimDuration::from_us(10.0),
+            dma_start: SimDuration::from_us(1.0),
+            ..CostModel::default()
+        }
+    }
+
+    /// Time for the I/O bus to burst `bytes` bytes.
+    pub fn bus_transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_bytes_at_rate(bytes, self.bus_mb_per_s)
+    }
+
+    /// Time for the kernel to copy `bytes` through a bounce buffer.
+    pub fn kernel_copy(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_bytes_at_rate(bytes, self.kernel_copy_mb_per_s)
+    }
+
+    /// Time for the disk to transfer `bytes` off the media (excluding seek
+    /// and rotation).
+    pub fn disk_transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_bytes_at_rate(bytes, self.disk_mb_per_s)
+    }
+
+    /// Time on a network link for `bytes` bytes.
+    pub fn net_transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_bytes_at_rate(bytes, self.net_mb_per_s)
+    }
+
+    /// Cost of `n` straight-line CPU instructions (one per cycle).
+    pub fn instructions(&self, n: u64) -> SimDuration {
+        SimDuration::from_cycles(n, self.cpu_mhz)
+    }
+
+    /// The full user-level two-instruction initiation sequence: proxy STORE,
+    /// proxy LOAD and the §8 alignment/page-boundary check.
+    pub fn udma_initiation(&self) -> SimDuration {
+        self.proxy_store + self.proxy_load + self.udma_user_check
+    }
+
+    /// Returns a copy with a different bus bandwidth (used by sweeps).
+    pub fn with_bus_mb_per_s(mut self, mb: f64) -> Self {
+        assert!(mb > 0.0, "bandwidth must be positive");
+        self.bus_mb_per_s = mb;
+        self
+    }
+
+    /// Returns a copy with a different context-switch cost.
+    pub fn with_context_switch(mut self, d: SimDuration) -> Self {
+        self.context_switch = d;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initiation_matches_paper_2_8_us() {
+        let m = CostModel::default();
+        let us = m.udma_initiation().as_micros_f64();
+        assert!((us - 2.8).abs() < 0.05, "initiation = {us}us, expected ~2.8us");
+    }
+
+    #[test]
+    fn bus_transfer_rate() {
+        let m = CostModel::default();
+        // 33 bytes at 33 MB/s take 1us.
+        assert_eq!(m.bus_transfer(33).as_nanos(), 1_000);
+        // A 4KB page takes ~124.1us.
+        let page = m.bus_transfer(4096).as_micros_f64();
+        assert!((page - 124.12).abs() < 0.1, "page = {page}us");
+    }
+
+    #[test]
+    fn hippi_model_reproduces_motivation_numbers() {
+        let m = CostModel::paragon_hippi();
+        // Overhead of a one-page traditional send: syscall + pin + descriptor
+        // + unpin ~= 220us fixed, plus per-transfer interrupt work; the §1
+        // figure of "more than 350us" of overhead emerges from the full
+        // syscall path in shrimp-os, but the channel itself must be 100 MB/s.
+        assert_eq!(m.bus_mb_per_s, 100.0);
+        assert!(m.syscall.as_micros_f64() >= 100.0);
+    }
+
+    #[test]
+    fn instructions_scale_with_clock() {
+        let m = CostModel::default();
+        assert_eq!(m.instructions(60).as_nanos(), 1_000); // 60 instr @ 60MHz = 1us
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let m = CostModel::default()
+            .with_bus_mb_per_s(10.0)
+            .with_context_switch(SimDuration::from_us(3.0));
+        assert_eq!(m.bus_mb_per_s, 10.0);
+        assert_eq!(m.context_switch, SimDuration::from_us(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = CostModel::default().with_bus_mb_per_s(0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! A deterministic, time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A scheduled event: a payload due at an absolute instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event<P> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-break sequence number; events scheduled earlier fire first among
+    /// equal timestamps, making the queue fully deterministic.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: P,
+}
+
+/// Internal heap entry ordered as a min-heap on `(at, seq)`.
+#[derive(Debug)]
+struct HeapEntry<P>(Event<P>);
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<P> Eq for HeapEntry<P> {}
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// Events with equal timestamps pop in scheduling order, so simulations that
+/// share a seed replay identically.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "b");
+/// q.schedule(SimTime::from_nanos(10), "a");
+/// let order: Vec<_> = q.pop_until(SimTime::from_nanos(30)).map(|e| e.payload).collect();
+/// assert_eq!(order, ["a", "b"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<HeapEntry<P>>,
+    next_seq: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` to fire at instant `at`; returns its sequence
+    /// number (useful for correlating with later pops in tests).
+    pub fn schedule(&mut self, at: SimTime, payload: P) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { at, seq, payload }));
+        seq
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Event<P>> {
+        if self.next_deadline()? <= now {
+            Some(self.heap.pop().expect("peeked entry must exist").0)
+        } else {
+            None
+        }
+    }
+
+    /// Draining iterator over all events due at or before `deadline`,
+    /// earliest first.
+    pub fn pop_until(&mut self, deadline: SimTime) -> PopUntil<'_, P> {
+        PopUntil { queue: self, deadline }
+    }
+
+    /// Removes every pending event, returning them in firing order.
+    pub fn drain_all(&mut self) -> Vec<Event<P>> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(entry) = self.heap.pop() {
+            out.push(entry.0);
+        }
+        out
+    }
+}
+
+/// Draining iterator returned by [`EventQueue::pop_until`].
+#[derive(Debug)]
+pub struct PopUntil<'a, P> {
+    queue: &'a mut EventQueue<P>,
+    deadline: SimTime,
+}
+
+impl<P> Iterator for PopUntil<'_, P> {
+    type Item = Event<P>;
+
+    fn next(&mut self) -> Option<Event<P>> {
+        self.queue.pop_due(self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let order: Vec<_> = q.pop_until(t(100)).map(|e| e.payload).collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_timestamps_pop_in_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "first");
+        q.schedule(t(5), "second");
+        q.schedule(t(5), "third");
+        let order: Vec<_> = q.pop_until(t(5)).map(|e| e.payload).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.schedule(t(20), ());
+        assert_eq!(q.pop_until(t(15)).count(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_deadline(), Some(t(20)));
+    }
+
+    #[test]
+    fn pop_due_returns_none_for_future_events() {
+        let mut q = EventQueue::new();
+        q.schedule(t(50), ());
+        assert!(q.pop_due(t(49)).is_none());
+        assert!(q.pop_due(t(50)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_all_returns_firing_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(9), 'b');
+        q.schedule(t(3), 'a');
+        let drained: Vec<_> = q.drain_all().into_iter().map(|e| e.payload).collect();
+        assert_eq!(drained, ['a', 'b']);
+        assert!(q.is_empty());
+    }
+}

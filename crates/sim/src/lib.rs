@@ -1,0 +1,46 @@
+//! Discrete-event simulation kernel for the SHRIMP UDMA reproduction.
+//!
+//! This crate provides the substrate every other crate in the workspace is
+//! built on:
+//!
+//! - [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! - [`Clock`] — a monotonically advancing per-node clock,
+//! - [`EventQueue`] — a deterministic time-ordered event queue,
+//! - [`SplitMix64`] — a tiny, dependency-free deterministic RNG,
+//! - [`Counter`] / [`Histogram`] / [`StatSet`] — measurement plumbing,
+//! - [`TraceBuffer`] — a bounded event transcript for debugging,
+//! - [`CostModel`] — every timing constant used by the simulated machine,
+//!   documented with its calibration source (see `DESIGN.md` §4).
+//!
+//! # Example
+//!
+//! ```
+//! use shrimp_sim::{Clock, EventQueue, SimDuration, SimTime};
+//!
+//! let mut clock = Clock::new();
+//! let mut queue: EventQueue<&str> = EventQueue::new();
+//! queue.schedule(SimTime::ZERO + SimDuration::from_us(5.0), "dma-done");
+//! clock.advance(SimDuration::from_us(10.0));
+//! let fired: Vec<_> = queue.pop_until(clock.now()).collect();
+//! assert_eq!(fired.len(), 1);
+//! assert_eq!(fired[0].payload, "dma-done");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod cost;
+mod event;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use clock::Clock;
+pub use cost::CostModel;
+pub use event::{Event, EventQueue, PopUntil};
+pub use rng::SplitMix64;
+pub use stats::{Counter, Histogram, StatSet};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceEvent};

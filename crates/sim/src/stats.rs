@@ -1,0 +1,259 @@
+//! Measurement plumbing: counters, log-scaled histograms, named stat sets.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_sim::Counter;
+///
+/// let mut tlb_misses = Counter::new();
+/// tlb_misses.add(3);
+/// tlb_misses.incr();
+/// assert_eq!(tlb_misses.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples whose value `v` satisfies `2^(i-1) < v <= 2^i`
+/// (bucket 0 holds `v == 0` and `v == 1`). Tracks count, sum, min and max
+/// exactly, so means are not subject to bucketing error.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value <= 1 { 0 } else { 64 - (value - 1).leading_zeros() };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean of all samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Iterates `(bucket_upper_bound, count)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &c)| (1u64 << b, c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.1} min={} max={}",
+                self.count,
+                mean,
+                self.min.unwrap_or(0),
+                self.max.unwrap_or(0)
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+/// A named collection of counters, for component-level reporting.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_sim::StatSet;
+///
+/// let mut stats = StatSet::new("mmu");
+/// stats.bump("tlb_hit");
+/// stats.bump("tlb_hit");
+/// stats.bump("tlb_miss");
+/// assert_eq!(stats.get("tlb_hit"), 2);
+/// assert_eq!(stats.get("not_recorded"), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatSet {
+    name: String,
+    counters: BTreeMap<&'static str, Counter>,
+}
+
+impl StatSet {
+    /// A stat set labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        StatSet { name: name.into(), counters: BTreeMap::new() }
+    }
+
+    /// The set's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Increments counter `key` by one.
+    pub fn bump(&mut self, key: &'static str) {
+        self.counters.entry(key).or_default().incr();
+    }
+
+    /// Adds `n` to counter `key`.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        self.counters.entry(key).or_default().add(n);
+    }
+
+    /// Current value of counter `key` (zero if never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).map_or(0, |c| c.get())
+    }
+
+    /// Iterates `(key, value)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &c)| (k, c.get()))
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.name)?;
+        for (k, v) in self.iter() {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.mean(), Some(26.5));
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let buckets: Vec<_> = h.iter().collect();
+        // 0 and 1 in bucket <=1; 2 in <=2; 3,4 in <=4.
+        assert_eq!(buckets, vec![(1, 2), (2, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn statset_accumulates_and_resets() {
+        let mut s = StatSet::new("dma");
+        s.bump("starts");
+        s.add("bytes", 4096);
+        assert_eq!(s.get("starts"), 1);
+        assert_eq!(s.get("bytes"), 4096);
+        assert_eq!(s.name(), "dma");
+        let rendered = s.to_string();
+        assert!(rendered.contains("bytes=4096"), "got {rendered}");
+        s.reset();
+        assert_eq!(s.get("starts"), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Simulated time: absolute instants and durations at nanosecond resolution.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant of simulated time, in nanoseconds since simulation
+/// start.
+///
+/// `SimTime` is a newtype over `u64`; arithmetic with [`SimDuration`] is
+/// checked in debug builds via the underlying integer operations.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_us(2.8);
+/// assert_eq!(t.as_nanos(), 2_800);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from a raw nanosecond count.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` (simulated time cannot run
+    /// backwards).
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is in the future"),
+        )
+    }
+
+    /// Saturating duration since `earlier`; zero if `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("instant underflow"))
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_sim::SimDuration;
+///
+/// let page_xfer = SimDuration::from_bytes_at_rate(4096, 33.0);
+/// assert!((page_xfer.as_micros_f64() - 124.12).abs() < 0.1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from a raw nanosecond count.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Builds a duration from fractional microseconds (rounded to ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_us(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "duration must be non-negative");
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// Builds a duration from whole cycles at a clock frequency in MHz.
+    pub fn from_cycles(cycles: u64, mhz: f64) -> Self {
+        assert!(mhz > 0.0, "clock frequency must be positive");
+        SimDuration(((cycles as f64) * 1_000.0 / mhz).round() as u64)
+    }
+
+    /// Time to move `bytes` at `mb_per_s` megabytes per second
+    /// (1 MB = 10^6 bytes, matching the paper's bandwidth units).
+    pub fn from_bytes_at_rate(bytes: u64, mb_per_s: f64) -> Self {
+        assert!(mb_per_s > 0.0, "rate must be positive");
+        SimDuration(((bytes as f64) * 1_000.0 / mb_per_s).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_plus_duration() {
+        let t = SimTime::from_nanos(100) + SimDuration::from_nanos(50);
+        assert_eq!(t.as_nanos(), 150);
+    }
+
+    #[test]
+    fn duration_since_ordered() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(35);
+        assert_eq!(b.duration_since(a).as_nanos(), 25);
+        assert_eq!(b - a, SimDuration::from_nanos(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn duration_since_panics_on_backwards_time() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(35);
+        let _ = a.duration_since(b);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(35);
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_us_rounds_to_nanos() {
+        assert_eq!(SimDuration::from_us(2.8).as_nanos(), 2_800);
+        assert_eq!(SimDuration::from_us(0.0005).as_nanos(), 1);
+    }
+
+    #[test]
+    fn from_cycles_at_60mhz() {
+        // One 60 MHz cycle is 16.67ns.
+        assert_eq!(SimDuration::from_cycles(1, 60.0).as_nanos(), 17);
+        assert_eq!(SimDuration::from_cycles(60_000_000, 60.0).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn bytes_at_rate_matches_bandwidth() {
+        // 33 MB/s moves 33 bytes per microsecond.
+        let d = SimDuration::from_bytes_at_rate(33, 33.0);
+        assert_eq!(d.as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_nanos(100);
+        let b = SimDuration::from_nanos(40);
+        assert_eq!((a + b).as_nanos(), 140);
+        assert_eq!((a - b).as_nanos(), 60);
+        assert_eq!((a * 3).as_nanos(), 300);
+        assert_eq!((a / 4).as_nanos(), 25);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn display_formats_in_microseconds() {
+        assert_eq!(SimTime::from_nanos(2_800).to_string(), "2.800us");
+        assert_eq!(SimDuration::from_nanos(150).to_string(), "0.150us");
+    }
+}

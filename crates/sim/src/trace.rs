@@ -1,0 +1,187 @@
+//! A bounded, zero-cost-when-disabled event transcript.
+//!
+//! The simulator's components record noteworthy events (proxy references,
+//! state-machine transitions, faults, evictions, packets) into a
+//! [`TraceBuffer`]. Tracing is off by default — `record` is a branch and a
+//! return — and bounded when on, so it can stay wired into hot paths.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::SimTime;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Component label (`"udma"`, `"kernel"`, `"mmu"`, ...).
+    pub category: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<8} {}", self.at.to_string(), self.category, self.message)
+    }
+}
+
+/// A ring buffer of [`TraceEvent`]s.
+///
+/// # Example
+///
+/// ```
+/// use shrimp_sim::{SimTime, TraceBuffer};
+///
+/// let mut trace = TraceBuffer::new(64);
+/// trace.set_enabled(true);
+/// trace.record(SimTime::from_nanos(100), "udma", || "initiation".to_string());
+/// assert_eq!(trace.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A disabled buffer holding up to `capacity` events once enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceBuffer { events: VecDeque::new(), capacity, enabled: false, dropped: 0 }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event. The message closure only runs when tracing is
+    /// enabled, so hot paths pay one branch when it is off.
+    pub fn record(&mut self, at: SimTime, category: &'static str, message: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at, category, message: message() });
+    }
+
+    /// Recorded events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Events in `category`, oldest first.
+    pub fn in_category<'a>(
+        &'a self,
+        category: &'static str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let skip = self.events.len().saturating_sub(n);
+        self.events.iter().skip(skip)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the ring since the last clear.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Forgets everything recorded so far.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut b = TraceBuffer::new(4);
+        let mut ran = false;
+        b.record(t(1), "x", || {
+            ran = true;
+            String::new()
+        });
+        assert!(b.is_empty());
+        assert!(!ran, "message closure must not run while disabled");
+    }
+
+    #[test]
+    fn bounded_with_drop_accounting() {
+        let mut b = TraceBuffer::new(2);
+        b.set_enabled(true);
+        for i in 0..5 {
+            b.record(t(i), "x", || format!("e{i}"));
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 3);
+        let msgs: Vec<_> = b.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["e3", "e4"]);
+    }
+
+    #[test]
+    fn category_filter_and_recent() {
+        let mut b = TraceBuffer::new(8);
+        b.set_enabled(true);
+        b.record(t(1), "udma", || "a".into());
+        b.record(t(2), "kernel", || "b".into());
+        b.record(t(3), "udma", || "c".into());
+        assert_eq!(b.in_category("udma").count(), 2);
+        let recent: Vec<_> = b.recent(2).map(|e| e.message.as_str()).collect();
+        assert_eq!(recent, ["b", "c"]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = TraceBuffer::new(1);
+        b.set_enabled(true);
+        b.record(t(1), "x", || "a".into());
+        b.record(t(2), "x", || "b".into());
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent { at: t(2800), category: "udma", message: "started".into() };
+        let text = e.to_string();
+        assert!(text.contains("udma") && text.contains("started"), "{text}");
+    }
+}
