@@ -1,11 +1,16 @@
-//! Criterion micro-benchmarks of the simulator's hot primitives.
+//! Micro-benchmarks of the simulator's hot primitives.
 //!
 //! These measure *host* performance of the building blocks (state machine,
 //! proxy math, MMU, TLB, event queue) — engineering benchmarks that keep
 //! the simulator fast, as opposed to the `src/bin/*` experiment harnesses
 //! that reproduce the paper's *simulated* results.
+//!
+//! Self-timed (no external harness dependency): each benchmark runs a
+//! short warm-up, then iterates until ~100 ms of wall clock has elapsed,
+//! and the mean ns/iter is printed.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use shrimp_dma::{DmaTiming, LoopbackPort};
 use shrimp_mem::{Layout, Pfn, PhysAddr, PhysMemory, VirtAddr, Vpn, PAGE_SIZE};
@@ -13,34 +18,55 @@ use shrimp_mmu::{AccessKind, Mmu, Mode, PageTable, Pte, PteFlags};
 use shrimp_sim::{EventQueue, SimTime, SplitMix64};
 use udma_core::{plan::plan_transfer, state, UdmaController, UdmaStatus};
 
-fn bench_state_machine(c: &mut Criterion) {
-    c.bench_function("udma_state_transition", |b| {
-        b.iter(|| {
-            let (s, _) = state::transition(
-                black_box(state::UdmaState::DestLoaded),
-                black_box(state::UdmaEvent::Load),
-            );
-            s
-        })
+/// Runs `f` for ~100 ms after a short warm-up and prints mean ns/iter.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    const WARMUP: u32 = 1_000;
+    const TARGET_NS: u128 = 100_000_000;
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let mut iters: u64 = 0;
+    let mut batch: u64 = 1_000;
+    let start = Instant::now();
+    loop {
+        for _ in 0..batch {
+            black_box(f());
+        }
+        iters += batch;
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= TARGET_NS {
+            let per_iter = elapsed as f64 / iters as f64;
+            println!("{name:<36} {per_iter:>12.1} ns/iter  ({iters} iters)");
+            return;
+        }
+        batch = batch.saturating_mul(2);
+    }
+}
+
+fn bench_state_machine() {
+    bench("udma_state_transition", || {
+        let (s, _) = state::transition(
+            black_box(state::UdmaState::DestLoaded),
+            black_box(state::UdmaEvent::Load),
+        );
+        s
     });
 }
 
-fn bench_proxy_math(c: &mut Criterion) {
+fn bench_proxy_math() {
     let layout = Layout::new(64 * 1024 * 1024, 1024 * PAGE_SIZE);
-    c.bench_function("proxy_roundtrip", |b| {
-        b.iter(|| {
-            let p = layout.proxy_of_phys(black_box(PhysAddr::new(0x12345))).unwrap();
-            layout.phys_of_proxy(p).unwrap()
-        })
+    bench("proxy_roundtrip", || {
+        let p = layout.proxy_of_phys(black_box(PhysAddr::new(0x12345))).unwrap();
+        layout.phys_of_proxy(p).unwrap()
     });
     let dest = layout.dev_proxy_addr(3, 0);
     let src = layout.proxy_of_phys(PhysAddr::new(0x4000)).unwrap();
-    c.bench_function("plan_transfer", |b| {
-        b.iter(|| plan_transfer(&layout, black_box(dest), black_box(src), 4096).unwrap())
+    bench("plan_transfer", || {
+        plan_transfer(&layout, black_box(dest), black_box(src), 4096).unwrap()
     });
 }
 
-fn bench_status_word(c: &mut Criterion) {
+fn bench_status_word() {
     let status = UdmaStatus {
         initiation: true,
         transferring: true,
@@ -48,12 +74,10 @@ fn bench_status_word(c: &mut Criterion) {
         remaining_bytes: 2048,
         ..UdmaStatus::default()
     };
-    c.bench_function("status_pack_unpack", |b| {
-        b.iter(|| UdmaStatus::unpack(black_box(status.pack())))
-    });
+    bench("status_pack_unpack", || UdmaStatus::unpack(black_box(status.pack())));
 }
 
-fn bench_mmu(c: &mut Criterion) {
+fn bench_mmu() {
     let mut pt = PageTable::new();
     for i in 0..128u64 {
         pt.map(
@@ -64,75 +88,65 @@ fn bench_mmu(c: &mut Criterion) {
     let mut mmu = Mmu::new(64);
     // Warm the TLB for the hit benchmark.
     let _ = mmu.translate(&mut pt, VirtAddr::new(0x1000), AccessKind::Read, Mode::User);
-    c.bench_function("mmu_translate_tlb_hit", |b| {
-        b.iter(|| {
-            mmu.translate(&mut pt, black_box(VirtAddr::new(0x1008)), AccessKind::Read, Mode::User)
-                .unwrap()
-        })
-    });
-    c.bench_function("mmu_translate_tlb_miss", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            mmu.flush_all();
-            i = (i + 1) % 128;
-            mmu.translate(
-                &mut pt,
-                black_box(VirtAddr::new(i * PAGE_SIZE)),
-                AccessKind::Read,
-                Mode::User,
-            )
+    bench("mmu_translate_tlb_hit", || {
+        mmu.translate(&mut pt, black_box(VirtAddr::new(0x1008)), AccessKind::Read, Mode::User)
             .unwrap()
-        })
+    });
+    let mut i = 0u64;
+    bench("mmu_translate_tlb_miss", || {
+        mmu.flush_all();
+        i = (i + 1) % 128;
+        mmu.translate(
+            &mut pt,
+            black_box(VirtAddr::new(i * PAGE_SIZE)),
+            AccessKind::Read,
+            Mode::User,
+        )
+        .unwrap()
     });
 }
 
-fn bench_controller_initiation(c: &mut Criterion) {
+fn bench_controller_initiation() {
     let layout = Layout::new(64 * PAGE_SIZE, 64 * PAGE_SIZE);
     let mut mem = PhysMemory::new(64 * PAGE_SIZE);
     let mut port = LoopbackPort::new(2 * PAGE_SIZE as usize);
     let mut udma = UdmaController::new(layout, DmaTiming::default());
     let dest = layout.dev_proxy_addr(0, 0);
     let src = layout.proxy_of_phys(PhysAddr::new(0x1000)).unwrap();
-    c.bench_function("udma_controller_full_initiation", |b| {
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            udma.handle_store(dest, 64, now, &mut mem, &mut port);
-            let status = udma.handle_load(src, now, &mut mem, &mut port);
-            now += udma.engine().duration_for(64);
-            udma.poll(now, &mut mem, &mut port);
-            status
-        })
+    let mut now = SimTime::ZERO;
+    bench("udma_controller_full_initiation", || {
+        udma.handle_store(dest, 64, now, &mut mem, &mut port);
+        let status = udma.handle_load(src, now, &mut mem, &mut port);
+        now += udma.engine().duration_for(64);
+        udma.poll(now, &mut mem, &mut port);
+        status
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop", |b| {
-        let mut q: EventQueue<u64> = EventQueue::new();
-        let mut rng = SplitMix64::new(1);
-        b.iter(|| {
-            let t = SimTime::from_nanos(rng.next_below(1_000_000));
-            q.schedule(t, 1);
-            q.pop_due(SimTime::from_nanos(u64::MAX / 2))
-        })
+fn bench_event_queue() {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = SplitMix64::new(1);
+    bench("event_queue_schedule_pop", || {
+        let t = SimTime::from_nanos(rng.next_below(1_000_000));
+        q.schedule(t, 1);
+        q.pop_due(SimTime::from_nanos(u64::MAX / 2))
     });
 }
 
-fn bench_phys_memory(c: &mut Criterion) {
+fn bench_phys_memory() {
     let mut mem = PhysMemory::new(1024 * PAGE_SIZE);
     let page = vec![0xa5u8; PAGE_SIZE as usize];
-    c.bench_function("phys_memory_page_write", |b| {
-        b.iter(|| mem.write(black_box(PhysAddr::new(8 * PAGE_SIZE)), &page).unwrap())
+    bench("phys_memory_page_write", || {
+        mem.write(black_box(PhysAddr::new(8 * PAGE_SIZE)), &page).unwrap()
     });
 }
 
-criterion_group!(
-    micro,
-    bench_state_machine,
-    bench_proxy_math,
-    bench_status_word,
-    bench_mmu,
-    bench_controller_initiation,
-    bench_event_queue,
-    bench_phys_memory
-);
-criterion_main!(micro);
+fn main() {
+    bench_state_machine();
+    bench_proxy_math();
+    bench_status_word();
+    bench_mmu();
+    bench_controller_initiation();
+    bench_event_queue();
+    bench_phys_memory();
+}

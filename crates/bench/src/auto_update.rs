@@ -55,11 +55,8 @@ pub fn sweep(sizes: &[u64]) -> AutoResult {
         // Deliberate-update pair.
         mc.map_user_buffer(0, a, 0x50_0000, 1).expect("map delib src");
         mc.map_user_buffer(1, b, 0x60_0000, 1).expect("map delib dst");
-        let dev = mc
-            .export(1, b, VirtAddr::new(0x60_0000), 1, 0, a)
-            .expect("export");
-        mc.write_user(0, a, VirtAddr::new(0x50_0000), &vec![1u8; bytes as usize])
-            .expect("fill");
+        let dev = mc.export(1, b, VirtAddr::new(0x60_0000), 1, 0, a).expect("export");
+        mc.write_user(0, a, VirtAddr::new(0x50_0000), &vec![1u8; bytes as usize]).expect("fill");
         // Warm both paths.
         mc.store_user(0, a, VirtAddr::new(0x10_0000), 1).expect("warm auto");
         mc.send(0, a, VirtAddr::new(0x50_0000), dev, 0, bytes).expect("warm delib");

@@ -25,7 +25,15 @@ fn main() {
         .collect();
     print_table(
         "A-ctx — two senders + one compute process, round-robin at varying quanta",
-        &["quantum(ops)", "switches", "i1-retries", "busy-retries", "messages", "elapsed(us)", "MB/s"],
+        &[
+            "quantum(ops)",
+            "switches",
+            "i1-retries",
+            "busy-retries",
+            "messages",
+            "elapsed(us)",
+            "MB/s",
+        ],
         &rows,
     );
     println!("\n[paper §6 I1: the kernel Invals on every switch with one STORE; interrupted");

@@ -1,0 +1,142 @@
+//! Host wall-clock throughput of the simulator's data plane.
+//!
+//! Drives N-node streaming workloads and reports **host** messages/sec —
+//! the engineering number that bounds every large-scale experiment — then
+//! writes `BENCH_throughput.json`.
+//!
+//! Run: `cargo run --release -p shrimp-bench --bin host_throughput`
+//!
+//! Options:
+//!   --quick            smoke-test sizing (CI): ~1/20 of the message count
+//!   --out <path>       output JSON path (default: BENCH_throughput.json)
+//!   --compare <path>   embed a previous output as `"before"` and print
+//!                      per-workload speedups against it
+//!
+//! Build with `--features count-allocs` to register the counting
+//! allocator and report steady-state heap allocations per message.
+
+use std::fs;
+
+use shrimp_bench::host_perf::{self, ThroughputResult};
+use shrimp_bench::table::print_table;
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: shrimp_bench::alloc_count::CountingAlloc = shrimp_bench::alloc_count::CountingAlloc;
+
+/// Pulls `"msgs_per_sec":<n>` for workload `name` out of a previous
+/// output with plain string scanning (our own format; no JSON dep).
+fn baseline_msgs_per_sec(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"name\":\"{name}\"");
+    let obj = &json[json.find(&key)?..];
+    let field = "\"msgs_per_sec\":";
+    let rest = &obj[obj.find(field)? + field.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts the most recent runs array (`"after"` if present, else
+/// `"runs"`) from a previous output, verbatim, by bracket matching.
+fn extract_runs_array(json: &str) -> Option<&str> {
+    let key_pos = json
+        .find("\"after\":")
+        .map(|p| p + "\"after\":".len())
+        .or_else(|| json.find("\"runs\":").map(|p| p + "\"runs\":".len()))?;
+    let rest = &json[key_pos..];
+    let open = rest.find('[')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+const USAGE: &str = "usage: host_throughput [--quick] [--out <path>] [--compare <path>]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = "BENCH_throughput.json".to_string();
+    let mut compare_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" | "--compare" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: {a} requires a value\n{USAGE}");
+                    std::process::exit(2);
+                };
+                if a == "--out" {
+                    out_path = v.clone();
+                } else {
+                    compare_path = Some(v.clone());
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let compare = compare_path.map(|p| match fs::read_to_string(&p) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read --compare file `{p}`: {e}");
+            std::process::exit(2);
+        }
+    });
+
+    let scale: u32 = if quick { 20 } else { 1 };
+    // (nodes, msg_bytes, messages per pair)
+    let workloads: [(u16, u64, u32); 3] =
+        [(2, 4096, 200_000 / scale), (2, 256, 400_000 / scale), (8, 4096, 50_000 / scale)];
+
+    let mut runs: Vec<ThroughputResult> = Vec::new();
+    for (nodes, bytes, msgs) in workloads {
+        runs.push(host_perf::stream_pairs(nodes, bytes, msgs));
+    }
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let speedup = compare
+                .as_deref()
+                .and_then(|old| baseline_msgs_per_sec(old, &r.name))
+                .map(|b| format!("{:.2}x", r.msgs_per_sec / b))
+                .unwrap_or_else(|| "-".to_string());
+            vec![
+                r.name.clone(),
+                format!("{}", r.messages),
+                format!("{:.0}", r.msgs_per_sec),
+                format!("{:.1}", r.mb_per_sec),
+                r.allocs_per_msg.map_or("-".to_string(), |a| format!("{a:.2}")),
+                speedup,
+            ]
+        })
+        .collect();
+    print_table(
+        "host_throughput — simulator data-plane wall-clock throughput",
+        &["workload", "msgs", "msgs/s", "MB/s", "allocs/msg", "vs before"],
+        &rows,
+    );
+
+    let after = host_perf::runs_to_json(&runs);
+    let json = match compare.as_deref().and_then(extract_runs_array) {
+        Some(before) => format!(
+            "{{\n  \"bench\": \"host_throughput\",\n  \"before\": {before},\n  \"after\": {after}\n}}\n",
+        ),
+        None => format!("{{\n  \"bench\": \"host_throughput\",\n  \"runs\": {after}\n}}\n"),
+    };
+    fs::write(&out_path, &json).expect("write BENCH_throughput.json");
+    println!("\nwrote {out_path}");
+}

@@ -42,9 +42,8 @@ fn harness(msg_bytes: u64) -> Harness {
     let pages = msg_bytes.div_ceil(PAGE_SIZE).max(1) + 1;
     mc.map_user_buffer(0, sender, 0x10_0000, pages).expect("map sender");
     mc.map_user_buffer(1, receiver, 0x40_0000, pages).expect("map receiver");
-    let dev_page = mc
-        .export(1, receiver, VirtAddr::new(0x40_0000), pages, 0, sender)
-        .expect("export");
+    let dev_page =
+        mc.export(1, receiver, VirtAddr::new(0x40_0000), pages, 0, sender).expect("export");
     mc.write_user(0, sender, VirtAddr::new(0x10_0000), &vec![7u8; msg_bytes as usize])
         .expect("fill");
     Harness { mc, sender, dev_page }
@@ -113,10 +112,7 @@ mod tests {
     fn crossover_is_sub_page() {
         let r = sweep(&DEFAULT_SIZES);
         let x = r.crossover_bytes.expect("a crossover exists");
-        assert!(
-            (16..2048).contains(&x),
-            "crossover at {x}B should be well below a page"
-        );
+        assert!((16..2048).contains(&x), "crossover at {x}B should be well below a page");
     }
 
     #[test]

@@ -142,8 +142,7 @@ fn sweep_inner(
             let va = 0x10_0000 + u64::from(s) * PAGE_SIZE;
             node.mmap(pid, va, 1, true).expect("map");
             node.grant_device_proxy(pid, u64::from(s), 1, true).expect("grant");
-            node.write_user(pid, VirtAddr::new(va), &vec![1u8; nbytes as usize])
-                .expect("fill");
+            node.write_user(pid, VirtAddr::new(va), &vec![1u8; nbytes as usize]).expect("fill");
             let vproxy = node
                 .machine()
                 .layout()
@@ -255,8 +254,7 @@ mod tests {
             let va = 0x10_0000 + s * PAGE_SIZE;
             node.mmap(pid, va, 1, true).unwrap();
             node.grant_device_proxy(pid, s, 1, true).unwrap();
-            let vproxy =
-                node.machine().layout().proxy_of_virt(VirtAddr::new(va)).unwrap();
+            let vproxy = node.machine().layout().proxy_of_virt(VirtAddr::new(va)).unwrap();
             node.user_store(pid, vproxy, 64).unwrap();
             node.machine_mut().kernel_inval_udma();
             driver.add(Sender {

@@ -33,11 +33,7 @@ pub struct Fig8Curve {
 impl Fig8Curve {
     /// The point nearest to `bytes`.
     pub fn at(&self, bytes: u64) -> Fig8Point {
-        *self
-            .points
-            .iter()
-            .min_by_key(|p| p.bytes.abs_diff(bytes))
-            .expect("curve is non-empty")
+        *self.points.iter().min_by_key(|p| p.bytes.abs_diff(bytes)).expect("curve is non-empty")
     }
 
     /// The smallest message size achieving at least `frac` of peak.

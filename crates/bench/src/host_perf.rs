@@ -1,0 +1,164 @@
+//! Host wall-clock throughput of the simulator's data plane.
+//!
+//! Unlike the `fig8`/`hippi`/... experiments, which report *simulated*
+//! time, this module measures how fast the simulator itself executes the
+//! send → packetize → fabric → deliver pipeline on the host — the number
+//! that bounds every large-scale experiment the ROADMAP asks for. The
+//! `host_throughput` binary drives these workloads and emits
+//! `BENCH_throughput.json` so each perf PR has a measured baseline.
+
+use std::time::Instant;
+
+use shrimp::Multicomputer;
+use shrimp_machine::MachineConfig;
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+
+use crate::alloc_count;
+
+/// One measured workload.
+#[derive(Clone, Debug)]
+pub struct ThroughputResult {
+    /// Workload name (`stream_<size>_<n>node`).
+    pub name: String,
+    /// Node count (half senders, half receivers).
+    pub nodes: u16,
+    /// Per-message payload bytes.
+    pub msg_bytes: u64,
+    /// Total messages sent across all pairs.
+    pub messages: u64,
+    /// Host wall-clock seconds for the steady-state loop.
+    pub wall_s: f64,
+    /// Messages per host wall-clock second.
+    pub msgs_per_sec: f64,
+    /// Payload megabytes per host wall-clock second.
+    pub mb_per_sec: f64,
+    /// Steady-state heap allocations per message (`None` unless the
+    /// counting allocator is registered — build with `count-allocs` and
+    /// the `host_throughput` binary registers it).
+    pub allocs_per_msg: Option<f64>,
+}
+
+impl ThroughputResult {
+    /// Renders the result as one JSON object (no external deps).
+    pub fn to_json(&self) -> String {
+        let allocs = match self.allocs_per_msg {
+            Some(a) => format!("{a:.3}"),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"nodes\":{},\"msg_bytes\":{},\"messages\":{},",
+                "\"wall_s\":{:.4},\"msgs_per_sec\":{:.1},\"mb_per_sec\":{:.2},",
+                "\"allocs_per_msg\":{}}}"
+            ),
+            self.name,
+            self.nodes,
+            self.msg_bytes,
+            self.messages,
+            self.wall_s,
+            self.msgs_per_sec,
+            self.mb_per_sec,
+            allocs,
+        )
+    }
+}
+
+/// Renders a run list as a JSON array.
+pub fn runs_to_json(runs: &[ThroughputResult]) -> String {
+    let body: Vec<String> = runs.iter().map(|r| format!("    {}", r.to_json())).collect();
+    format!("[\n{}\n  ]", body.join(",\n"))
+}
+
+/// Streams `messages` messages of `msg_bytes` down `nodes / 2` disjoint
+/// sender→receiver pairs and reports host throughput.
+///
+/// Every pair gets its own exported receive window; senders are driven
+/// round-robin so fabric traffic from all pairs interleaves. The clock in
+/// the result is the *host* clock; simulated time is deterministic and
+/// identical before/after any host-side optimisation (the golden
+/// equivalence tests assert exactly that).
+///
+/// # Panics
+///
+/// Panics on kernel traps during setup (the workload is statically valid).
+pub fn stream_pairs(nodes: u16, msg_bytes: u64, messages_per_pair: u32) -> ThroughputResult {
+    assert!(nodes >= 2 && nodes.is_multiple_of(2), "need sender/receiver pairs");
+    let mut mc = Multicomputer::with_machine_config(nodes, MachineConfig::default());
+    let pairs = usize::from(nodes) / 2;
+    let pages = msg_bytes.div_ceil(PAGE_SIZE).max(1) + 1;
+
+    let mut flows = Vec::with_capacity(pairs);
+    for p in 0..pairs {
+        let (send_node, recv_node) = (2 * p, 2 * p + 1);
+        let sender = mc.spawn_process(send_node);
+        let receiver = mc.spawn_process(recv_node);
+        mc.map_user_buffer(send_node, sender, 0x10_0000, pages).expect("map sender");
+        mc.map_user_buffer(recv_node, receiver, 0x40_0000, pages).expect("map receiver");
+        let dev_page = mc
+            .export(recv_node, receiver, VirtAddr::new(0x40_0000), pages, send_node, sender)
+            .expect("export");
+        let payload: Vec<u8> = (0..msg_bytes).map(|i| (i % 251) as u8).collect();
+        mc.write_user(send_node, sender, VirtAddr::new(0x10_0000), &payload).expect("fill");
+        flows.push((send_node, sender, dev_page));
+    }
+
+    // Warm every flow: mappings, proxy PTEs, dirty bits, TLB, NIC scratch.
+    for &(send_node, sender, dev_page) in &flows {
+        mc.send(send_node, sender, VirtAddr::new(0x10_0000), dev_page, 0, msg_bytes)
+            .expect("warm send");
+    }
+    mc.run_until_quiet();
+
+    let total = u64::from(messages_per_pair) * pairs as u64;
+    let alloc_mark = alloc_count::allocation_count();
+    let t0 = Instant::now();
+    for _ in 0..messages_per_pair {
+        for &(send_node, sender, dev_page) in &flows {
+            mc.send(send_node, sender, VirtAddr::new(0x10_0000), dev_page, 0, msg_bytes)
+                .expect("steady-state send");
+        }
+    }
+    mc.run_until_quiet();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocs = alloc_count::delta_since(alloc_mark);
+
+    assert_eq!(mc.dropped_packets(), 0, "workload must not drop packets");
+
+    ThroughputResult {
+        name: format!("stream_{}b_{}node", msg_bytes, nodes),
+        nodes,
+        msg_bytes,
+        messages: total,
+        wall_s,
+        msgs_per_sec: total as f64 / wall_s,
+        mb_per_sec: (total * msg_bytes) as f64 / wall_s / (1024.0 * 1024.0),
+        allocs_per_msg: if alloc_count::is_active() {
+            Some(allocs as f64 / total as f64)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_pairs_moves_data_and_reports_sane_numbers() {
+        let r = stream_pairs(2, 4096, 16);
+        assert_eq!(r.messages, 16);
+        assert!(r.msgs_per_sec > 0.0);
+        assert!(r.mb_per_sec > 0.0);
+        assert!(r.wall_s > 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = stream_pairs(2, 256, 4);
+        let j = r.to_json();
+        assert!(j.contains("\"name\":\"stream_256b_2node\""), "{j}");
+        assert!(j.contains("\"msgs_per_sec\":"), "{j}");
+        assert!(j.contains("\"allocs_per_msg\":"), "{j}");
+    }
+}

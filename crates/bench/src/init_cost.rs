@@ -74,18 +74,15 @@ pub fn measure(page_counts: &[u64]) -> InitCost {
         let r = node
             .sys_dma_to_device(pid, VirtAddr::new(0x10_0000), 0, bytes, DmaStrategy::PinPages)
             .expect("measured");
-        let data_time = node.machine().cost().bus_transfer(bytes)
-            + node.machine().cost().dma_start * pages;
+        let data_time =
+            node.machine().cost().bus_transfer(bytes) + node.machine().cost().dma_start * pages;
         kernel.push((pages, r.elapsed.saturating_sub(data_time)));
     }
 
     InitCost {
         udma,
         udma_instructions: to_instructions(udma, mhz),
-        kernel_instructions: kernel
-            .iter()
-            .map(|&(p, d)| (p, to_instructions(d, mhz)))
-            .collect(),
+        kernel_instructions: kernel.iter().map(|&(p, d)| (p, to_instructions(d, mhz))).collect(),
         kernel,
     }
 }

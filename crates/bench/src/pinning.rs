@@ -117,8 +117,7 @@ pub fn pressure_run(transfers: u64, frames: u64, thrash_pages: u64) -> PressureR
     n.mmap(sender, 0x10_0000, 1, true).expect("map sender");
     n.grant_device_proxy(sender, 0, 1, true).expect("grant");
     n.mmap(thrasher, 0x80_0000, thrash_pages, true).expect("map thrasher");
-    n.write_user(sender, VirtAddr::new(0x10_0000), &vec![1u8; PAGE_SIZE as usize])
-        .expect("fill");
+    n.write_user(sender, VirtAddr::new(0x10_0000), &vec![1u8; PAGE_SIZE as usize]).expect("fill");
     n.udma_send(sender, VirtAddr::new(0x10_0000), 0, 0, PAGE_SIZE).expect("warm");
 
     let t0 = n.machine().now();
@@ -128,12 +127,7 @@ pub fn pressure_run(transfers: u64, frames: u64, thrash_pages: u64) -> PressureR
     for _ in 0..transfers {
         // Initiate (two references) but do NOT wait for completion...
         let status = n
-            .udma_initiate(
-                sender,
-                VirtAddr::new(shrimp_mem::DEV_PROXY_BASE),
-                vproxy,
-                PAGE_SIZE,
-            )
+            .udma_initiate(sender, VirtAddr::new(shrimp_mem::DEV_PROXY_BASE), vproxy, PAGE_SIZE)
             .expect("initiate");
         assert!(status.started() || status.should_retry(), "{status}");
         // ...so the thrasher's evictions race the in-flight transfer.

@@ -70,8 +70,7 @@ pub fn sweep(sizes: &[u64], queue_depth: usize) -> Vec<QueueingPoint> {
         .iter()
         .map(|&bytes| {
             let (basic, basic_retries) = measure_udma(UdmaMode::Basic, bytes);
-            let (queued, queued_retries) =
-                measure_udma(UdmaMode::Queued(queue_depth), bytes);
+            let (queued, queued_retries) = measure_udma(UdmaMode::Queued(queue_depth), bytes);
             let kernel = measure_kernel(bytes);
             QueueingPoint { bytes, basic, queued, kernel, basic_retries, queued_retries }
         })
@@ -79,14 +78,8 @@ pub fn sweep(sizes: &[u64], queue_depth: usize) -> Vec<QueueingPoint> {
 }
 
 /// Default sizes: 1 page through 64 pages.
-pub const DEFAULT_SIZES: [u64; 6] = [
-    PAGE_SIZE,
-    4 * PAGE_SIZE,
-    8 * PAGE_SIZE,
-    16 * PAGE_SIZE,
-    32 * PAGE_SIZE,
-    64 * PAGE_SIZE,
-];
+pub const DEFAULT_SIZES: [u64; 6] =
+    [PAGE_SIZE, 4 * PAGE_SIZE, 8 * PAGE_SIZE, 16 * PAGE_SIZE, 32 * PAGE_SIZE, 64 * PAGE_SIZE];
 
 #[cfg(test)]
 mod tests {

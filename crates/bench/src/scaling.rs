@@ -68,9 +68,7 @@ pub fn measure(n: u16, pattern: Pattern, rounds: u32) -> ScalingPoint {
         let rpid = *recv_pids[dst].get_or_insert_with(|| mc.spawn_process(dst));
         let recv_va = 0x40_0000 + (k as u64) * PAGE_SIZE;
         mc.map_user_buffer(dst, rpid, recv_va, 1).expect("map dst");
-        let dev_page = mc
-            .export(dst, rpid, VirtAddr::new(recv_va), 1, src, pid)
-            .expect("export");
+        let dev_page = mc.export(dst, rpid, VirtAddr::new(recv_va), 1, src, pid).expect("export");
         mc.write_user(src, pid, VirtAddr::new(0x10_0000), &vec![k as u8; PAGE_SIZE as usize])
             .expect("fill");
         // Warm.
@@ -89,10 +87,7 @@ pub fn measure(n: u16, pattern: Pattern, rounds: u32) -> ScalingPoint {
         }
     }
     mc.run_until_quiet();
-    let last = (0..n as usize)
-        .map(|i| mc.last_delivery(i))
-        .max()
-        .expect("deliveries happened");
+    let last = (0..n as usize).map(|i| mc.last_delivery(i)).max().expect("deliveries happened");
     let bytes = flows.len() as u64 * u64::from(rounds) * PAGE_SIZE;
     ScalingPoint {
         nodes: n,

@@ -62,11 +62,8 @@ pub fn measure(cost: CostModel) -> SensitivityPoint {
         best = best.max(bw);
         curve.push((bytes, bw));
     }
-    let half_peak_bytes = curve
-        .iter()
-        .find(|&&(_, bw)| bw >= best / 2.0)
-        .map(|&(b, _)| b)
-        .unwrap_or(u64::MAX);
+    let half_peak_bytes =
+        curve.iter().find(|&&(_, bw)| bw >= best / 2.0).map(|&(b, _)| b).unwrap_or(u64::MAX);
     let at_4k = curve
         .iter()
         .min_by_key(|&&(b, _)| b.abs_diff(4096))

@@ -3,7 +3,7 @@
 
 use shrimp_dma::{DevicePort, DmaEngine, DmaTiming};
 use shrimp_mem::{Layout, Pfn, PhysAddr, PhysMemory, Region};
-use shrimp_sim::{SimTime, StatSet};
+use shrimp_sim::{Counter, SimTime, StatSet};
 
 use crate::plan::{plan_transfer, PlanError};
 use crate::state::{transition, Effect, UdmaEvent, UdmaState};
@@ -32,7 +32,14 @@ pub struct UdmaController {
     /// SOURCE proxy address of the transfer in progress (for MATCH).
     active_source: Option<PhysAddr>,
     engine: DmaEngine,
-    stats: StatSet,
+    /// Per-access counts, kept as plain fields — `handle_store`/
+    /// `handle_load` run once per simulated proxy reference. Rare events
+    /// (errors, invals, terminations) stay in the keyed `rare` set.
+    stores: Counter,
+    loads: Counter,
+    initiations: Counter,
+    completions: Counter,
+    rare: StatSet,
 }
 
 impl UdmaController {
@@ -44,7 +51,11 @@ impl UdmaController {
             dest: None,
             active_source: None,
             engine: DmaEngine::new(timing),
-            stats: StatSet::new("udma"),
+            stores: Counter::new(),
+            loads: Counter::new(),
+            initiations: Counter::new(),
+            completions: Counter::new(),
+            rare: StatSet::new("udma"),
         }
     }
 
@@ -59,9 +70,14 @@ impl UdmaController {
         &self.engine
     }
 
-    /// Controller statistics.
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    /// Controller statistics as a reportable set.
+    pub fn stats(&self) -> StatSet {
+        let mut s = self.rare.clone();
+        s.add("stores", self.stores.get());
+        s.add("loads", self.loads.get());
+        s.add("initiations", self.initiations.get());
+        s.add("completions", self.completions.get());
+        s
     }
 
     /// Retires a completed transfer, if any, and runs the TransferDone
@@ -71,9 +87,9 @@ impl UdmaController {
         if self.state == UdmaState::Transferring && !self.engine.is_busy(now) {
             // Bus errors abort the transfer; either way the engine frees.
             match self.engine.retire(now, mem, port) {
-                Ok(Some(_)) => self.stats.bump("completions"),
+                Ok(Some(_)) => self.completions.incr(),
                 Ok(None) => {}
-                Err(_) => self.stats.bump("bus_errors"),
+                Err(_) => self.rare.bump("bus_errors"),
             }
             let (next, effect) = transition(self.state, UdmaEvent::TransferDone);
             debug_assert_eq!(effect, Effect::Complete);
@@ -94,7 +110,7 @@ impl UdmaController {
     ) {
         debug_assert!(self.layout.region_of_phys(proxy).is_proxy());
         self.poll(now, mem, port);
-        self.stats.bump("stores");
+        self.stores.incr();
 
         match store_value_as_count(value) {
             Some(nbytes) => {
@@ -105,7 +121,7 @@ impl UdmaController {
                 self.state = next;
             }
             None => {
-                self.stats.bump("invals");
+                self.rare.bump("invals");
                 let (next, effect) = transition(self.state, UdmaEvent::Inval);
                 if effect == Effect::ClearDest {
                     self.dest = None;
@@ -127,14 +143,12 @@ impl UdmaController {
     ) -> UdmaStatus {
         debug_assert!(self.layout.region_of_phys(proxy).is_proxy());
         self.poll(now, mem, port);
-        self.stats.bump("loads");
+        self.loads.incr();
 
         match self.state {
-            UdmaState::Idle => UdmaStatus {
-                initiation: true,
-                invalid: true,
-                ..UdmaStatus::default()
-            },
+            UdmaState::Idle => {
+                UdmaStatus { initiation: true, invalid: true, ..UdmaStatus::default() }
+            }
             UdmaState::Transferring => {
                 let matches = self.active_source == Some(proxy);
                 UdmaStatus {
@@ -150,19 +164,14 @@ impl UdmaController {
     }
 
     /// Attempts the DestLoaded → Transferring transition for source `proxy`.
-    fn try_start(
-        &mut self,
-        proxy: PhysAddr,
-        now: SimTime,
-        port: &dyn DevicePort,
-    ) -> UdmaStatus {
+    fn try_start(&mut self, proxy: PhysAddr, now: SimTime, port: &dyn DevicePort) -> UdmaStatus {
         let (dest, nbytes) = self.dest.expect("DestLoaded implies latched registers");
 
         let plan = match plan_transfer(&self.layout, dest, proxy, nbytes) {
             Ok(plan) => plan,
             Err(PlanError::WrongSpace) | Err(PlanError::NotProxy(_)) => {
                 // BadLoad: back to Idle, report WRONG-SPACE.
-                self.stats.bump("bad_loads");
+                self.rare.bump("bad_loads");
                 let (next, effect) = transition(self.state, UdmaEvent::BadLoad);
                 debug_assert_eq!(effect, Effect::ClearDest);
                 self.state = next;
@@ -179,7 +188,7 @@ impl UdmaController {
         // Device-specific validation (§5's alignment example): the latched
         // registers are cleared and an error bit returned.
         if !port.validate(plan.dev_addr, plan.nbytes) {
-            self.stats.bump("device_rejects");
+            self.rare.bump("device_rejects");
             let (next, _) = transition(self.state, UdmaEvent::BadLoad);
             self.state = next;
             self.dest = None;
@@ -195,12 +204,19 @@ impl UdmaController {
         debug_assert_eq!(effect, Effect::StartTransfer);
         let service = port.service_time(plan.dev_addr, plan.nbytes);
         self.engine
-            .start_with_service(plan.direction, plan.mem_addr, plan.dev_addr, plan.nbytes, now, service)
+            .start_with_service(
+                plan.direction,
+                plan.mem_addr,
+                plan.dev_addr,
+                plan.nbytes,
+                now,
+                service,
+            )
             .expect("engine must be idle outside Transferring state");
         self.state = next;
         self.dest = None;
         self.active_source = Some(proxy);
-        self.stats.bump("initiations");
+        self.initiations.incr();
 
         UdmaStatus {
             initiation: false,
@@ -226,7 +242,7 @@ impl UdmaController {
         self.active_source = None;
         self.dest = None;
         if killed {
-            self.stats.bump("terminations");
+            self.rare.bump("terminations");
         }
         killed
     }
@@ -239,10 +255,7 @@ impl UdmaController {
         let mut frames = self.engine.frames_in_registers();
         if let Some((dest, nbytes)) = self.dest {
             if self.layout.region_of_phys(dest) == Region::MemoryProxy {
-                let real = self
-                    .layout
-                    .phys_of_proxy(dest)
-                    .expect("memory-proxy region checked");
+                let real = self.layout.phys_of_proxy(dest).expect("memory-proxy region checked");
                 let first = real.page().raw();
                 let last = (real.raw() + nbytes.max(1) - 1) >> shrimp_mem::PAGE_SHIFT;
                 frames.extend((first..=last).map(Pfn::new));
@@ -255,8 +268,23 @@ impl UdmaController {
 
     /// Kernel-visible check for invariant I4: is `pfn` named by the
     /// hardware registers?
+    ///
+    /// Answers directly from the latched `(base, count)` intervals — the
+    /// engine's in-flight transfer and the DestLoaded destination — without
+    /// materializing a frame list, so kernel sweeps over every owned frame
+    /// (process exit, page-out eviction) stay O(1) per frame.
     pub fn frame_in_use(&self, pfn: Pfn) -> bool {
-        self.frames_in_registers().contains(&pfn)
+        if self.engine.frame_in_use(pfn) {
+            return true;
+        }
+        let Some((dest, nbytes)) = self.dest else { return false };
+        if self.layout.region_of_phys(dest) != Region::MemoryProxy {
+            return false;
+        }
+        let real = self.layout.phys_of_proxy(dest).expect("memory-proxy region checked");
+        let first = real.page().raw();
+        let last = (real.raw() + nbytes.max(1) - 1) >> shrimp_mem::PAGE_SHIFT;
+        (first..=last).contains(&pfn.raw())
     }
 }
 
@@ -447,11 +475,17 @@ mod tests {
         udma.handle_load(src, SimTime::ZERO, &mut mem, &mut port);
         let frames = udma.frames_in_registers();
         assert_eq!(frames, vec![Pfn::new(1), Pfn::new(2)]);
+        // The interval check agrees with the materialized list while the
+        // engine holds the registers.
+        for pfn in [Pfn::new(0), Pfn::new(1), Pfn::new(2), Pfn::new(3)] {
+            assert_eq!(udma.frame_in_use(pfn), frames.contains(&pfn));
+        }
 
         // After completion, nothing is in use.
         let done = SimTime::ZERO + udma.engine().duration_for(16);
         udma.poll(done, &mut mem, &mut port);
         assert!(udma.frames_in_registers().is_empty());
+        assert!(!udma.frame_in_use(Pfn::new(1)));
     }
 
     #[test]

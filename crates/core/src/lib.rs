@@ -71,7 +71,7 @@ mod status;
 
 pub use controller::UdmaController;
 pub use plan::{PlanError, TransferPlan};
-pub use queue::{QueuedRequest, QueuedUdma, Priority};
+pub use queue::{Priority, QueuedRequest, QueuedUdma};
 pub use state::{transition, Effect, UdmaEvent, UdmaState};
 pub use status::UdmaStatus;
 

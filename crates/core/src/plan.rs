@@ -75,14 +75,13 @@ pub fn plan_transfer(
         }),
         (Region::DeviceProxy, Region::MemoryProxy) => Ok(TransferPlan {
             direction: Direction::DevToMem,
-            mem_addr: layout
-                .phys_of_proxy(dest_proxy)
-                .expect("region pre-checked as memory proxy"),
+            mem_addr: layout.phys_of_proxy(dest_proxy).expect("region pre-checked as memory proxy"),
             dev_addr: source_proxy.raw() - DEV_PROXY_BASE,
             nbytes,
         }),
-        (Region::MemoryProxy, Region::MemoryProxy)
-        | (Region::DeviceProxy, Region::DeviceProxy) => Err(PlanError::WrongSpace),
+        (Region::MemoryProxy, Region::MemoryProxy) | (Region::DeviceProxy, Region::DeviceProxy) => {
+            Err(PlanError::WrongSpace)
+        }
         (Region::MemoryProxy | Region::DeviceProxy, _) => {
             Err(PlanError::NotProxy(dest_proxy.raw()))
         }

@@ -287,11 +287,7 @@ impl QueuedUdma {
         // latch is kept so the user can simply repeat the LOAD.
         if self.queued_len() >= self.capacity {
             self.stats.bump("queue_full_refusals");
-            return UdmaStatus {
-                initiation: true,
-                transferring: true,
-                ..UdmaStatus::default()
-            };
+            return UdmaStatus { initiation: true, transferring: true, ..UdmaStatus::default() };
         }
 
         let req = QueuedRequest { plan, source_proxy: proxy, priority };
@@ -318,15 +314,9 @@ impl QueuedUdma {
     /// Status for a LOAD that is not completing an initiation sequence.
     fn status_query(&self, proxy: PhysAddr, now: SimTime) -> UdmaStatus {
         let busy = self.active.is_some() || self.queued_len() > 0;
-        let active_match = self
-            .active
-            .as_ref()
-            .is_some_and(|r| r.source_proxy == proxy);
-        let queued_match = self
-            .system_queue
-            .iter()
-            .chain(&self.user_queue)
-            .find(|r| r.source_proxy == proxy);
+        let active_match = self.active.as_ref().is_some_and(|r| r.source_proxy == proxy);
+        let queued_match =
+            self.system_queue.iter().chain(&self.user_queue).find(|r| r.source_proxy == proxy);
         let remaining = if active_match {
             self.engine.remaining_bytes(now)
         } else {
@@ -367,7 +357,8 @@ mod tests {
         off: u64,
         now: SimTime,
     ) -> UdmaStatus {
-        let dest = layout.dev_proxy_addr(off >> shrimp_mem::PAGE_SHIFT, off & shrimp_mem::PAGE_MASK);
+        let dest =
+            layout.dev_proxy_addr(off >> shrimp_mem::PAGE_SHIFT, off & shrimp_mem::PAGE_MASK);
         let src = layout.proxy_of_phys(PhysAddr::new(page * PAGE_SIZE)).unwrap();
         udma.handle_store(dest, PAGE_SIZE as i64, now, mem, port);
         udma.handle_load(src, now, mem, port)
@@ -468,15 +459,8 @@ mod tests {
         // device region.
         for (i, p) in [2u64, 9, 5].iter().enumerate() {
             mem.fill(PhysAddr::new(p * PAGE_SIZE), PAGE_SIZE, 0xa0 + *p as u8).unwrap();
-            let status = send_page(
-                &layout,
-                &mut udma,
-                &mut mem,
-                &mut port,
-                *p,
-                i as u64 * PAGE_SIZE,
-                now,
-            );
+            let status =
+                send_page(&layout, &mut udma, &mut mem, &mut port, *p, i as u64 * PAGE_SIZE, now);
             assert!(status.started());
         }
         let done = udma.drained_at();

@@ -47,7 +47,7 @@ impl Default for DiskGeometry {
 ///
 /// let mut disk = Disk::new("disk0", DiskGeometry { blocks: 16, ..Default::default() });
 /// disk.dma_write(4096, b"block 1 data", SimTime::ZERO);
-/// assert_eq!(disk.dma_read(4096, 12, SimTime::ZERO), b"block 1 data");
+/// assert_eq!(disk.dma_read_vec(4096, 12, SimTime::ZERO), b"block 1 data");
 /// ```
 #[derive(Clone, Debug)]
 pub struct Disk {
@@ -100,9 +100,7 @@ impl Disk {
     }
 
     fn in_range(&self, dev_addr: u64, nbytes: u64) -> bool {
-        dev_addr
-            .checked_add(nbytes)
-            .is_some_and(|end| end <= self.geometry.blocks * PAGE_SIZE)
+        dev_addr.checked_add(nbytes).is_some_and(|end| end <= self.geometry.blocks * PAGE_SIZE)
     }
 }
 
@@ -116,13 +114,14 @@ impl DevicePort for Disk {
         self.stats.add("bytes_written", data.len() as u64);
     }
 
-    fn dma_read(&mut self, dev_addr: u64, len: u64, _now: SimTime) -> Vec<u8> {
+    fn dma_read(&mut self, dev_addr: u64, buf: &mut [u8], _now: SimTime) {
+        let len = buf.len() as u64;
         assert!(self.in_range(dev_addr, len), "disk read out of range");
         let s = dev_addr as usize;
         self.head_at = dev_addr >> PAGE_SHIFT;
         self.stats.bump("reads");
         self.stats.add("bytes_read", len);
-        self.data[s..s + len as usize].to_vec()
+        buf.copy_from_slice(&self.data[s..s + len as usize]);
     }
 
     fn validate(&self, dev_addr: u64, nbytes: u64) -> bool {
@@ -170,7 +169,7 @@ mod tests {
     fn write_read_roundtrip() {
         let mut d = small();
         d.dma_write(2 * PAGE_SIZE + 16, &[1, 2, 3], SimTime::ZERO);
-        assert_eq!(d.dma_read(2 * PAGE_SIZE + 16, 3, SimTime::ZERO), vec![1, 2, 3]);
+        assert_eq!(d.dma_read_vec(2 * PAGE_SIZE + 16, 3, SimTime::ZERO), vec![1, 2, 3]);
         assert_eq!(d.block(2)[16..19], [1, 2, 3]);
     }
 

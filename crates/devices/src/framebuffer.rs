@@ -98,11 +98,11 @@ impl DevicePort for FrameBuffer {
         self.stats.add("pixels_written", data.len() as u64);
     }
 
-    fn dma_read(&mut self, dev_addr: u64, len: u64, _now: SimTime) -> Vec<u8> {
-        let end = dev_addr + len;
+    fn dma_read(&mut self, dev_addr: u64, buf: &mut [u8], _now: SimTime) {
+        let end = dev_addr + buf.len() as u64;
         assert!(end <= self.len(), "framebuffer read out of range");
         self.stats.bump("readbacks");
-        self.pixels[dev_addr as usize..end as usize].to_vec()
+        buf.copy_from_slice(&self.pixels[dev_addr as usize..end as usize]);
     }
 
     fn validate(&self, dev_addr: u64, nbytes: u64) -> bool {
@@ -136,7 +136,7 @@ mod tests {
     fn readback_matches_write() {
         let mut fb = FrameBuffer::new("fb", 8, 8);
         fb.dma_write(10, &[1, 2, 3], SimTime::ZERO);
-        assert_eq!(fb.dma_read(10, 3, SimTime::ZERO), vec![1, 2, 3]);
+        assert_eq!(fb.dma_read_vec(10, 3, SimTime::ZERO), vec![1, 2, 3]);
     }
 
     #[test]

@@ -61,11 +61,9 @@ pub trait Device: DevicePort {
     /// 8-byte value). SHRIMP's *automatic update* strategy is built on
     /// exactly this: the network interface watches the memory bus and
     /// forwards writes to bound pages. The default ignores the store.
-    fn snoop_store(&mut self, _pa: shrimp_mem::PhysAddr, _value: u64, _now: shrimp_sim::SimTime) {
-    }
+    fn snoop_store(&mut self, _pa: shrimp_mem::PhysAddr, _value: u64, _now: shrimp_sim::SimTime) {}
 
     /// Bus snoop of a bulk memory write (a burst of consecutive stores).
     /// The default ignores it.
-    fn snoop_write(&mut self, _pa: shrimp_mem::PhysAddr, _data: &[u8], _now: shrimp_sim::SimTime) {
-    }
+    fn snoop_write(&mut self, _pa: shrimp_mem::PhysAddr, _data: &[u8], _now: shrimp_sim::SimTime) {}
 }

@@ -44,8 +44,8 @@ impl DevicePort for StreamSink {
         self.writes.push((dev_addr, data.to_vec(), now));
     }
 
-    fn dma_read(&mut self, _dev_addr: u64, len: u64, _now: SimTime) -> Vec<u8> {
-        vec![0; len as usize]
+    fn dma_read(&mut self, _dev_addr: u64, buf: &mut [u8], _now: SimTime) {
+        buf.fill(0);
     }
 
     fn validate(&self, _dev_addr: u64, _nbytes: u64) -> bool {
@@ -94,9 +94,11 @@ impl DevicePort for StreamSource {
         // Writes into a pure source are dropped.
     }
 
-    fn dma_read(&mut self, dev_addr: u64, len: u64, _now: SimTime) -> Vec<u8> {
+    fn dma_read(&mut self, dev_addr: u64, buf: &mut [u8], _now: SimTime) {
         self.reads += 1;
-        (dev_addr..dev_addr + len).map(|a| self.expected_byte(a)).collect()
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.expected_byte(dev_addr + i as u64);
+        }
     }
 }
 
@@ -136,7 +138,7 @@ mod tests {
     fn source_pattern_is_deterministic() {
         let mut a = StreamSource::new("a", 0x55);
         let b = StreamSource::new("b", 0x55);
-        let got = a.dma_read(100, 16, SimTime::ZERO);
+        let got = a.dma_read_vec(100, 16, SimTime::ZERO);
         for (i, &byte) in got.iter().enumerate() {
             assert_eq!(byte, b.expected_byte(100 + i as u64));
         }

@@ -48,7 +48,7 @@ impl Default for TapeGeometry {
 ///
 /// let mut tape = Tape::new("tape0", TapeGeometry::default());
 /// tape.dma_write(0, b"archive record", SimTime::ZERO);
-/// assert_eq!(tape.dma_read(0, 7, SimTime::ZERO), b"archive");
+/// assert_eq!(tape.dma_read_vec(0, 7, SimTime::ZERO), b"archive");
 /// ```
 #[derive(Clone, Debug)]
 pub struct Tape {
@@ -109,13 +109,14 @@ impl DevicePort for Tape {
         self.stats.add("bytes_written", data.len() as u64);
     }
 
-    fn dma_read(&mut self, dev_addr: u64, len: u64, _now: SimTime) -> Vec<u8> {
+    fn dma_read(&mut self, dev_addr: u64, buf: &mut [u8], _now: SimTime) {
+        let len = buf.len() as u64;
         assert!(self.in_range(dev_addr, len), "tape read past end of medium");
         let s = dev_addr as usize;
         self.position = dev_addr + len;
         self.stats.bump("reads");
         self.stats.add("bytes_read", len);
-        self.data[s..s + len as usize].to_vec()
+        buf.copy_from_slice(&self.data[s..s + len as usize]);
     }
 
     fn validate(&self, dev_addr: u64, nbytes: u64) -> bool {
@@ -160,7 +161,7 @@ mod tests {
         let mut t = small();
         t.dma_write(100, &[1, 2, 3], SimTime::ZERO);
         assert_eq!(t.position(), 103);
-        assert_eq!(t.dma_read(100, 3, SimTime::ZERO), vec![1, 2, 3]);
+        assert_eq!(t.dma_read_vec(100, 3, SimTime::ZERO), vec![1, 2, 3]);
         assert_eq!(t.position(), 103);
     }
 
@@ -170,10 +171,7 @@ mod tests {
         t.dma_write(0, &[0; 4096], SimTime::ZERO); // head at 4096
         let sequential = t.service_time(4096, 4096);
         let random = t.service_time(900_000, 4096);
-        assert!(
-            random > sequential * 2,
-            "random {random} must dwarf sequential {sequential}"
-        );
+        assert!(random > sequential * 2, "random {random} must dwarf sequential {sequential}");
         // Sequential streaming pays no start/stop.
         assert!(sequential < t.geometry().start_stop);
     }

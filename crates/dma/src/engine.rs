@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use shrimp_mem::{MemError, Pfn, PhysAddr, PhysMemory, PAGE_SHIFT};
-use shrimp_sim::{SimDuration, SimTime, StatSet};
+use shrimp_sim::{Counter, SimDuration, SimTime, StatSet};
 
 use crate::{DevicePort, Direction};
 
@@ -96,13 +96,24 @@ impl Error for DmaError {}
 pub struct DmaEngine {
     timing: DmaTiming,
     active: Option<Transfer>,
-    stats: StatSet,
+    /// Per-transfer counts: plain fields, one increment per start/retire.
+    starts: Counter,
+    bytes: Counter,
+    retired: Counter,
+    aborts: Counter,
 }
 
 impl DmaEngine {
     /// An idle engine with the given timing.
     pub fn new(timing: DmaTiming) -> Self {
-        DmaEngine { timing, active: None, stats: StatSet::new("dma") }
+        DmaEngine {
+            timing,
+            active: None,
+            starts: Counter::new(),
+            bytes: Counter::new(),
+            retired: Counter::new(),
+            aborts: Counter::new(),
+        }
     }
 
     /// The engine's timing parameters.
@@ -157,16 +168,10 @@ impl DmaEngine {
             return Err(DmaError::ZeroLength);
         }
         let completes_at = now + self.duration_for(nbytes) + service;
-        self.active = Some(Transfer {
-            direction,
-            mem_addr,
-            dev_addr,
-            nbytes,
-            started_at: now,
-            completes_at,
-        });
-        self.stats.bump("starts");
-        self.stats.add("bytes", nbytes);
+        self.active =
+            Some(Transfer { direction, mem_addr, dev_addr, nbytes, started_at: now, completes_at });
+        self.starts.incr();
+        self.bytes.add(nbytes);
         Ok(completes_at)
     }
 
@@ -209,6 +214,19 @@ impl DmaEngine {
         self.active.map(|t| t.mem_frames().collect()).unwrap_or_default()
     }
 
+    /// Non-allocating form of the invariant-I4 register check: does the
+    /// memory side of the in-flight transfer touch `pfn`? Answers from the
+    /// latched `(base, count)` interval, so kernel sweeps over every frame
+    /// stay O(1) per frame instead of materializing a frame list.
+    pub fn frame_in_use(&self, pfn: Pfn) -> bool {
+        self.active.is_some_and(|t| {
+            let first = t.mem_addr.page().raw();
+            let last =
+                if t.nbytes == 0 { first } else { (t.mem_addr.raw() + t.nbytes - 1) >> PAGE_SHIFT };
+            (first..=last).contains(&pfn.raw())
+        })
+    }
+
     /// If the active transfer has completed by `now`, performs the data
     /// movement between `mem` and `port`, frees the engine, and returns the
     /// finished transfer.
@@ -231,28 +249,36 @@ impl DmaEngine {
         self.active = None;
         match t.direction {
             Direction::MemToDev => {
-                let data = mem.read_vec(t.mem_addr, t.nbytes)?;
-                port.dma_write(t.dev_addr, &data, t.completes_at);
+                // Hand the device a borrow of memory itself: the bus moves
+                // the bytes once, with no staging buffer.
+                let data = mem.read(t.mem_addr, t.nbytes)?;
+                port.dma_write(t.dev_addr, data, t.completes_at);
             }
             Direction::DevToMem => {
-                let data = port.dma_read(t.dev_addr, t.nbytes, t.completes_at);
-                mem.write(t.mem_addr, &data)?;
+                // The device fills the destination frames in place.
+                let buf = mem.slice_mut(t.mem_addr, t.nbytes)?;
+                port.dma_read(t.dev_addr, buf, t.completes_at);
             }
         }
-        self.stats.bump("retired");
+        self.retired.incr();
         Ok(Some(t))
     }
 
     /// Drops any in-flight transfer without moving data (used by fault
     /// recovery paths).
     pub fn abort(&mut self) -> Option<Transfer> {
-        self.stats.bump("aborts");
+        self.aborts.incr();
         self.active.take()
     }
 
     /// Engine statistics: starts, bytes, retirements, aborts.
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new("dma");
+        s.add("starts", self.starts.get());
+        s.add("bytes", self.bytes.get());
+        s.add("retired", self.retired.get());
+        s.add("aborts", self.aborts.get());
+        s
     }
 }
 
@@ -276,13 +302,14 @@ mod tests {
     #[test]
     fn busy_until_completion() {
         let mut e = engine();
-        let done = e
-            .start(Direction::MemToDev, PhysAddr::new(0), 0, 330, SimTime::ZERO)
-            .unwrap();
+        let done = e.start(Direction::MemToDev, PhysAddr::new(0), 0, 330, SimTime::ZERO).unwrap();
         assert!(e.is_busy(SimTime::ZERO));
         assert!(e.is_busy(done - SimDuration::from_nanos(1)));
         assert!(!e.is_busy(done));
-        assert_eq!(e.start(Direction::MemToDev, PhysAddr::new(0), 0, 1, SimTime::ZERO), Err(DmaError::Busy));
+        assert_eq!(
+            e.start(Direction::MemToDev, PhysAddr::new(0), 0, 1, SimTime::ZERO),
+            Err(DmaError::Busy)
+        );
     }
 
     #[test]
@@ -339,6 +366,18 @@ mod tests {
         assert_eq!(e.frames_in_registers(), vec![Pfn::new(0), Pfn::new(1)]);
         e.abort();
         assert!(e.frames_in_registers().is_empty());
+    }
+
+    #[test]
+    fn frame_in_use_matches_register_list() {
+        let mut e = engine();
+        assert!(!e.frame_in_use(Pfn::new(0)), "idle engine names no frames");
+        e.start(Direction::MemToDev, PhysAddr::new(PAGE_SIZE - 4), 0, 8, SimTime::ZERO).unwrap();
+        for pfn in [Pfn::new(0), Pfn::new(1), Pfn::new(2)] {
+            assert_eq!(e.frame_in_use(pfn), e.frames_in_registers().contains(&pfn));
+        }
+        e.abort();
+        assert!(!e.frame_in_use(Pfn::new(0)));
     }
 
     #[test]

@@ -14,9 +14,19 @@ pub trait DevicePort {
     /// transfer arriving at the device).
     fn dma_write(&mut self, dev_addr: u64, data: &[u8], now: SimTime);
 
-    /// Produces `len` bytes from device address `dev_addr` (a device→memory
-    /// transfer leaving the device).
-    fn dma_read(&mut self, dev_addr: u64, len: u64, now: SimTime) -> Vec<u8>;
+    /// Fills `buf` with bytes from device address `dev_addr` (a
+    /// device→memory transfer leaving the device). The engine passes the
+    /// destination memory slice directly, so retirement moves data with a
+    /// single copy and no intermediate allocation.
+    fn dma_read(&mut self, dev_addr: u64, buf: &mut [u8], now: SimTime);
+
+    /// Convenience wrapper returning the read as a fresh `Vec` (tests and
+    /// cold paths; the hot path uses [`DevicePort::dma_read`] directly).
+    fn dma_read_vec(&mut self, dev_addr: u64, len: u64, now: SimTime) -> Vec<u8> {
+        let mut buf = vec![0; len as usize];
+        self.dma_read(dev_addr, &mut buf, now);
+        buf
+    }
 
     /// Device-specific validation of a transfer request, called at
     /// initiation time. Returning `false` sets the DEVICE-SPECIFIC ERROR
@@ -60,11 +70,11 @@ impl DevicePort for LoopbackPort {
         self.data[start..end].copy_from_slice(data);
     }
 
-    fn dma_read(&mut self, dev_addr: u64, len: u64, _now: SimTime) -> Vec<u8> {
+    fn dma_read(&mut self, dev_addr: u64, buf: &mut [u8], _now: SimTime) {
         let start = dev_addr as usize;
-        let end = start + len as usize;
+        let end = start + buf.len();
         assert!(end <= self.data.len(), "loopback read out of range");
-        self.data[start..end].to_vec()
+        buf.copy_from_slice(&self.data[start..end]);
     }
 
     fn validate(&self, dev_addr: u64, nbytes: u64) -> bool {
@@ -80,7 +90,7 @@ mod tests {
     fn loopback_roundtrip() {
         let mut p = LoopbackPort::new(16);
         p.dma_write(4, &[1, 2, 3], SimTime::ZERO);
-        assert_eq!(p.dma_read(4, 3, SimTime::ZERO), vec![1, 2, 3]);
+        assert_eq!(p.dma_read_vec(4, 3, SimTime::ZERO), vec![1, 2, 3]);
         assert_eq!(p.bytes()[3], 0);
     }
 

@@ -4,7 +4,7 @@ use shrimp_devices::Device;
 use shrimp_dma::DmaTiming;
 use shrimp_mem::{Layout, PhysMemory, Region, VirtAddr, MMIO_BASE, PAGE_SIZE};
 use shrimp_mmu::{AccessKind, Fault, Mmu, Mode, PageTable};
-use shrimp_sim::{Clock, CostModel, SimDuration, SimTime, StatSet, TraceBuffer};
+use shrimp_sim::{Clock, CostModel, Counter, SimDuration, SimTime, StatSet, TraceBuffer};
 
 use crate::{UdmaHw, UdmaMode};
 
@@ -36,6 +36,23 @@ impl Default for MachineConfig {
     }
 }
 
+/// Per-region reference counters.
+///
+/// Plain fields rather than a keyed [`StatSet`]: `load`/`store` run once
+/// per simulated reference, so the bookkeeping must be a single inlined
+/// increment. [`Machine::stats`] folds them into a reportable set.
+#[derive(Clone, Copy, Debug, Default)]
+struct RefCounters {
+    mem_loads: Counter,
+    mem_stores: Counter,
+    proxy_loads: Counter,
+    proxy_stores: Counter,
+    mmio_loads: Counter,
+    mmio_stores: Counter,
+    inval_stores: Counter,
+    kernel_dmas: Counter,
+}
+
 /// One simulated SHRIMP node's hardware.
 ///
 /// Generic over its UDMA-capable device `D` so examples and the SHRIMP
@@ -49,7 +66,7 @@ pub struct Machine<D> {
     mmu: Mmu,
     udma: UdmaHw,
     device: D,
-    stats: StatSet,
+    refs: RefCounters,
     trace: TraceBuffer,
 }
 
@@ -69,7 +86,7 @@ impl<D: Device> Machine<D> {
             layout,
             cost: config.cost,
             device,
-            stats: StatSet::new("machine"),
+            refs: RefCounters::default(),
             trace: TraceBuffer::new(4096),
         }
     }
@@ -129,9 +146,24 @@ impl<D: Device> Machine<D> {
         &mut self.device
     }
 
-    /// Machine statistics (reference counts by region, faults).
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    /// Machine statistics (reference counts by region) as a reportable
+    /// set. Built on demand; the counters themselves are plain fields so
+    /// the reference path stays a single increment.
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new("machine");
+        for (key, c) in [
+            ("mem_loads", self.refs.mem_loads),
+            ("mem_stores", self.refs.mem_stores),
+            ("proxy_loads", self.refs.proxy_loads),
+            ("proxy_stores", self.refs.proxy_stores),
+            ("mmio_loads", self.refs.mmio_loads),
+            ("mmio_stores", self.refs.mmio_stores),
+            ("inval_stores", self.refs.inval_stores),
+            ("kernel_dmas", self.refs.kernel_dmas),
+        ] {
+            s.add(key, c.get());
+        }
+        s
     }
 
     /// The event transcript (disabled by default; enable with
@@ -214,12 +246,12 @@ impl<D: Device> Machine<D> {
         match self.layout.region_of_phys(pa) {
             Region::Memory => {
                 self.clock.advance(self.cost.cached_ref + tlb_cost);
-                self.stats.bump("mem_loads");
+                self.refs.mem_loads.incr();
                 Ok(self.mem.read_u64(pa).expect("mapped frame must be in range"))
             }
             Region::MemoryProxy | Region::DeviceProxy => {
                 self.clock.advance(self.cost.proxy_load + tlb_cost);
-                self.stats.bump("proxy_loads");
+                self.refs.proxy_loads.incr();
                 let now = self.clock.now();
                 let status = if mode == Mode::Kernel {
                     self.udma.handle_load_system(pa, now, &mut self.mem, &mut self.device)
@@ -231,7 +263,7 @@ impl<D: Device> Machine<D> {
             }
             Region::Mmio => {
                 self.clock.advance(self.cost.pio_word_store + tlb_cost);
-                self.stats.bump("mmio_loads");
+                self.refs.mmio_loads.incr();
                 let now = self.clock.now();
                 Ok(self.device.mmio_load(pa.raw() - MMIO_BASE, now))
             }
@@ -263,10 +295,8 @@ impl<D: Device> Machine<D> {
         match self.layout.region_of_phys(pa) {
             Region::Memory => {
                 self.clock.advance(self.cost.cached_ref + tlb_cost);
-                self.stats.bump("mem_stores");
-                self.mem
-                    .write_u64(pa, value as u64)
-                    .expect("mapped frame must be in range");
+                self.refs.mem_stores.incr();
+                self.mem.write_u64(pa, value as u64).expect("mapped frame must be in range");
                 // The device snoops the memory bus (automatic update).
                 let now = self.clock.now();
                 self.device.snoop_store(pa, value as u64, now);
@@ -274,7 +304,7 @@ impl<D: Device> Machine<D> {
             }
             Region::MemoryProxy | Region::DeviceProxy => {
                 self.clock.advance(self.cost.proxy_store + tlb_cost);
-                self.stats.bump("proxy_stores");
+                self.refs.proxy_stores.incr();
                 let now = self.clock.now();
                 self.udma.handle_store(pa, value, now, &mut self.mem, &mut self.device);
                 self.trace.record(now, "udma", || format!("STORE {value} TO {pa}"));
@@ -282,7 +312,7 @@ impl<D: Device> Machine<D> {
             }
             Region::Mmio => {
                 self.clock.advance(self.cost.pio_word_store + tlb_cost);
-                self.stats.bump("mmio_stores");
+                self.refs.mmio_stores.incr();
                 let now = self.clock.now();
                 self.device.mmio_store(pa.raw() - MMIO_BASE, value as u64, now);
                 Ok(())
@@ -317,8 +347,7 @@ impl<D: Device> Machine<D> {
                 .expect("mapped frame must be in range");
             self.clock.advance(tlb_cost + self.cost.instructions(chunk / 8 + 1));
             let now = self.clock.now();
-            self.device
-                .snoop_write(pa, &data[off as usize..(off + chunk) as usize], now);
+            self.device.snoop_write(pa, &data[off as usize..(off + chunk) as usize], now);
             off += chunk;
         }
         self.poll();
@@ -344,9 +373,7 @@ impl<D: Device> Machine<D> {
             let chunk = cur.bytes_to_page_end().min(len - off);
             let (pa, tlb_cost) = self.mmu.translate(pt, cur, AccessKind::Read, mode)?;
             debug_assert_eq!(self.layout.region_of_phys(pa), Region::Memory);
-            out.extend_from_slice(
-                self.mem.read(pa, chunk).expect("mapped frame must be in range"),
-            );
+            out.extend_from_slice(self.mem.read(pa, chunk).expect("mapped frame must be in range"));
             self.clock.advance(tlb_cost + self.cost.instructions(chunk / 8 + 1));
             off += chunk;
         }
@@ -365,7 +392,7 @@ impl<D: Device> Machine<D> {
         let now = self.clock.now();
         self.udma.handle_store(proxy, -1, now, &mut self.mem, &mut self.device);
         self.trace.record(now, "udma", || "INVAL (context switch)".to_string());
-        self.stats.bump("inval_stores");
+        self.refs.inval_stores.incr();
     }
 
     /// Splits the machine into (UDMA hardware, memory, device) for direct
@@ -400,18 +427,19 @@ impl<D: Device> Machine<D> {
             Direction::MemToDev => {
                 let data = self
                     .mem
-                    .read_vec(mem_addr, nbytes)
+                    .read(mem_addr, nbytes)
                     .expect("kernel DMA source must be translated and resident");
-                self.device.dma_write(dev_addr, &data, now);
+                self.device.dma_write(dev_addr, data, now);
             }
             Direction::DevToMem => {
-                let data = self.device.dma_read(dev_addr, nbytes, now);
-                self.mem
-                    .write(mem_addr, &data)
+                let buf = self
+                    .mem
+                    .slice_mut(mem_addr, nbytes)
                     .expect("kernel DMA destination must be translated and resident");
+                self.device.dma_read(dev_addr, buf, now);
             }
         }
-        self.stats.bump("kernel_dmas");
+        self.refs.kernel_dmas.incr();
         d
     }
 }

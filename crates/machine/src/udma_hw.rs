@@ -109,12 +109,7 @@ impl UdmaHw {
     /// When all accepted work will have drained (now for an idle device).
     pub fn drained_at(&self, now: SimTime) -> SimTime {
         match self {
-            UdmaHw::Basic(c) => c
-                .engine()
-                .active()
-                .map(|t| t.completes_at)
-                .unwrap_or(now)
-                .max(now),
+            UdmaHw::Basic(c) => c.engine().active().map(|t| t.completes_at).unwrap_or(now).max(now),
             UdmaHw::Queued(q) => q.drained_at().max(now),
         }
     }

@@ -70,10 +70,7 @@ impl BackingStore {
     /// [`MemError::BadSwapSlot`] if the slot was never written.
     pub fn read(&mut self, slot: SwapSlot) -> Result<&[u8], MemError> {
         self.reads += 1;
-        self.slots
-            .get(&slot.0)
-            .map(Vec::as_slice)
-            .ok_or(MemError::BadSwapSlot(slot.0))
+        self.slots.get(&slot.0).map(Vec::as_slice).ok_or(MemError::BadSwapSlot(slot.0))
     }
 
     /// True if `slot` holds data.

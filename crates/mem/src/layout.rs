@@ -61,10 +61,7 @@ impl Layout {
     /// overlap) or `dev_proxy_bytes` exceeds the device proxy region size.
     pub fn new(mem_bytes: u64, dev_proxy_bytes: u64) -> Self {
         assert!(mem_bytes <= PROXY_OFFSET, "memory overlaps proxy region");
-        assert!(
-            dev_proxy_bytes <= MMIO_BASE - DEV_PROXY_BASE,
-            "device proxy region too large"
-        );
+        assert!(dev_proxy_bytes <= MMIO_BASE - DEV_PROXY_BASE, "device proxy region too large");
         Layout { mem_bytes, dev_proxy_bytes }
     }
 

@@ -30,7 +30,7 @@ mod frames;
 mod layout;
 mod phys;
 
-pub use addr::{PhysAddr, Pfn, VirtAddr, Vpn, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 pub use backing::{BackingStore, SwapSlot};
 pub use error::MemError;
 pub use frames::FrameAllocator;

@@ -1,6 +1,6 @@
 //! Simulated physical memory: a flat byte array with bounds-checked access.
 
-use crate::{MemError, PhysAddr, Pfn, PAGE_SIZE};
+use crate::{MemError, Pfn, PhysAddr, PAGE_SIZE};
 
 /// The installed physical memory of one simulated node.
 ///
@@ -42,9 +42,10 @@ impl PhysMemory {
 
     fn check(&self, pa: PhysAddr, len: u64) -> Result<(usize, usize), MemError> {
         let start = pa.raw();
-        let end = start.checked_add(len).filter(|&e| e <= self.size()).ok_or(
-            MemError::OutOfRange { addr: start, len },
-        )?;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.size())
+            .ok_or(MemError::OutOfRange { addr: start, len })?;
         Ok((start as usize, end as usize))
     }
 
@@ -67,6 +68,18 @@ impl PhysMemory {
         self.read(pa, len).map(<[u8]>::to_vec)
     }
 
+    /// Mutably borrows `len` bytes starting at `pa` — the destination side
+    /// of a device→memory DMA retirement, filled in place so no
+    /// intermediate buffer is ever materialized.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range exceeds installed memory.
+    pub fn slice_mut(&mut self, pa: PhysAddr, len: u64) -> Result<&mut [u8], MemError> {
+        let (s, e) = self.check(pa, len)?;
+        Ok(&mut self.bytes[s..e])
+    }
+
     /// Writes `data` starting at `pa`.
     ///
     /// # Errors
@@ -75,6 +88,39 @@ impl PhysMemory {
     pub fn write(&mut self, pa: PhysAddr, data: &[u8]) -> Result<(), MemError> {
         let (s, e) = self.check(pa, data.len() as u64)?;
         self.bytes[s..e].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` in `src_mem` to `dst` here — the
+    /// slice-to-slice path for memory↔memory movement between two nodes
+    /// (e.g. packet delivery), with no intermediate `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if either range exceeds its memory.
+    pub fn copy_from_mem(
+        &mut self,
+        dst: PhysAddr,
+        src_mem: &PhysMemory,
+        src: PhysAddr,
+        len: u64,
+    ) -> Result<(), MemError> {
+        let (ss, se) = src_mem.check(src, len)?;
+        let (ds, de) = self.check(dst, len)?;
+        self.bytes[ds..de].copy_from_slice(&src_mem.bytes[ss..se]);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within this memory (ranges
+    /// may overlap) — the kernel bounce-buffer copy, done in place.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if either range exceeds installed memory.
+    pub fn copy_within(&mut self, src: PhysAddr, dst: PhysAddr, len: u64) -> Result<(), MemError> {
+        let (ss, _) = self.check(src, len)?;
+        let (ds, _) = self.check(dst, len)?;
+        self.bytes.copy_within(ss..ss + len as usize, ds);
         Ok(())
     }
 
@@ -179,6 +225,34 @@ mod tests {
         let mut m = PhysMemory::new(PAGE_SIZE);
         m.fill(PhysAddr::new(8), 4, 0xaa).unwrap();
         assert_eq!(m.read_vec(PhysAddr::new(7), 6).unwrap(), vec![0, 0xaa, 0xaa, 0xaa, 0xaa, 0]);
+    }
+
+    #[test]
+    fn slice_mut_fills_in_place() {
+        let mut m = PhysMemory::new(PAGE_SIZE);
+        m.slice_mut(PhysAddr::new(4), 3).unwrap().copy_from_slice(&[1, 2, 3]);
+        assert_eq!(m.read_vec(PhysAddr::new(4), 3).unwrap(), vec![1, 2, 3]);
+        assert!(m.slice_mut(PhysAddr::new(PAGE_SIZE - 1), 2).is_err());
+    }
+
+    #[test]
+    fn copy_from_mem_moves_between_nodes() {
+        let mut a = PhysMemory::new(PAGE_SIZE);
+        let mut b = PhysMemory::new(PAGE_SIZE);
+        a.write(PhysAddr::new(0x40), b"inter-node").unwrap();
+        b.copy_from_mem(PhysAddr::new(0x80), &a, PhysAddr::new(0x40), 10).unwrap();
+        assert_eq!(b.read(PhysAddr::new(0x80), 10).unwrap(), b"inter-node");
+        assert!(b.copy_from_mem(PhysAddr::new(0), &a, PhysAddr::new(PAGE_SIZE), 1).is_err());
+        assert!(b.copy_from_mem(PhysAddr::new(PAGE_SIZE), &a, PhysAddr::new(0), 1).is_err());
+    }
+
+    #[test]
+    fn copy_within_allows_overlap() {
+        let mut m = PhysMemory::new(PAGE_SIZE);
+        m.write(PhysAddr::new(0), &[1, 2, 3, 4]).unwrap();
+        m.copy_within(PhysAddr::new(0), PhysAddr::new(2), 4).unwrap();
+        assert_eq!(m.read_vec(PhysAddr::new(0), 6).unwrap(), vec![1, 2, 1, 2, 3, 4]);
+        assert!(m.copy_within(PhysAddr::new(PAGE_SIZE - 1), PhysAddr::new(0), 2).is_err());
     }
 
     #[test]

@@ -28,7 +28,12 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
-        Tlb { entries: Vec::with_capacity(capacity), capacity, hits: Counter::new(), misses: Counter::new() }
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
     }
 
     /// Looks up `vpn`, recording a hit or miss.

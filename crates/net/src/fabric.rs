@@ -1,6 +1,6 @@
 //! The mesh fabric: routing, link occupancy and in-order delivery.
 
-use shrimp_sim::{EventQueue, SimDuration, SimTime, StatSet};
+use shrimp_sim::{Counter, EventQueue, SimDuration, SimTime, StatSet};
 
 use crate::{NodeId, Packet};
 
@@ -34,7 +34,9 @@ pub struct Interconnect {
     in_flight: EventQueue<Packet>,
     /// Inbound-link occupancy per destination node.
     link_busy_until: Vec<SimTime>,
-    stats: StatSet,
+    /// Per-packet counts: plain fields, bumped once per injected packet.
+    packets: Counter,
+    payload_bytes: Counter,
 }
 
 impl Interconnect {
@@ -52,7 +54,8 @@ impl Interconnect {
             params,
             in_flight: EventQueue::new(),
             link_busy_until: vec![SimTime::ZERO; nodes as usize],
-            stats: StatSet::new("net"),
+            packets: Counter::new(),
+            payload_bytes: Counter::new(),
         }
     }
 
@@ -88,8 +91,8 @@ impl Interconnect {
         let arrives = start + wire;
         *link = arrives;
 
-        self.stats.bump("packets");
-        self.stats.add("payload_bytes", packet.payload.len() as u64);
+        self.packets.incr();
+        self.payload_bytes.add(packet.payload.len() as u64);
         self.in_flight.schedule(arrives, packet);
         arrives
     }
@@ -98,6 +101,13 @@ impl Interconnect {
     /// `(arrival_time, packet)` in arrival order.
     pub fn deliver_until(&mut self, deadline: SimTime) -> Vec<(SimTime, Packet)> {
         self.in_flight.pop_until(deadline).map(|e| (e.at, e.payload)).collect()
+    }
+
+    /// Removes the earliest packet that has arrived by `deadline`, if any —
+    /// the allocation-free form of [`Interconnect::deliver_until`] the
+    /// receive loop drains one packet at a time.
+    pub fn deliver_due(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
+        self.in_flight.pop_due(deadline).map(|e| (e.at, e.payload))
     }
 
     /// Earliest pending arrival, if any.
@@ -111,8 +121,11 @@ impl Interconnect {
     }
 
     /// Fabric statistics.
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new("net");
+        s.add("packets", self.packets.get());
+        s.add("payload_bytes", self.payload_bytes.get());
+        s
     }
 }
 
@@ -176,6 +189,17 @@ mod tests {
         assert_eq!(net.in_flight_count(), 1);
         assert_eq!(net.deliver_until(arrives).len(), 1);
         assert_eq!(net.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn deliver_due_pops_one_at_a_time() {
+        let mut net = Interconnect::new(2, LinkParams::default());
+        let a = net.send(pkt(0, 1, 64), SimTime::ZERO);
+        let b = net.send(pkt(0, 1, 64), SimTime::ZERO);
+        assert!(net.deliver_due(a - SimDuration::from_nanos(1)).is_none());
+        assert_eq!(net.deliver_due(b).map(|(at, _)| at), Some(a));
+        assert_eq!(net.deliver_due(b).map(|(at, _)| at), Some(b));
+        assert!(net.deliver_due(b).is_none());
     }
 
     #[test]

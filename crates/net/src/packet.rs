@@ -3,7 +3,7 @@
 use std::fmt;
 
 use shrimp_mem::PhysAddr;
-use shrimp_sim::SimTime;
+use shrimp_sim::{Payload, SimTime};
 
 /// Identifies a node on the backplane.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -39,16 +39,20 @@ pub struct Packet {
     pub dst: NodeId,
     /// Destination physical memory address on the receiving node.
     pub dst_paddr: PhysAddr,
-    /// Message data.
-    pub payload: Vec<u8>,
+    /// Message data — a pooled buffer the sending NIC filled once; its
+    /// storage recycles into the NIC's [`shrimp_sim::BufPool`] when the
+    /// receiver drops the packet.
+    pub payload: Payload,
     /// When the packet entered the network (stamped by the fabric).
     pub sent_at: SimTime,
 }
 
 impl Packet {
-    /// Builds a packet (the fabric stamps `sent_at` on send).
-    pub fn new(src: NodeId, dst: NodeId, dst_paddr: PhysAddr, payload: Vec<u8>) -> Self {
-        Packet { src, dst, dst_paddr, payload, sent_at: SimTime::ZERO }
+    /// Builds a packet (the fabric stamps `sent_at` on send). Accepts any
+    /// payload source: a pooled [`Payload`] on the hot path, or a plain
+    /// `Vec<u8>` in tests.
+    pub fn new(src: NodeId, dst: NodeId, dst_paddr: PhysAddr, payload: impl Into<Payload>) -> Self {
+        Packet { src, dst, dst_paddr, payload: payload.into(), sent_at: SimTime::ZERO }
     }
 
     /// Header size on the wire (node id + physical address + length).

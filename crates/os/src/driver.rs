@@ -93,11 +93,7 @@ impl<'a, D: Device> Driver<'a, D> {
     /// # Errors
     ///
     /// The first [`Trap`] any workload raises.
-    pub fn run_bounded(
-        &mut self,
-        node: &mut Node<D>,
-        max_steps: u64,
-    ) -> Result<Option<u64>, Trap> {
+    pub fn run_bounded(&mut self, node: &mut Node<D>, max_steps: u64) -> Result<Option<u64>, Trap> {
         let mut live: Vec<bool> = vec![true; self.workloads.len()];
         let mut steps = 0u64;
         while live.iter().any(|&l| l) {

@@ -5,9 +5,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use shrimp_devices::Device;
 use shrimp_machine::{Machine, MachineConfig};
-use shrimp_mem::{
-    BackingStore, FrameAllocator, Pfn, Region, SwapSlot, VirtAddr, Vpn, PAGE_SIZE,
-};
+use shrimp_mem::{BackingStore, FrameAllocator, Pfn, Region, SwapSlot, VirtAddr, Vpn, PAGE_SIZE};
 use shrimp_mmu::{Fault, Mode, Pte, PteFlags};
 use shrimp_sim::StatSet;
 
@@ -15,8 +13,7 @@ use crate::process::{DeviceGrant, Pid, Process, VPage};
 use crate::Trap;
 
 /// Node-level configuration.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct NodeConfig {
     /// Hardware configuration.
     pub machine: MachineConfig,
@@ -25,7 +22,6 @@ pub struct NodeConfig {
     /// pressure for the invariant and pinning experiments.
     pub user_frames: Option<u64>,
 }
-
 
 /// A complete simulated node: the machine hardware plus the kernel state
 /// that manages it.
@@ -192,12 +188,16 @@ impl<D: Device> Node<D> {
     ///
     /// [`Trap::NoSuchProcess`] for an unknown pid.
     pub fn ensure_current(&mut self, pid: Pid) -> Result<(), Trap> {
+        if self.current == Some(pid) {
+            // A scheduled pid always has a process-table entry (exit()
+            // deschedules before removing), so skip the existence lookup.
+            debug_assert!(self.procs.contains_key(&pid));
+            return Ok(());
+        }
         if !self.procs.contains_key(&pid) {
             return Err(Trap::NoSuchProcess(pid));
         }
-        if self.current != Some(pid) {
-            self.context_switch(Some(pid));
-        }
+        self.context_switch(Some(pid));
         Ok(())
     }
 
@@ -223,9 +223,13 @@ impl<D: Device> Node<D> {
     ///
     /// Any [`Trap`] the fault handler raises.
     pub fn user_load(&mut self, pid: Pid, va: VirtAddr) -> Result<u64, Trap> {
-        self.ensure_current(pid)?;
+        // `pid` already scheduled is the steady state; the process-table
+        // lookup below doubles as the existence check.
+        if self.current != Some(pid) {
+            self.ensure_current(pid)?;
+        }
         for _ in 0..MAX_FAULT_RESTARTS {
-            let proc = self.procs.get_mut(&pid).expect("checked by ensure_current");
+            let proc = self.procs.get_mut(&pid).ok_or(Trap::NoSuchProcess(pid))?;
             match self.machine.load(&mut proc.pt, va, Mode::User) {
                 Ok(v) => return Ok(v),
                 Err(fault) => self.handle_fault(pid, fault)?,
@@ -240,9 +244,11 @@ impl<D: Device> Node<D> {
     ///
     /// Any [`Trap`] the fault handler raises.
     pub fn user_store(&mut self, pid: Pid, va: VirtAddr, value: i64) -> Result<(), Trap> {
-        self.ensure_current(pid)?;
+        if self.current != Some(pid) {
+            self.ensure_current(pid)?;
+        }
         for _ in 0..MAX_FAULT_RESTARTS {
-            let proc = self.procs.get_mut(&pid).expect("checked by ensure_current");
+            let proc = self.procs.get_mut(&pid).ok_or(Trap::NoSuchProcess(pid))?;
             match self.machine.store(&mut proc.pt, va, value, Mode::User) {
                 Ok(()) => return Ok(()),
                 Err(fault) => self.handle_fault(pid, fault)?,
@@ -323,9 +329,7 @@ impl<D: Device> Node<D> {
         self.machine.advance(overhead);
         self.stats.bump("page_faults");
         let now = self.machine.now();
-        self.machine
-            .trace_mut()
-            .record(now, "kernel", || format!("{pid}: {fault}"));
+        self.machine.trace_mut().record(now, "kernel", || format!("{pid}: {fault}"));
         let layout = self.machine.layout();
         let va = fault.va();
         match layout.region_of_virt(va) {
@@ -357,12 +361,12 @@ impl<D: Device> Node<D> {
     fn fault_memory_proxy(&mut self, pid: Pid, fault: Fault) -> Result<(), Trap> {
         let layout = self.machine.layout();
         let va = fault.va();
-        let real_va = layout
-            .virt_of_proxy(va)
-            .expect("region dispatch guarantees a memory-proxy address");
+        let real_va =
+            layout.virt_of_proxy(va).expect("region dispatch guarantees a memory-proxy address");
         let real_vpn = real_va.page();
 
-        let Some(&vpage) = self.procs.get(&pid).ok_or(Trap::NoSuchProcess(pid))?.vpages.get(&real_vpn)
+        let Some(&vpage) =
+            self.procs.get(&pid).ok_or(Trap::NoSuchProcess(pid))?.vpages.get(&real_vpn)
         else {
             // Case 3: "vmem_page is not accessible for the process. The
             // kernel treats this like an illegal access."
@@ -390,10 +394,8 @@ impl<D: Device> Node<D> {
                 self.machine.advance(pte_cost);
                 let proc = self.procs.get_mut(&pid).expect("existence checked above");
                 proc.pt.set_flags(real_vpn, PteFlags::DIRTY);
-                let proxy_vpn = layout
-                    .proxy_of_virt(real_va)
-                    .expect("real address in memory region")
-                    .page();
+                let proxy_vpn =
+                    layout.proxy_of_virt(real_va).expect("real address in memory region").page();
                 proc.pt.set_flags(proxy_vpn, PteFlags::WRITABLE);
                 self.machine.mmu_mut().flush_page(proxy_vpn);
                 self.machine.mmu_mut().flush_page(real_vpn);
@@ -441,20 +443,13 @@ impl<D: Device> Node<D> {
         let layout = self.machine.layout();
         let proc = self.procs.get_mut(&pid).expect("caller validated pid");
         let real_pte = *proc.pt.get(real_vpn).expect("real page must be mapped first");
-        let segment_writable =
-            proc.vpages.get(&real_vpn).map(VPage::writable).unwrap_or(false);
+        let segment_writable = proc.vpages.get(&real_vpn).map(VPage::writable).unwrap_or(false);
         let mut flags = PteFlags::VALID | PteFlags::USER | PteFlags::UNCACHED | PteFlags::PROXY;
         if segment_writable && real_pte.is_dirty() {
             flags |= PteFlags::WRITABLE;
         }
-        let proxy_vpn = layout
-            .proxy_of_virt(real_vpn.base())
-            .expect("vpn in memory region")
-            .page();
-        let proxy_pfn = layout
-            .proxy_of_phys(pfn.base())
-            .expect("pfn in memory region")
-            .page();
+        let proxy_vpn = layout.proxy_of_virt(real_vpn.base()).expect("vpn in memory region").page();
+        let proxy_pfn = layout.proxy_of_phys(pfn.base()).expect("pfn in memory region").page();
         proc.pt.map(proxy_vpn, Pte::new(proxy_pfn, flags));
         let pte_cost = self.machine.cost().pte_update;
         self.machine.advance(pte_cost);
@@ -499,10 +494,7 @@ impl<D: Device> Node<D> {
                     + self.machine.cost().disk_transfer(PAGE_SIZE);
                 self.machine.advance(io);
                 let data = self.swap.read(slot).expect("swapped page has contents").to_vec();
-                self.machine
-                    .mem_mut()
-                    .write_frame(pfn, &data)
-                    .expect("allocated frame in range");
+                self.machine.mem_mut().write_frame(pfn, &data).expect("allocated frame in range");
                 self.stats.bump("page_ins");
                 (pfn, writable)
             }

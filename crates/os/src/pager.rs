@@ -104,18 +104,11 @@ impl<D: Device> Node<D> {
 
         // Where do the contents go?
         let new_state = if was_dirty || has_slot {
-            let slot = *self
-                .swap_slots
-                .entry((pid, vpn))
-                .or_insert_with(|| self.swap.alloc());
+            let slot = *self.swap_slots.entry((pid, vpn)).or_insert_with(|| self.swap.alloc());
             if was_dirty || !self.swap.contains(slot) {
                 // Clean: write the frame to backing store.
-                let frame = self
-                    .machine
-                    .mem()
-                    .frame(pfn)
-                    .expect("resident frame in range")
-                    .to_vec();
+                let frame =
+                    self.machine.mem().frame(pfn).expect("resident frame in range").to_vec();
                 self.swap.write(slot, &frame);
                 let io = self.machine.cost().disk_seek
                     + self.machine.cost().disk_rotation
@@ -133,10 +126,8 @@ impl<D: Device> Node<D> {
         let proc = self.procs.get_mut(&pid).expect("owner exists");
         proc.pt.unmap(vpn);
         proc.vpages.insert(vpn, new_state);
-        let proxy_vpn = layout
-            .proxy_of_virt(vpn.base())
-            .expect("user pages live in the memory region")
-            .page();
+        let proxy_vpn =
+            layout.proxy_of_virt(vpn.base()).expect("user pages live in the memory region").page();
         proc.pt.unmap(proxy_vpn);
         self.machine.mmu_mut().flush_page(vpn);
         self.machine.mmu_mut().flush_page(proxy_vpn);
@@ -146,9 +137,7 @@ impl<D: Device> Node<D> {
         self.frame_owner.remove(&pfn);
         self.frames.free(pfn);
         let now = self.machine.now();
-        self.machine
-            .trace_mut()
-            .record(now, "pager", || format!("evicted {pid}:{vpn} from {pfn}"));
+        self.machine.trace_mut().record(now, "pager", || format!("evicted {pid}:{vpn} from {pfn}"));
         self.stats.bump("evictions");
     }
 
@@ -189,10 +178,8 @@ impl<D: Device> Node<D> {
 
         let proc = self.procs.get_mut(&pid).expect("validated above");
         proc.pt.clear_flags(vpn, PteFlags::DIRTY);
-        let proxy_vpn = layout
-            .proxy_of_virt(vpn.base())
-            .expect("user pages live in the memory region")
-            .page();
+        let proxy_vpn =
+            layout.proxy_of_virt(vpn.base()).expect("user pages live in the memory region").page();
         proc.pt.clear_flags(proxy_vpn, PteFlags::WRITABLE);
         self.machine.mmu_mut().flush_page(vpn);
         self.machine.mmu_mut().flush_page(proxy_vpn);
@@ -361,11 +348,7 @@ mod tests {
             ..shrimp_sim::CostModel::default()
         };
         let config = NodeConfig {
-            machine: MachineConfig {
-                mem_bytes: 256 * PAGE_SIZE,
-                cost,
-                ..MachineConfig::default()
-            },
+            machine: MachineConfig { mem_bytes: 256 * PAGE_SIZE, cost, ..MachineConfig::default() },
             user_frames: Some(3),
         };
         let mut n = Node::new(config, StreamSink::new("sink"));
@@ -380,9 +363,8 @@ mod tests {
         n.user_store(pid, vdev, PAGE_SIZE as i64).unwrap();
         let status = udma_core::UdmaStatus::unpack(n.user_load(pid, vproxy).unwrap());
         assert!(status.started());
-        let held = n.process(pid).unwrap().vpages[&VirtAddr::new(0x10000).page()]
-            .pfn()
-            .expect("resident");
+        let held =
+            n.process(pid).unwrap().vpages[&VirtAddr::new(0x10000).page()].pfn().expect("resident");
 
         // Thrash memory: the held frame must survive every eviction pass.
         for i in 1..8u64 {
@@ -403,17 +385,12 @@ mod tests {
         let pid = n.spawn();
         n.mmap(pid, 0x10000, 6, true).unwrap();
         n.user_store(pid, VirtAddr::new(0x10000), 9).unwrap();
-        let pfn = n.process(pid).unwrap().vpages[&VirtAddr::new(0x10000).page()]
-            .pfn()
-            .unwrap();
+        let pfn = n.process(pid).unwrap().vpages[&VirtAddr::new(0x10000).page()].pfn().unwrap();
         n.pin_frame(pfn);
         for i in 1..6u64 {
             n.user_store(pid, VirtAddr::new(0x10000 + i * PAGE_SIZE), 1).unwrap();
         }
-        assert_eq!(
-            n.process(pid).unwrap().vpages[&VirtAddr::new(0x10000).page()].pfn(),
-            Some(pfn)
-        );
+        assert_eq!(n.process(pid).unwrap().vpages[&VirtAddr::new(0x10000).page()].pfn(), Some(pfn));
         n.unpin_frame(pfn);
     }
 
@@ -424,10 +401,8 @@ mod tests {
         n.mmap(pid, 0x10000, 4, true).unwrap();
         for i in 0..2u64 {
             n.user_store(pid, VirtAddr::new(0x10000 + i * PAGE_SIZE), 1).unwrap();
-            let pfn = n
-                .process(pid)
-                .unwrap()
-                .vpages[&VirtAddr::new(0x10000 + i * PAGE_SIZE).page()]
+            let pfn = n.process(pid).unwrap().vpages
+                [&VirtAddr::new(0x10000 + i * PAGE_SIZE).page()]
                 .pfn()
                 .unwrap();
             n.pin_frame(pfn);

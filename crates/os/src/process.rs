@@ -104,9 +104,7 @@ impl Process {
 
     /// The grant covering device proxy page `dev_page`, if any.
     pub fn grant_for(&self, dev_page: u64) -> Option<&DeviceGrant> {
-        self.grants
-            .iter()
-            .find(|g| (g.first_page..g.first_page + g.pages).contains(&dev_page))
+        self.grants.iter().find(|g| (g.first_page..g.first_page + g.pages).contains(&dev_page))
     }
 
     /// Number of resident pages.

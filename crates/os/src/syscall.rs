@@ -159,30 +159,20 @@ impl<D: Device> Node<D> {
                     let copy = c.kernel_copy(chunk);
                     match direction {
                         Direction::MemToDev => {
-                            let data = self
-                                .machine
-                                .mem()
-                                .read_vec(pa, chunk)
-                                .expect("resident page in range");
                             self.machine.advance(copy);
                             self.machine
                                 .mem_mut()
-                                .write(bounce, &data)
-                                .expect("bounce buffer in range");
+                                .copy_within(pa, bounce, chunk)
+                                .expect("bounce copy in range");
                             self.machine.kernel_dma(direction, bounce, dev_addr + moved, chunk);
                         }
                         Direction::DevToMem => {
                             self.machine.kernel_dma(direction, bounce, dev_addr + moved, chunk);
-                            let data = self
-                                .machine
-                                .mem()
-                                .read_vec(bounce, chunk)
-                                .expect("bounce buffer in range");
                             self.machine.advance(copy);
                             self.machine
                                 .mem_mut()
-                                .write(pa, &data)
-                                .expect("resident page in range");
+                                .copy_within(bounce, pa, chunk)
+                                .expect("bounce copy in range");
                         }
                     }
                 }
@@ -224,9 +214,8 @@ mod tests {
         let pid = n.spawn();
         n.mmap(pid, 0x10000, 2, true).unwrap();
         n.write_user(pid, VirtAddr::new(0x10000), b"kernel dma payload").unwrap();
-        let r = n
-            .sys_dma_to_device(pid, VirtAddr::new(0x10000), 0, 18, DmaStrategy::PinPages)
-            .unwrap();
+        let r =
+            n.sys_dma_to_device(pid, VirtAddr::new(0x10000), 0, 18, DmaStrategy::PinPages).unwrap();
         assert_eq!(r.bytes, 18);
         assert_eq!(r.pages, 1);
         assert_eq!(n.machine().device().writes()[0].1, b"kernel dma payload");
@@ -255,9 +244,8 @@ mod tests {
         let pid = n.spawn();
         n.mmap(pid, 0x10000, 1, true).unwrap();
         n.write_user(pid, VirtAddr::new(0x10000), &[1; 64]).unwrap();
-        let r = n
-            .sys_dma_to_device(pid, VirtAddr::new(0x10000), 0, 64, DmaStrategy::PinPages)
-            .unwrap();
+        let r =
+            n.sys_dma_to_device(pid, VirtAddr::new(0x10000), 0, 64, DmaStrategy::PinPages).unwrap();
         let udma_init = n.machine().cost().udma_initiation();
         assert!(
             r.elapsed > udma_init * 5,
@@ -275,16 +263,17 @@ mod tests {
         let data: Vec<u8> = (0..2 * PAGE_SIZE + 100).map(|i| i as u8).collect();
         n.write_user(pid, VirtAddr::new(0x10000), &data).unwrap();
         let r = n
-            .sys_dma_to_device(pid, VirtAddr::new(0x10000), 0, data.len() as u64, DmaStrategy::PinPages)
+            .sys_dma_to_device(
+                pid,
+                VirtAddr::new(0x10000),
+                0,
+                data.len() as u64,
+                DmaStrategy::PinPages,
+            )
             .unwrap();
         assert_eq!(r.pages, 3);
-        let received: Vec<u8> = n
-            .machine()
-            .device()
-            .writes()
-            .iter()
-            .flat_map(|(_, d, _)| d.clone())
-            .collect();
+        let received: Vec<u8> =
+            n.machine().device().writes().iter().flat_map(|(_, d, _)| d.clone()).collect();
         assert_eq!(received, data);
     }
 
@@ -294,8 +283,7 @@ mod tests {
         let pid = n.spawn();
         n.mmap(pid, 0x10000, 1, true).unwrap();
         let _ = n.user_load(pid, VirtAddr::new(0x10000)).unwrap(); // clean page
-        n.sys_dma_from_device(pid, VirtAddr::new(0x10000), 0, 32, DmaStrategy::PinPages)
-            .unwrap();
+        n.sys_dma_from_device(pid, VirtAddr::new(0x10000), 0, 32, DmaStrategy::PinPages).unwrap();
         let proc = n.process(pid).unwrap();
         assert!(proc.pt.get(VirtAddr::new(0x10000).page()).unwrap().is_dirty());
         n.check_invariants().unwrap();
@@ -327,9 +315,8 @@ mod tests {
     fn zero_byte_transfer_is_trivial() {
         let mut n = node();
         let pid = n.spawn();
-        let r = n
-            .sys_dma_to_device(pid, VirtAddr::new(0x10000), 0, 0, DmaStrategy::PinPages)
-            .unwrap();
+        let r =
+            n.sys_dma_to_device(pid, VirtAddr::new(0x10000), 0, 0, DmaStrategy::PinPages).unwrap();
         assert_eq!(r.pages, 0);
     }
 }

@@ -121,16 +121,14 @@ impl<D: Device> Node<D> {
             let dev_cur_off = dev_off + moved;
             let dev_cur_page = dev_page + (dev_cur_off >> shrimp_mem::PAGE_SHIFT);
             let dev_in_page = dev_cur_off & shrimp_mem::PAGE_MASK;
-            let chunk = (nbytes - moved)
-                .min(mem_cur.bytes_to_page_end())
-                .min(PAGE_SIZE - dev_in_page);
+            let chunk =
+                (nbytes - moved).min(mem_cur.bytes_to_page_end()).min(PAGE_SIZE - dev_in_page);
             let check = self.machine.cost().udma_user_check;
             self.machine.advance(check);
 
             let vdev = VirtAddr::new(DEV_PROXY_BASE + dev_cur_page * PAGE_SIZE + dev_in_page);
-            let vproxy = layout
-                .proxy_of_virt(mem_cur)
-                .map_err(|_| Trap::SegFault { pid, va: mem_cur })?;
+            let vproxy =
+                layout.proxy_of_virt(mem_cur).map_err(|_| Trap::SegFault { pid, va: mem_cur })?;
             // STORE names the destination; LOAD names the source.
             let (dest_va, src_va) = if to_device { (vdev, vproxy) } else { (vproxy, vdev) };
 
@@ -222,13 +220,8 @@ mod tests {
         n.write_user(pid, VirtAddr::new(0x10080), &data).unwrap();
         let r = n.udma_send(pid, VirtAddr::new(0x10080), 0, 0, data.len() as u64).unwrap();
         assert!(r.transfers >= 3, "got {} transfers", r.transfers);
-        let received: Vec<u8> = n
-            .machine()
-            .device()
-            .writes()
-            .iter()
-            .flat_map(|(_, d, _)| d.clone())
-            .collect();
+        let received: Vec<u8> =
+            n.machine().device().writes().iter().flat_map(|(_, d, _)| d.clone()).collect();
         assert_eq!(received, data);
     }
 
@@ -240,9 +233,7 @@ mod tests {
         n.grant_device_proxy(pid, 0, 4, true).unwrap();
         let data = vec![0x5au8; 4 * PAGE_SIZE as usize];
         n.write_user(pid, VirtAddr::new(0x10000), &data).unwrap();
-        let r = n
-            .udma_send(pid, VirtAddr::new(0x10000), 0, 0, data.len() as u64)
-            .unwrap();
+        let r = n.udma_send(pid, VirtAddr::new(0x10000), 0, 0, data.len() as u64).unwrap();
         assert_eq!(r.transfers, 4, "same page offsets: one transfer per page");
     }
 
@@ -255,9 +246,7 @@ mod tests {
         n.write_user(pid, VirtAddr::new(0x10000), &vec![1u8; 2 * PAGE_SIZE as usize]).unwrap();
         // Two pages through the basic (no-queue) device: the second
         // initiation lands while the first transfer is in flight.
-        let r = n
-            .udma_send(pid, VirtAddr::new(0x10000), 0, 0, 2 * PAGE_SIZE)
-            .unwrap();
+        let r = n.udma_send(pid, VirtAddr::new(0x10000), 0, 0, 2 * PAGE_SIZE).unwrap();
         assert_eq!(r.transfers, 2);
         assert!(r.retries >= 1, "second page should hit the busy device");
     }

@@ -113,14 +113,8 @@ impl Channel {
         mc.write_user(self.send_node, self.send_pid, header_va, &header.to_le_bytes())?;
 
         // Payload first...
-        let mut result = mc.send(
-            self.send_node,
-            self.send_pid,
-            self.stage_va,
-            self.dev_page,
-            0,
-            padded,
-        )?;
+        let mut result =
+            mc.send(self.send_node, self.send_pid, self.stage_va, self.dev_page, 0, padded)?;
         // ...header last (point-to-point ordering makes it the commit).
         let hdr = mc.send(
             self.send_node,
@@ -141,7 +135,10 @@ impl Channel {
     /// # Errors
     ///
     /// [`ShrimpError`] on receiver-side traps.
-    pub fn try_recv(&mut self, mc: &mut Multicomputer) -> Result<Option<ChannelMessage>, ShrimpError> {
+    pub fn try_recv(
+        &mut self,
+        mc: &mut Multicomputer,
+    ) -> Result<Option<ChannelMessage>, ShrimpError> {
         mc.propagate();
         let header_va = self.recv_va + self.capacity;
         let raw = mc.read_user(self.recv_node, self.recv_pid, header_va, 8)?;

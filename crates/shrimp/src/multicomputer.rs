@@ -86,6 +86,9 @@ pub struct Multicomputer {
     last_delivery: Vec<SimTime>,
     passive_receivers: bool,
     dropped: u64,
+    /// Persistent scratch for the inject loop: NICs drain into it so the
+    /// steady state reuses one allocation instead of taking each queue.
+    outbox: Vec<crate::OutgoingPacket>,
 }
 
 impl Multicomputer {
@@ -95,11 +98,7 @@ impl Multicomputer {
         let nodes = (0..n)
             .map(|i| {
                 let id = NodeId::new(i);
-                ShrimpNode::new(
-                    id,
-                    config.node.clone(),
-                    Nic::new(id, config.nipt_entries, header),
-                )
+                ShrimpNode::new(id, config.node.clone(), Nic::new(id, config.nipt_entries, header))
             })
             .collect();
         Multicomputer {
@@ -109,6 +108,7 @@ impl Multicomputer {
             last_delivery: vec![SimTime::ZERO; n as usize],
             passive_receivers: config.passive_receivers,
             dropped: 0,
+            outbox: Vec::new(),
         }
     }
 
@@ -305,11 +305,7 @@ impl Multicomputer {
                 .get(&va.page())
                 .and_then(|v| v.pfn());
             if let Some(pfn) = pfn {
-                self.nodes[send_node]
-                    .os_mut()
-                    .machine_mut()
-                    .device_mut()
-                    .unbind_auto_update(pfn);
+                self.nodes[send_node].os_mut().machine_mut().device_mut().unbind_auto_update(pfn);
             }
         }
         self.nodes[send_node].os_mut().unwire_pages(send_pid, send_va, pages);
@@ -406,10 +402,7 @@ impl Multicomputer {
         let vpn = VirtAddr::new(shrimp_mem::MMIO_BASE).page();
         let needs_map = os.process(pid)?.pt.get(vpn).is_none();
         if needs_map {
-            let flags = PteFlags::VALID
-                | PteFlags::USER
-                | PteFlags::WRITABLE
-                | PteFlags::UNCACHED;
+            let flags = PteFlags::VALID | PteFlags::USER | PteFlags::WRITABLE | PteFlags::UNCACHED;
             // Identity map of the MMIO window's first page.
             let pte = Pte::new(shrimp_mem::Pfn::new(vpn.raw()), flags);
             // Route through the kernel: a tiny syscall-ish cost.
@@ -423,22 +416,28 @@ impl Multicomputer {
     /// Injects every NIC's built packets into the fabric and applies all
     /// deliveries: receive-side EISA DMA into physical memory.
     pub fn propagate(&mut self) {
-        // Inject.
+        // Inject, draining every NIC into the persistent scratch queue.
+        let mut outbox = std::mem::take(&mut self.outbox);
         for node in &mut self.nodes {
-            for out in node.os_mut().machine_mut().device_mut().take_outgoing() {
-                self.fabric.send(out.packet, out.ready_at);
-            }
+            node.os_mut().machine_mut().device_mut().drain_outgoing_into(&mut outbox);
         }
+        for out in outbox.drain(..) {
+            self.fabric.send(out.packet, out.ready_at);
+        }
+        self.outbox = outbox;
         // Deliver everything currently in flight (new sends only happen
-        // from CPU activity, which happens between propagate calls).
+        // from CPU activity, which happens between propagate calls), one
+        // packet at a time so no arrival list is ever materialized.
         while let Some(t) = self.fabric.next_arrival() {
-            for (arrival, packet) in self.fabric.deliver_until(t) {
+            while let Some((arrival, packet)) = self.fabric.deliver_due(t) {
                 let dst = packet.dst.raw() as usize;
-                let cost = self.nodes[dst].os().machine().cost().clone();
                 let start = arrival.max(self.eisa_busy[dst]);
                 // Each incoming packet is one receive-side EISA DMA
                 // transaction: arbitration/setup plus the payload burst.
-                let done = start + cost.dma_start + cost.bus_transfer(packet.payload.len() as u64);
+                let done = {
+                    let cost = self.nodes[dst].os().machine().cost();
+                    start + cost.dma_start + cost.bus_transfer(packet.payload.len() as u64)
+                };
                 self.eisa_busy[dst] = done;
                 let mem = self.nodes[dst].os_mut().machine_mut().mem_mut();
                 if mem.write(packet.dst_paddr, &packet.payload).is_err() {
@@ -460,12 +459,8 @@ impl Multicomputer {
     /// before timing multi-node phases so flows start together.
     pub fn barrier_sync(&mut self) -> SimTime {
         self.run_until_quiet();
-        let horizon = self
-            .nodes
-            .iter()
-            .map(|n| n.os().machine().now())
-            .max()
-            .expect("at least one node");
+        let horizon =
+            self.nodes.iter().map(|n| n.os().machine().now()).max().expect("at least one node");
         for node in &mut self.nodes {
             node.os_mut().machine_mut().advance_to(horizon);
         }
@@ -621,9 +616,7 @@ mod tests {
         }
         mc.run_until_quiet();
         for i in 0..3u64 {
-            let got = mc
-                .read_user(3, recv, VirtAddr::new(0x40000 + i * PAGE_SIZE), 64)
-                .unwrap();
+            let got = mc.read_user(3, recv, VirtAddr::new(0x40000 + i * PAGE_SIZE), 64).unwrap();
             assert_eq!(got, vec![0x30 + i as u8; 64], "sender {i}");
         }
     }
@@ -635,8 +628,7 @@ mod tests {
         let b = mc.spawn_process(1);
         mc.map_user_buffer(0, a, 0x10000, 2).unwrap();
         mc.map_user_buffer(1, b, 0x30000, 2).unwrap();
-        mc.bind_auto_update(0, a, VirtAddr::new(0x10000), 2, 1, b, VirtAddr::new(0x30000))
-            .unwrap();
+        mc.bind_auto_update(0, a, VirtAddr::new(0x10000), 2, 1, b, VirtAddr::new(0x30000)).unwrap();
 
         // An ordinary store — no STORE/LOAD initiation sequence at all.
         mc.store_user(0, a, VirtAddr::new(0x10008), 0x1122_3344).unwrap();
@@ -644,14 +636,11 @@ mod tests {
         assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 0x1122_3344);
 
         // Bulk writes propagate too (snooped as bursts), page-for-page.
-        mc.write_user(0, a, VirtAddr::new(0x10000 + PAGE_SIZE), b"second page data")
-            .unwrap();
+        mc.write_user(0, a, VirtAddr::new(0x10000 + PAGE_SIZE), b"second page data").unwrap();
         mc.propagate();
         let got = mc.read_user(1, b, VirtAddr::new(0x30000 + PAGE_SIZE), 16).unwrap();
         assert_eq!(got, b"second page data");
-        assert!(
-            mc.node(0).os().machine().device().stats().get("auto_updates") >= 2
-        );
+        assert!(mc.node(0).os().machine().device().stats().get("auto_updates") >= 2);
     }
 
     #[test]
@@ -661,8 +650,7 @@ mod tests {
         let b = mc.spawn_process(1);
         mc.map_user_buffer(0, a, 0x10000, 1).unwrap();
         mc.map_user_buffer(1, b, 0x30000, 1).unwrap();
-        mc.bind_auto_update(0, a, VirtAddr::new(0x10000), 1, 1, b, VirtAddr::new(0x30000))
-            .unwrap();
+        mc.bind_auto_update(0, a, VirtAddr::new(0x10000), 1, 1, b, VirtAddr::new(0x30000)).unwrap();
         mc.store_user(0, a, VirtAddr::new(0x10000), 7).unwrap();
         mc.unbind_auto_update(0, a, VirtAddr::new(0x10000), 1).unwrap();
         mc.store_user(0, a, VirtAddr::new(0x10000), 99).unwrap();
@@ -677,8 +665,7 @@ mod tests {
         // Bind a separate page pair for automatic update.
         mc.map_user_buffer(0, s, 0x80000, 1).unwrap();
         mc.map_user_buffer(1, r, 0x90000, 1).unwrap();
-        mc.bind_auto_update(0, s, VirtAddr::new(0x80000), 1, 1, r, VirtAddr::new(0x90000))
-            .unwrap();
+        mc.bind_auto_update(0, s, VirtAddr::new(0x80000), 1, 1, r, VirtAddr::new(0x90000)).unwrap();
 
         mc.store_user(0, s, VirtAddr::new(0x80000), 42).unwrap();
         mc.write_user(0, s, VirtAddr::new(0x10000), b"explicit").unwrap();
@@ -709,10 +696,7 @@ mod tests {
     fn no_such_node_errors() {
         let mut mc = Multicomputer::new(1, MulticomputerConfig::default());
         let pid = mc.spawn_process(0);
-        assert_eq!(
-            mc.map_user_buffer(5, pid, 0x10000, 1).unwrap_err(),
-            ShrimpError::NoSuchNode(5)
-        );
+        assert_eq!(mc.map_user_buffer(5, pid, 0x10000, 1).unwrap_err(), ShrimpError::NoSuchNode(5));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use shrimp_devices::Device;
 use shrimp_dma::DevicePort;
 use shrimp_mem::{Pfn, PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 use shrimp_net::{NodeId, Packet};
-use shrimp_sim::{SimDuration, SimTime, StatSet};
+use shrimp_sim::{BufPool, Counter, SimDuration, SimTime, StatSet};
 
 use crate::{Nipt, NiptEntry};
 
@@ -72,7 +72,15 @@ pub struct Nic {
     /// described in [5] which still relies upon fixed mappings between
     /// source and destination pages" (§9).
     auto_bindings: HashMap<Pfn, NiptEntry>,
-    stats: StatSet,
+    /// Packet-buffer pool: payload storage cycles sender → fabric →
+    /// receiver → back here, so steady-state sends never allocate.
+    pool: BufPool,
+    /// Per-packet counts: plain fields on the packetize/auto-update path.
+    packets_built: Counter,
+    bytes_sent: Counter,
+    auto_updates: Counter,
+    auto_update_bytes: Counter,
+    rare: StatSet,
 }
 
 impl Nic {
@@ -88,7 +96,12 @@ impl Nic {
             pio_fifo: Vec::new(),
             pio_status: 0,
             auto_bindings: HashMap::new(),
-            stats: StatSet::new("nic"),
+            pool: BufPool::new(),
+            packets_built: Counter::new(),
+            bytes_sent: Counter::new(),
+            auto_updates: Counter::new(),
+            auto_update_bytes: Counter::new(),
+            rare: StatSet::new("nic"),
         }
     }
 
@@ -118,11 +131,10 @@ impl Nic {
         // bound page (the binding is per-page).
         let len = (data.len() as u64).min(pa.bytes_to_page_end()) as usize;
         let dst_paddr = PhysAddr::new(pfn.base().raw() + pa.page_offset());
-        let packet = Packet::new(self.node, node, dst_paddr, data[..len].to_vec());
-        self.outgoing
-            .push(OutgoingPacket { packet, ready_at: now + self.header_cost });
-        self.stats.bump("auto_updates");
-        self.stats.add("auto_update_bytes", len as u64);
+        let packet = Packet::new(self.node, node, dst_paddr, self.pool.filled_from(&data[..len]));
+        self.outgoing.push(OutgoingPacket { packet, ready_at: now + self.header_cost });
+        self.auto_updates.incr();
+        self.auto_update_bytes.add(len as u64);
     }
 
     /// This NIC's node id.
@@ -145,14 +157,32 @@ impl Nic {
         std::mem::take(&mut self.outgoing)
     }
 
+    /// Appends all ready packets to `out`, keeping this NIC's queue
+    /// capacity for reuse — the allocation-free form of
+    /// [`Nic::take_outgoing`] the multicomputer's inject loop uses with a
+    /// persistent scratch vector.
+    pub fn drain_outgoing_into(&mut self, out: &mut Vec<OutgoingPacket>) {
+        out.append(&mut self.outgoing);
+    }
+
+    /// The NIC's payload-buffer pool (test observability).
+    pub fn buf_pool(&self) -> &BufPool {
+        &self.pool
+    }
+
     /// Packets built but not yet injected.
     pub fn outgoing_len(&self) -> usize {
         self.outgoing.len()
     }
 
     /// NIC statistics.
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        let mut s = self.rare.clone();
+        s.add("packets_built", self.packets_built.get());
+        s.add("bytes_sent", self.bytes_sent.get());
+        s.add("auto_updates", self.auto_updates.get());
+        s.add("auto_update_bytes", self.auto_update_bytes.get());
+        s
     }
 
     /// Packetize `data` for the destination named by device-relative
@@ -166,11 +196,12 @@ impl Nic {
         // "The destination page number is concatenated with the offset to
         // form the destination physical address."
         let dst_paddr = PhysAddr::new(pfn.base().raw() + offset);
-        let packet = Packet::new(self.node, node, dst_paddr, data.to_vec());
-        self.outgoing
-            .push(OutgoingPacket { packet, ready_at: now + self.header_cost });
-        self.stats.bump("packets_built");
-        self.stats.add("bytes_sent", data.len() as u64);
+        // The data plane's single sender-side copy: borrowed memory bytes
+        // land in a recycled pool buffer that travels to the receiver.
+        let packet = Packet::new(self.node, node, dst_paddr, self.pool.filled_from(data));
+        self.outgoing.push(OutgoingPacket { packet, ready_at: now + self.header_cost });
+        self.packets_built.incr();
+        self.bytes_sent.add(data.len() as u64);
         Ok(())
     }
 }
@@ -182,12 +213,12 @@ impl DevicePort for Nic {
             .expect("DMA to NIC passed validate but failed packetize");
     }
 
-    fn dma_read(&mut self, _dev_addr: u64, len: u64, _now: SimTime) -> Vec<u8> {
+    fn dma_read(&mut self, _dev_addr: u64, buf: &mut [u8], _now: SimTime) {
         // SHRIMP uses UDMA for memory-to-device only ("SHRIMP uses UDMA
         // only for memory-to-device transfers", §8); incoming data goes
         // straight to memory via the receive-side EISA DMA logic.
-        self.stats.bump("unsupported_reads");
-        vec![0; len as usize]
+        self.rare.bump("unsupported_reads");
+        buf.fill(0);
     }
 
     fn validate(&self, dev_addr: u64, nbytes: u64) -> bool {
@@ -219,8 +250,8 @@ impl Device for Nic {
             NIC_MMIO::DATA => self.pio_fifo.extend_from_slice(&value.to_le_bytes()),
             NIC_MMIO::COMMIT => {
                 let len = value as usize;
-                let ok = len <= self.pio_fifo.len()
-                    && self.pio_dest_offset + len as u64 <= PAGE_SIZE;
+                let ok =
+                    len <= self.pio_fifo.len() && self.pio_dest_offset + len as u64 <= PAGE_SIZE;
                 if !ok {
                     self.pio_status = 1;
                     self.pio_fifo.clear();
@@ -233,7 +264,7 @@ impl Device for Nic {
                     Ok(()) => 0,
                     Err(_) => 1,
                 };
-                self.stats.bump("pio_commits");
+                self.rare.bump("pio_commits");
             }
             _ => {}
         }
@@ -328,7 +359,34 @@ mod tests {
     #[test]
     fn dma_read_is_unsupported() {
         let mut n = nic();
-        assert_eq!(n.dma_read(0, 4, SimTime::ZERO), vec![0; 4]);
+        assert_eq!(n.dma_read_vec(0, 4, SimTime::ZERO), vec![0; 4]);
         assert_eq!(n.stats().get("unsupported_reads"), 1);
+    }
+
+    #[test]
+    fn packet_buffers_recycle_through_the_pool() {
+        let mut n = nic();
+        n.dma_write(2 * PAGE_SIZE, &[1, 2, 3, 4], SimTime::ZERO);
+        let out = n.take_outgoing();
+        assert_eq!(n.buf_pool().free_buffers(), 0, "buffer still in flight");
+        drop(out);
+        assert_eq!(n.buf_pool().free_buffers(), 1, "dropped payload returns home");
+        n.dma_write(2 * PAGE_SIZE, &[5, 6, 7, 8], SimTime::ZERO);
+        assert_eq!(n.buf_pool().free_buffers(), 0, "recycled, not reallocated");
+        assert_eq!(n.take_outgoing()[0].packet.payload, [5u8, 6, 7, 8]);
+    }
+
+    #[test]
+    fn drain_outgoing_into_reuses_caller_scratch() {
+        let mut n = nic();
+        let mut scratch = Vec::new();
+        n.dma_write(2 * PAGE_SIZE, &[1, 2, 3, 4], SimTime::ZERO);
+        n.drain_outgoing_into(&mut scratch);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(n.outgoing_len(), 0);
+        scratch.clear();
+        n.dma_write(2 * PAGE_SIZE, &[9, 9, 9, 9], SimTime::ZERO);
+        n.drain_outgoing_into(&mut scratch);
+        assert_eq!(scratch[0].packet.payload, [9u8, 9, 9, 9]);
     }
 }

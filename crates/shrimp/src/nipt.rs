@@ -81,9 +81,7 @@ impl Nipt {
 
     /// First invalid index at or after `from`, for allocation.
     pub fn first_free(&self, from: u64) -> Option<u64> {
-        (from as usize..self.entries.len())
-            .find(|&i| self.entries[i].is_none())
-            .map(|i| i as u64)
+        (from as usize..self.entries.len()).find(|&i| self.entries[i].is_none()).map(|i| i as u64)
     }
 
     /// Number of valid entries.

@@ -42,12 +42,7 @@ impl ShrimpNode {
     /// # Errors
     ///
     /// Any paging [`Trap`].
-    pub fn export_pages(
-        &mut self,
-        pid: Pid,
-        va: VirtAddr,
-        pages: u64,
-    ) -> Result<Vec<Pfn>, Trap> {
+    pub fn export_pages(&mut self, pid: Pid, va: VirtAddr, pages: u64) -> Result<Vec<Pfn>, Trap> {
         self.os.wire_pages(pid, va, pages)
     }
 

@@ -1,0 +1,275 @@
+//! Pooled, recyclable payload buffers for the simulator's data plane.
+//!
+//! A streaming workload sends millions of packets whose payloads are all
+//! the same size. Allocating a fresh `Vec<u8>` per packet makes the host
+//! allocator the hot spot; instead, a [`BufPool`] hands out [`Payload`]s
+//! whose backing storage returns to the pool on drop, so a steady-state
+//! send→deliver cycle reuses the same few buffers and performs **zero**
+//! heap allocations per message.
+//!
+//! The simulator is single-threaded by construction (one deterministic
+//! event loop), so the pool is an `Rc<RefCell<…>>` with no locking.
+//!
+//! # Example
+//!
+//! ```
+//! use shrimp_sim::BufPool;
+//!
+//! let pool = BufPool::new();
+//! let first = pool.filled_from(b"hello");
+//! let cap = first.capacity();
+//! drop(first); // storage returns to the pool…
+//! let second = pool.filled_from(b"world");
+//! assert_eq!(&second[..], b"world");
+//! assert_eq!(second.capacity(), cap); // …and is recycled, not reallocated
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+/// Shared free-list: cleared `Vec`s whose capacity is ready for reuse.
+type Shelf = Rc<RefCell<Vec<Vec<u8>>>>;
+
+/// Maximum buffers the pool retains; beyond this, dropped payloads free
+/// their storage. Bounds worst-case memory for bursty workloads while
+/// keeping every steady-state pipeline (a handful of in-flight packets
+/// per node) fully recycled.
+const MAX_POOLED: usize = 1024;
+
+/// A recycling pool of byte buffers (cheaply cloneable handle).
+#[derive(Clone, Debug, Default)]
+pub struct BufPool {
+    shelf: Shelf,
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// A payload containing a copy of `bytes`, backed by a recycled buffer
+    /// when one is available (the data plane's single sender-side copy).
+    pub fn filled_from(&self, bytes: &[u8]) -> Payload {
+        let mut data = self.shelf.borrow_mut().pop().unwrap_or_default();
+        data.clear();
+        data.extend_from_slice(bytes);
+        Payload { data, home: Some(self.shelf.clone()) }
+    }
+
+    /// Number of idle buffers currently shelved (test observability).
+    pub fn free_buffers(&self) -> usize {
+        self.shelf.borrow().len()
+    }
+}
+
+/// A packet payload: owned bytes that return to their [`BufPool`] on drop.
+///
+/// Unpooled payloads (built with [`From`]`<Vec<u8>>`) behave like a plain
+/// `Vec<u8>` and simply free their storage. Equality, ordering and hashing
+/// consider only the bytes, never the provenance.
+pub struct Payload {
+    data: Vec<u8>,
+    home: Option<Shelf>,
+}
+
+impl Payload {
+    /// Capacity of the backing buffer (pool-recycling observability).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Whether this payload will return to a pool when dropped.
+    pub fn is_pooled(&self) -> bool {
+        self.home.is_some()
+    }
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        if let Some(home) = self.home.take() {
+            let mut shelf = home.borrow_mut();
+            if shelf.len() < MAX_POOLED {
+                let mut data = std::mem::take(&mut self.data);
+                data.clear();
+                shelf.push(data);
+            }
+        }
+    }
+}
+
+impl Clone for Payload {
+    /// Deep-copies the bytes; the clone shares the original's pool so both
+    /// buffers are recycled. Cloning is a cold-path operation.
+    fn clone(&self) -> Self {
+        match &self.home {
+            Some(shelf) => {
+                let mut data = shelf.borrow_mut().pop().unwrap_or_default();
+                data.clear();
+                data.extend_from_slice(&self.data);
+                Payload { data, home: Some(shelf.clone()) }
+            }
+            None => Payload { data: self.data.clone(), home: None },
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    /// Wraps an existing allocation as an unpooled payload.
+    fn from(data: Vec<u8>) -> Self {
+        Payload { data, home: None }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    /// Copies `bytes` into a fresh, unpooled payload.
+    fn from(bytes: &[u8]) -> Self {
+        Payload { data: bytes.to_vec(), home: None }
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for Payload {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Payload")
+            .field("len", &self.data.len())
+            .field("pooled", &self.home.is_some())
+            .field("data", &self.data)
+            .finish()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.data == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.data == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_returns_storage_to_pool() {
+        let pool = BufPool::new();
+        assert_eq!(pool.free_buffers(), 0);
+        let p = pool.filled_from(&[1, 2, 3]);
+        assert!(p.is_pooled());
+        drop(p);
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn recycled_buffer_keeps_capacity() {
+        let pool = BufPool::new();
+        let p = pool.filled_from(&[0u8; 4096]);
+        let cap = p.capacity();
+        drop(p);
+        let q = pool.filled_from(&[7u8; 100]);
+        assert_eq!(q.capacity(), cap, "storage must be recycled");
+        assert_eq!(&q[..], &[7u8; 100][..]);
+    }
+
+    #[test]
+    fn two_live_payloads_never_alias() {
+        let pool = BufPool::new();
+        let mut a = pool.filled_from(&[0xaa; 16]);
+        let mut b = pool.filled_from(&[0xbb; 16]);
+        a[0] = 1;
+        b[0] = 2;
+        assert_eq!(a[0], 1);
+        assert_eq!(b[0], 2);
+        assert_eq!(&a[1..], &[0xaa; 15][..]);
+        assert_eq!(&b[1..], &[0xbb; 15][..]);
+    }
+
+    #[test]
+    fn unpooled_payload_from_vec() {
+        let p = Payload::from(vec![9, 9, 9]);
+        assert!(!p.is_pooled());
+        assert_eq!(p, [9u8, 9, 9]);
+    }
+
+    #[test]
+    fn equality_ignores_provenance() {
+        let pool = BufPool::new();
+        let pooled = pool.filled_from(b"same");
+        let plain = Payload::from(b"same".as_slice());
+        assert_eq!(pooled, plain);
+        assert_eq!(pooled, b"same");
+        assert_eq!(pooled, vec![b's', b'a', b'm', b'e']);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let pool = BufPool::new();
+        let a = pool.filled_from(&[1, 2, 3]);
+        let mut b = a.clone();
+        b[0] = 99;
+        assert_eq!(a[0], 1);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.free_buffers(), 2, "clone shares the pool");
+    }
+
+    #[test]
+    fn pool_retention_is_bounded() {
+        let pool = BufPool::new();
+        let burst: Vec<Payload> = (0..MAX_POOLED + 10).map(|_| pool.filled_from(&[0; 8])).collect();
+        drop(burst);
+        assert_eq!(pool.free_buffers(), MAX_POOLED);
+    }
+}

@@ -4,6 +4,8 @@
 //! built on:
 //!
 //! - [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! - [`BufPool`] / [`Payload`] — recyclable packet buffers for the
+//!   allocation-free data plane,
 //! - [`Clock`] — a monotonically advancing per-node clock,
 //! - [`EventQueue`] — a deterministic time-ordered event queue,
 //! - [`SplitMix64`] — a tiny, dependency-free deterministic RNG,
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buf;
 mod clock;
 mod cost;
 mod event;
@@ -37,6 +40,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use buf::{BufPool, Payload};
 pub use clock::Clock;
 pub use cost::CostModel;
 pub use event::{Event, EventQueue, PopUntil};

@@ -130,6 +130,14 @@ impl fmt::Display for Histogram {
 
 /// A named collection of counters, for component-level reporting.
 ///
+/// Counters live in a flat vector and `bump`/`add` resolve keys by
+/// fat-pointer identity first (the same `&'static str` literal at a call
+/// site keeps the same address), falling back to a content compare only
+/// for a key's first appearance from a new call site. This keeps the
+/// per-event cost to a short scan of machine-word compares — cheap enough
+/// to stay wired into per-reference hot paths — while `get`/`iter` remain
+/// content-addressed and key-ordered.
+///
 /// # Example
 ///
 /// ```
@@ -142,16 +150,16 @@ impl fmt::Display for Histogram {
 /// assert_eq!(stats.get("tlb_hit"), 2);
 /// assert_eq!(stats.get("not_recorded"), 0);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Eq)]
 pub struct StatSet {
     name: String,
-    counters: BTreeMap<&'static str, Counter>,
+    counters: Vec<(&'static str, Counter)>,
 }
 
 impl StatSet {
     /// A stat set labelled `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        StatSet { name: name.into(), counters: BTreeMap::new() }
+        StatSet { name: name.into(), counters: Vec::new() }
     }
 
     /// The set's label.
@@ -159,29 +167,81 @@ impl StatSet {
         &self.name
     }
 
+    /// Index of `key`'s counter, inserting a zeroed one if absent.
+    ///
+    /// Self-organizing: a hit swaps the entry one slot toward the front
+    /// (the classic transpose heuristic), so the handful of hot keys
+    /// settle into the first cache line and a hot `bump` is a compare or
+    /// two plus an increment.
+    #[inline]
+    fn slot(&mut self, key: &'static str) -> usize {
+        // Fat-pointer identity: one word-sized compare per entry, no
+        // byte-wise string walk.
+        if let Some(i) = self.counters.iter().position(|&(k, _)| std::ptr::eq(k, key)) {
+            if i == 0 {
+                return 0;
+            }
+            self.counters.swap(i, i - 1);
+            return i - 1;
+        }
+        self.slot_slow(key)
+    }
+
+    /// Content-compare fallback and first-use insertion.
+    #[cold]
+    fn slot_slow(&mut self, key: &'static str) -> usize {
+        // A codegen unit may hold its own copy of the same literal, which
+        // must land on the same counter: match by content before
+        // concluding the key is new.
+        if let Some(i) = self.counters.iter().position(|&(k, _)| k == key) {
+            return i;
+        }
+        self.counters.push((key, Counter::new()));
+        self.counters.len() - 1
+    }
+
     /// Increments counter `key` by one.
+    #[inline]
     pub fn bump(&mut self, key: &'static str) {
-        self.counters.entry(key).or_default().incr();
+        let i = self.slot(key);
+        self.counters[i].1.incr();
     }
 
     /// Adds `n` to counter `key`.
+    #[inline]
     pub fn add(&mut self, key: &'static str, n: u64) {
-        self.counters.entry(key).or_default().add(n);
+        let i = self.slot(key);
+        self.counters[i].1.add(n);
     }
 
     /// Current value of counter `key` (zero if never touched).
     pub fn get(&self, key: &str) -> u64 {
-        self.counters.get(key).map_or(0, |c| c.get())
+        self.counters.iter().find(|&&(k, _)| k == key).map_or(0, |&(_, c)| c.get())
     }
 
     /// Iterates `(key, value)` in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &c)| (k, c.get()))
+        let mut sorted: Vec<(&'static str, u64)> =
+            self.counters.iter().map(|&(k, c)| (k, c.get())).collect();
+        sorted.sort_unstable_by_key(|&(k, _)| k);
+        sorted.into_iter()
     }
 
     /// Zeroes every counter.
     pub fn reset(&mut self) {
         self.counters.clear();
+    }
+}
+
+impl Default for StatSet {
+    fn default() -> Self {
+        StatSet::new(String::new())
+    }
+}
+
+impl PartialEq for StatSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.iter().eq(other.iter())
     }
 }
 

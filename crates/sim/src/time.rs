@@ -191,11 +191,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("duration subtraction underflow"),
-        )
+        SimDuration(self.0.checked_sub(rhs.0).expect("duration subtraction underflow"))
     }
 }
 

@@ -70,7 +70,12 @@ impl TraceBuffer {
 
     /// Records an event. The message closure only runs when tracing is
     /// enabled, so hot paths pay one branch when it is off.
-    pub fn record(&mut self, at: SimTime, category: &'static str, message: impl FnOnce() -> String) {
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        category: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
         if !self.enabled {
             return;
         }

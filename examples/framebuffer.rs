@@ -30,21 +30,15 @@ fn main() -> Result<(), Trap> {
     node.grant_device_proxy(pid, 0, fb_pages, true)?;
 
     // Render a diagonal gradient in user memory.
-    let frame: Vec<u8> = (0..HEIGHT)
-        .flat_map(|y| (0..WIDTH).map(move |x| ((x + y) & 0xff) as u8))
-        .collect();
+    let frame: Vec<u8> =
+        (0..HEIGHT).flat_map(|y| (0..WIDTH).map(move |x| ((x + y) & 0xff) as u8)).collect();
     node.write_user(pid, VirtAddr::new(0x10_0000), &frame)?;
 
     // Blit the whole frame: one UDMA call; the library splits per page.
     let blit = node.udma_send(pid, VirtAddr::new(0x10_0000), 0, 0, frame.len() as u64)?;
     println!(
         "blit {}x{} ({} bytes): {} in {} transfers, {} retries",
-        WIDTH,
-        HEIGHT,
-        blit.bytes,
-        blit.elapsed,
-        blit.transfers,
-        blit.retries
+        WIDTH, HEIGHT, blit.bytes, blit.elapsed, blit.transfers, blit.retries
     );
 
     // Verify a few pixels straight on the device.

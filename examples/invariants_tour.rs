@@ -89,7 +89,11 @@ fn main() -> Result<(), Trap> {
     node.user_store(alice, alice_proxy, 64)?;
     let pte = *node.process(alice)?.pt.get(alice_proxy.page()).unwrap();
     let real = *node.process(alice)?.pt.get(VirtAddr::new(0x10000).page()).unwrap();
-    println!("  after I3 fault  -> proxy writable: {}, page dirty: {}", pte.is_writable(), real.is_dirty());
+    println!(
+        "  after I3 fault  -> proxy writable: {}, page dirty: {}",
+        pte.is_writable(),
+        real.is_dirty()
+    );
     assert!(pte.is_writable() && real.is_dirty());
     node.machine_mut().kernel_inval_udma(); // drop the latched initiation
     node.check_invariants().expect("I3 holds");

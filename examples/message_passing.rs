@@ -41,9 +41,7 @@ fn main() -> Result<(), ShrimpError> {
     while hops < 3 * NODES - 1 {
         // The channel INTO node `at` is the one from its left neighbour.
         let from = (at + NODES - 1) % NODES;
-        let msg = channels[from]
-            .try_recv(&mut mc)?
-            .expect("token must have arrived");
+        let msg = channels[from].try_recv(&mut mc)?.expect("token must have arrived");
         println!(
             "  node{at} got seq={} len={} at t={}",
             msg.seq,

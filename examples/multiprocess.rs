@@ -34,11 +34,8 @@ fn main() -> Result<(), Trap> {
     let victim = node.spawn();
     node.mmap(victim, 0x5_0000, 1, true)?;
     node.user_store(victim, VirtAddr::new(0x5_0000), 0x5ec2e7)?;
-    let victim_proxy = node
-        .machine()
-        .layout()
-        .proxy_of_virt(VirtAddr::new(0x5_0000))
-        .expect("memory region");
+    let victim_proxy =
+        node.machine().layout().proxy_of_virt(VirtAddr::new(0x5_0000)).expect("memory region");
     // The rogue references the same *virtual* proxy address, but its own
     // page table has no mapping there and no segment backs it: segfault.
     let err = node.user_load(rogue, victim_proxy).unwrap_err();

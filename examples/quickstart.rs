@@ -54,7 +54,10 @@ fn main() -> Result<(), Trap> {
         let drained = node.machine().udma_drained_at();
         node.machine_mut().advance_to(drained);
     }
-    println!("device received:   {:?}", String::from_utf8_lossy(&node.machine().device().writes()[0].1));
+    println!(
+        "device received:   {:?}",
+        String::from_utf8_lossy(&node.machine().device().writes()[0].1)
+    );
 
     // Steady state: the mappings exist, so the sequence is two uncached
     // references + the user-level check — the paper's 2.8us figure.

@@ -32,9 +32,7 @@ fn main() -> Result<(), Trap> {
     // An archive buffer and grants covering its tape extent.
     node.mmap(pid, 0x10_0000, ARCHIVE_PAGES, true)?;
     node.grant_device_proxy(pid, 0, ARCHIVE_PAGES + 64, true)?;
-    let archive: Vec<u8> = (0..ARCHIVE_PAGES * PAGE_SIZE)
-        .map(|i| (i * 131 % 251) as u8)
-        .collect();
+    let archive: Vec<u8> = (0..ARCHIVE_PAGES * PAGE_SIZE).map(|i| (i * 131 % 251) as u8).collect();
     node.write_user(pid, VirtAddr::new(0x10_0000), &archive)?;
 
     // Stream the whole archive: one multi-page queued UDMA send.
@@ -51,13 +49,7 @@ fn main() -> Result<(), Trap> {
 
     // Verify by reading a random record back: one reposition, then stream.
     let record_page = 11u64;
-    let rd = node.udma_recv(
-        pid,
-        VirtAddr::new(0x10_0000),
-        record_page,
-        0,
-        PAGE_SIZE,
-    )?;
+    let rd = node.udma_recv(pid, VirtAddr::new(0x10_0000), record_page, 0, PAGE_SIZE)?;
     println!("random restore of page {record_page}: {}", rd.elapsed);
     let got = node.read_user(pid, VirtAddr::new(0x10_0000), PAGE_SIZE)?;
     assert_eq!(
@@ -66,13 +58,7 @@ fn main() -> Result<(), Trap> {
     );
 
     // Sequential restore of the next page is far cheaper (head in place).
-    let rd2 = node.udma_recv(
-        pid,
-        VirtAddr::new(0x10_0000),
-        record_page + 1,
-        0,
-        PAGE_SIZE,
-    )?;
+    let rd2 = node.udma_recv(pid, VirtAddr::new(0x10_0000), record_page + 1, 0, PAGE_SIZE)?;
     println!("sequential restore of page {}: {}", record_page + 1, rd2.elapsed);
     assert!(rd2.elapsed < rd.elapsed, "streaming must beat repositioning");
 
@@ -89,6 +75,6 @@ impl TapePeek for Tape {
     fn dma_read_check(&self, pos: u64, len: usize) -> Vec<u8> {
         // Reading via the Device trait would move the head; clone instead.
         let mut copy = self.clone();
-        shrimp_dma::DevicePort::dma_read(&mut copy, pos, len as u64, shrimp_sim::SimTime::ZERO)
+        shrimp_dma::DevicePort::dma_read_vec(&mut copy, pos, len as u64, shrimp_sim::SimTime::ZERO)
     }
 }

@@ -42,12 +42,7 @@ fn disk_seek_model_shows_in_elapsed_time() {
     let far = n.udma_send(pid, VirtAddr::new(0x10_0000), 800, 0, 512).unwrap();
     let near = n.udma_send(pid, VirtAddr::new(0x10_0000), 800, 512, 512).unwrap();
     let seek = n.machine().device().geometry().seek;
-    assert!(
-        far.elapsed >= near.elapsed,
-        "far {} must not beat near {}",
-        far.elapsed,
-        near.elapsed
-    );
+    assert!(far.elapsed >= near.elapsed, "far {} must not beat near {}", far.elapsed, near.elapsed);
     assert!(
         (far.elapsed - near.elapsed).as_nanos() >= seek.as_nanos() / 2,
         "seek must dominate the difference"
@@ -104,9 +99,7 @@ fn framebuffer_blit_and_readback() {
 
     // Read a rectangle row back.
     n.udma_recv(pid, VirtAddr::new(0x10_0000 + pages * PAGE_SIZE), 0, 128 * 3, 128).unwrap();
-    let row = n
-        .read_user(pid, VirtAddr::new(0x10_0000 + pages * PAGE_SIZE), 128)
-        .unwrap();
+    let row = n.read_user(pid, VirtAddr::new(0x10_0000 + pages * PAGE_SIZE), 128).unwrap();
     assert_eq!(row, &frame[(128 * 3) as usize..(128 * 4) as usize]);
 }
 

@@ -29,27 +29,23 @@ fn udma_and_kernel_dma_deliver_identical_bytes() {
     n.write_user(pid, VirtAddr::new(0x10_0000), &data).unwrap();
 
     n.udma_send(pid, VirtAddr::new(0x10_0000), 0, 0, data.len() as u64).unwrap();
-    let udma_bytes: Vec<u8> = n
-        .machine()
-        .device()
-        .writes()
-        .iter()
-        .flat_map(|(_, d, _)| d.clone())
-        .collect();
+    let udma_bytes: Vec<u8> =
+        n.machine().device().writes().iter().flat_map(|(_, d, _)| d.clone()).collect();
 
     let mut n2 = node_with(None, UdmaMode::Basic);
     let pid2 = n2.spawn();
     n2.mmap(pid2, 0x10_0000, 3, true).unwrap();
     n2.write_user(pid2, VirtAddr::new(0x10_0000), &data).unwrap();
-    n2.sys_dma_to_device(pid2, VirtAddr::new(0x10_0000), 0, data.len() as u64, DmaStrategy::PinPages)
-        .unwrap();
-    let kernel_bytes: Vec<u8> = n2
-        .machine()
-        .device()
-        .writes()
-        .iter()
-        .flat_map(|(_, d, _)| d.clone())
-        .collect();
+    n2.sys_dma_to_device(
+        pid2,
+        VirtAddr::new(0x10_0000),
+        0,
+        data.len() as u64,
+        DmaStrategy::PinPages,
+    )
+    .unwrap();
+    let kernel_bytes: Vec<u8> =
+        n2.machine().device().writes().iter().flat_map(|(_, d, _)| d.clone()).collect();
 
     assert_eq!(udma_bytes, data);
     assert_eq!(kernel_bytes, data);
@@ -63,15 +59,9 @@ fn bounce_buffer_and_pinning_strategies_agree() {
         n.mmap(pid, 0x20_0000, 2, true).unwrap();
         let data = vec![0x3cu8; PAGE_SIZE as usize + 17];
         n.write_user(pid, VirtAddr::new(0x20_0000), &data).unwrap();
-        n.sys_dma_to_device(pid, VirtAddr::new(0x20_0000), 0, data.len() as u64, strategy)
-            .unwrap();
-        let got: Vec<u8> = n
-            .machine()
-            .device()
-            .writes()
-            .iter()
-            .flat_map(|(_, d, _)| d.clone())
-            .collect();
+        n.sys_dma_to_device(pid, VirtAddr::new(0x20_0000), 0, data.len() as u64, strategy).unwrap();
+        let got: Vec<u8> =
+            n.machine().device().writes().iter().flat_map(|(_, d, _)| d.clone()).collect();
         assert_eq!(got, data, "{strategy:?}");
     }
 }
@@ -220,9 +210,7 @@ fn trap_paths_do_not_corrupt_kernel_state() {
         n.user_load(pid, VirtAddr::new(0x90_0000)).unwrap_err(),
         Trap::SegFault { .. }
     ));
-    assert!(n
-        .udma_send(pid, VirtAddr::new(0x10_0000), 0, 0, 64)
-        .is_err(), "no grant yet");
+    assert!(n.udma_send(pid, VirtAddr::new(0x10_0000), 0, 0, 64).is_err(), "no grant yet");
     n.grant_device_proxy(pid, 0, 1, false).unwrap(); // read-only grant
     assert!(matches!(
         n.udma_send(pid, VirtAddr::new(0x10_0000), 0, 0, 64).unwrap_err(),

@@ -92,9 +92,8 @@ fn fabric_congestion_serializes_fan_in() {
     for i in 0..4usize {
         let pid = mc.spawn_process(i);
         mc.map_user_buffer(i, pid, 0x10_0000, 1).unwrap();
-        let dev = mc
-            .export(4, recv, VirtAddr::new(0x40_0000 + i as u64 * PAGE_SIZE), 1, i, pid)
-            .unwrap();
+        let dev =
+            mc.export(4, recv, VirtAddr::new(0x40_0000 + i as u64 * PAGE_SIZE), 1, i, pid).unwrap();
         mc.write_user(i, pid, VirtAddr::new(0x10_0000), &vec![i as u8 + 1; PAGE_SIZE as usize])
             .unwrap();
         senders.push((pid, dev));
@@ -105,9 +104,7 @@ fn fabric_congestion_serializes_fan_in() {
     mc.run_until_quiet();
     // All four pages landed.
     for i in 0..4u64 {
-        let got = mc
-            .read_user(4, recv, VirtAddr::new(0x40_0000 + i * PAGE_SIZE), 16)
-            .unwrap();
+        let got = mc.read_user(4, recv, VirtAddr::new(0x40_0000 + i * PAGE_SIZE), 16).unwrap();
         assert_eq!(got, vec![i as u8 + 1; 16]);
     }
     // The last delivery is later than one isolated page delivery would be.
@@ -155,13 +152,25 @@ fn channels_interleave_without_cross_talk() {
     let s = mc.spawn_process(0);
     let r = mc.spawn_process(1);
     let mut a = Channel::establish(
-        &mut mc, 0, s, 1, r,
-        VirtAddr::new(0x40_0000), VirtAddr::new(0x10_0000), 1,
+        &mut mc,
+        0,
+        s,
+        1,
+        r,
+        VirtAddr::new(0x40_0000),
+        VirtAddr::new(0x10_0000),
+        1,
     )
     .unwrap();
     let mut b = Channel::establish(
-        &mut mc, 0, s, 1, r,
-        VirtAddr::new(0x50_0000), VirtAddr::new(0x20_0000), 1,
+        &mut mc,
+        0,
+        s,
+        1,
+        r,
+        VirtAddr::new(0x50_0000),
+        VirtAddr::new(0x20_0000),
+        1,
     )
     .unwrap();
     a.send(&mut mc, b"channel A #1").unwrap();

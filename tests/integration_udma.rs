@@ -3,7 +3,7 @@
 
 use shrimp_devices::{StreamSink, StreamSource};
 use shrimp_machine::{Machine, MachineConfig, UdmaMode};
-use shrimp_mem::{PhysAddr, Pfn, VirtAddr, Vpn, DEV_PROXY_BASE, PAGE_SIZE};
+use shrimp_mem::{Pfn, PhysAddr, VirtAddr, Vpn, DEV_PROXY_BASE, PAGE_SIZE};
 use shrimp_mmu::{Mode, PageTable, Pte, PteFlags};
 use shrimp_sim::CostModel;
 use udma_core::UdmaStatus;
@@ -212,8 +212,7 @@ fn tlb_shootdown_keeps_proxy_mappings_coherent() {
     m.mmu_mut().flush_page(VirtAddr::new(16 * PAGE_SIZE).page());
     // Fill the *new* frame and transfer through the proxy: data must come
     // from frame 7, not stale frame 2.
-    m.write_bytes(&mut pt, VirtAddr::new(16 * PAGE_SIZE), b"fresh frame data", Mode::User)
-        .unwrap();
+    m.write_bytes(&mut pt, VirtAddr::new(16 * PAGE_SIZE), b"fresh frame data", Mode::User).unwrap();
     m.store(&mut pt, vdev, 16, Mode::User).unwrap();
     let s = UdmaStatus::unpack(m.load(&mut pt, vproxy, Mode::User).unwrap());
     assert!(s.started());

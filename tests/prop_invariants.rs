@@ -60,7 +60,15 @@ fn arb_status() -> impl Strategy<Value = UdmaStatus> {
         0u64..(1 << 48),
     )
         .prop_map(
-            |(initiation, transferring, invalid, matches, wrong_space, device_error, remaining_bytes)| {
+            |(
+                initiation,
+                transferring,
+                invalid,
+                matches,
+                wrong_space,
+                device_error,
+                remaining_bytes,
+            )| {
                 UdmaStatus {
                     initiation,
                     transferring,
@@ -288,7 +296,8 @@ fn arb_op(pages: u64, dev_pages: u64) -> impl Strategy<Value = Op> {
         (0..pages).prop_map(|page| Op::Load { page }),
         (0..pages).prop_map(|page| Op::ProxyLoad { page }),
         (0..pages, 1i64..2048).prop_map(|(page, nbytes)| Op::ProxyStore { page, nbytes }),
-        (0..dev_pages, -64i64..2048).prop_map(|(dev_page, nbytes)| Op::DevStore { dev_page, nbytes }),
+        (0..dev_pages, -64i64..2048)
+            .prop_map(|(dev_page, nbytes)| Op::DevStore { dev_page, nbytes }),
         (0..dev_pages).prop_map(|dev_page| Op::DevLoad { dev_page }),
         (0..pages).prop_map(|page| Op::Clean { page }),
         Just(Op::Switch),
