@@ -1,16 +1,26 @@
 //! Host wall-clock throughput of the simulator's data plane.
 //!
-//! Drives N-node streaming workloads and reports **host** messages/sec —
-//! the engineering number that bounds every large-scale experiment — then
-//! writes `BENCH_throughput.json`.
+//! Drives N-node streaming workloads through the serial driver and the
+//! parallel engine, reports **host** messages/sec — the engineering
+//! number that bounds every large-scale experiment — then writes
+//! `BENCH_throughput.json`.
 //!
 //! Run: `cargo run --release -p shrimp-bench --bin host_throughput`
 //!
 //! Options:
 //!   --quick            smoke-test sizing (CI): ~1/20 of the message count
+//!   --threads <n>      determinism smoke: run the 8-node stream serially
+//!                      and with <n> worker threads, fail if the state
+//!                      digests differ (exit 1)
 //!   --out <path>       output JSON path (default: BENCH_throughput.json)
 //!   --compare <path>   embed a previous output as `"before"` and print
 //!                      per-workload speedups against it
+//!
+//! The default (no `--threads`) suite covers the serial baselines, a
+//! thread sweep on the 8-node stream, and 8→16-node scaling through the
+//! parallel engine. Every entry records its thread count, commit hash,
+//! and the FNV digest of final machine state; equal-workload entries must
+//! carry equal digests regardless of thread count.
 //!
 //! Build with `--features count-allocs` to register the counting
 //! allocator and report steady-state heap allocations per message.
@@ -60,26 +70,34 @@ fn extract_runs_array(json: &str) -> Option<&str> {
     None
 }
 
-const USAGE: &str = "usage: host_throughput [--quick] [--out <path>] [--compare <path>]";
+const USAGE: &str =
+    "usage: host_throughput [--quick] [--threads <n>] [--out <path>] [--compare <path>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut smoke_threads: Option<usize> = None;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut compare_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" | "--compare" => {
+            "--out" | "--compare" | "--threads" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {a} requires a value\n{USAGE}");
                     std::process::exit(2);
                 };
-                if a == "--out" {
-                    out_path = v.clone();
-                } else {
-                    compare_path = Some(v.clone());
+                match a.as_str() {
+                    "--out" => out_path = v.clone(),
+                    "--compare" => compare_path = Some(v.clone()),
+                    _ => match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => smoke_threads = Some(n),
+                        _ => {
+                            eprintln!("error: --threads needs a positive integer\n{USAGE}");
+                            std::process::exit(2);
+                        }
+                    },
                 }
             }
             other => {
@@ -97,41 +115,77 @@ fn main() {
     });
 
     let scale: u32 = if quick { 20 } else { 1 };
-    // (nodes, msg_bytes, messages per pair)
-    let workloads: [(u16, u64, u32); 3] =
-        [(2, 4096, 200_000 / scale), (2, 256, 400_000 / scale), (8, 4096, 50_000 / scale)];
+    // (nodes, msg_bytes, messages per pair, threads); threads 0 = serial
+    // driver. The serial trio keeps the pre-parallel workload names so
+    // `--compare` lines up across PRs; the rest sweep threads on 8 nodes
+    // and scale 8 → 16 nodes through the parallel engine.
+    let workloads: Vec<(u16, u64, u32, usize)> = match smoke_threads {
+        // Determinism smoke: one stream, serial then threaded; the digest
+        // comparison below is the pass/fail signal.
+        Some(n) => vec![(8, 4096, 50_000 / scale, 1), (8, 4096, 50_000 / scale, n)],
+        None => vec![
+            (2, 4096, 200_000 / scale, 0),
+            (2, 256, 400_000 / scale, 0),
+            (8, 4096, 50_000 / scale, 0),
+            (8, 4096, 50_000 / scale, 1),
+            (8, 4096, 50_000 / scale, 2),
+            (8, 4096, 50_000 / scale, 4),
+            (16, 4096, 25_000 / scale, 4),
+        ],
+    };
 
     let mut runs: Vec<ThroughputResult> = Vec::new();
-    for (nodes, bytes, msgs) in workloads {
-        runs.push(host_perf::stream_pairs(nodes, bytes, msgs));
+    for &(nodes, bytes, msgs, threads) in &workloads {
+        runs.push(host_perf::stream_pairs(nodes, bytes, msgs, threads));
     }
 
+    // Compare against the *most recent* runs in the old file (its
+    // "after" array), not whatever array a raw scan hits first.
+    let before = compare.as_deref().and_then(extract_runs_array);
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
-            let speedup = compare
-                .as_deref()
+            let speedup = before
                 .and_then(|old| baseline_msgs_per_sec(old, &r.name))
                 .map(|b| format!("{:.2}x", r.msgs_per_sec / b))
                 .unwrap_or_else(|| "-".to_string());
             vec![
                 r.name.clone(),
                 format!("{}", r.messages),
+                format!("{}", r.threads),
                 format!("{:.0}", r.msgs_per_sec),
                 format!("{:.1}", r.mb_per_sec),
-                r.allocs_per_msg.map_or("-".to_string(), |a| format!("{a:.2}")),
+                format!("{:016x}", r.digest),
                 speedup,
             ]
         })
         .collect();
     print_table(
         "host_throughput — simulator data-plane wall-clock throughput",
-        &["workload", "msgs", "msgs/s", "MB/s", "allocs/msg", "vs before"],
+        &["workload", "msgs", "threads", "msgs/s", "MB/s", "digest", "vs before"],
         &rows,
     );
 
+    // Equal workloads must digest identically at every thread count — the
+    // conservative engine's whole contract. Check every (nodes, bytes,
+    // messages) group, not just the smoke pair.
+    let mut divergent = false;
+    for (i, a) in runs.iter().enumerate() {
+        for b in &runs[i + 1..] {
+            if (a.nodes, a.msg_bytes, a.messages) == (b.nodes, b.msg_bytes, b.messages)
+                && a.digest != b.digest
+            {
+                eprintln!(
+                    "DETERMINISM FAILURE: {} digest {:016x} != {} digest {:016x}",
+                    a.name, a.digest, b.name, b.digest
+                );
+                divergent = true;
+            }
+        }
+    }
+
     let after = host_perf::runs_to_json(&runs);
-    let json = match compare.as_deref().and_then(extract_runs_array) {
+    let json = match before {
         Some(before) => format!(
             "{{\n  \"bench\": \"host_throughput\",\n  \"before\": {before},\n  \"after\": {after}\n}}\n",
         ),
@@ -139,4 +193,8 @@ fn main() {
     };
     fs::write(&out_path, &json).expect("write BENCH_throughput.json");
     println!("\nwrote {out_path}");
+
+    if divergent {
+        std::process::exit(1);
+    }
 }

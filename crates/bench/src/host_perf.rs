@@ -6,10 +6,18 @@
 //! that bounds every large-scale experiment the ROADMAP asks for. The
 //! `host_throughput` binary drives these workloads and emits
 //! `BENCH_throughput.json` so each perf PR has a measured baseline.
+//!
+//! Workloads run either through the serial driver loop (`threads == 0`)
+//! or through [`Multicomputer::run_parallel`] (`threads >= 1`). Each
+//! entry records the thread count, the FNV digest of the final machine
+//! state, and the commit hash, so a result can be traced to the exact
+//! code and cross-checked for determinism: the digest of a stream must
+//! not depend on the thread count.
 
+use std::process::Command;
 use std::time::Instant;
 
-use shrimp::Multicomputer;
+use shrimp::{Multicomputer, NodePlan, SendOp};
 use shrimp_machine::MachineConfig;
 use shrimp_mem::{VirtAddr, PAGE_SIZE};
 
@@ -18,7 +26,7 @@ use crate::alloc_count;
 /// One measured workload.
 #[derive(Clone, Debug)]
 pub struct ThroughputResult {
-    /// Workload name (`stream_<size>_<n>node`).
+    /// Workload name (`stream_<size>_<n>node[_t<threads>]`).
     pub name: String,
     /// Node count (half senders, half receivers).
     pub nodes: u16,
@@ -26,12 +34,19 @@ pub struct ThroughputResult {
     pub msg_bytes: u64,
     /// Total messages sent across all pairs.
     pub messages: u64,
+    /// Worker threads (`0` = serial driver loop, `>=1` = parallel engine).
+    pub threads: usize,
     /// Host wall-clock seconds for the steady-state loop.
     pub wall_s: f64,
     /// Messages per host wall-clock second.
     pub msgs_per_sec: f64,
     /// Payload megabytes per host wall-clock second.
     pub mb_per_sec: f64,
+    /// FNV-1a digest of final machine state (clocks, deliveries, memory).
+    /// Identical workloads must digest identically at every thread count.
+    pub digest: u64,
+    /// `git rev-parse --short HEAD` at measurement time (or `unknown`).
+    pub commit: String,
     /// Steady-state heap allocations per message (`None` unless the
     /// counting allocator is registered — build with `count-allocs` and
     /// the `host_throughput` binary registers it).
@@ -48,16 +63,19 @@ impl ThroughputResult {
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"nodes\":{},\"msg_bytes\":{},\"messages\":{},",
-                "\"wall_s\":{:.4},\"msgs_per_sec\":{:.1},\"mb_per_sec\":{:.2},",
-                "\"allocs_per_msg\":{}}}"
+                "\"threads\":{},\"wall_s\":{:.4},\"msgs_per_sec\":{:.1},\"mb_per_sec\":{:.2},",
+                "\"digest\":\"{:#018x}\",\"commit\":\"{}\",\"allocs_per_msg\":{}}}"
             ),
             self.name,
             self.nodes,
             self.msg_bytes,
             self.messages,
+            self.threads,
             self.wall_s,
             self.msgs_per_sec,
             self.mb_per_sec,
+            self.digest,
+            self.commit,
             allocs,
         )
     }
@@ -69,19 +87,37 @@ pub fn runs_to_json(runs: &[ThroughputResult]) -> String {
     format!("[\n{}\n  ]", body.join(",\n"))
 }
 
-/// Streams `messages` messages of `msg_bytes` down `nodes / 2` disjoint
-/// sender→receiver pairs and reports host throughput.
+/// The current commit's short hash, or `unknown` outside a git checkout.
+pub fn commit_hash() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Streams `messages_per_pair` messages of `msg_bytes` down `nodes / 2`
+/// disjoint sender→receiver pairs and reports host throughput.
 ///
-/// Every pair gets its own exported receive window; senders are driven
-/// round-robin so fabric traffic from all pairs interleaves. The clock in
-/// the result is the *host* clock; simulated time is deterministic and
-/// identical before/after any host-side optimisation (the golden
-/// equivalence tests assert exactly that).
+/// With `threads == 0` the senders are driven round-robin through the
+/// serial driver (`Multicomputer::send` + `run_until_quiet`) — the
+/// pre-parallel baseline. With `threads >= 1` every sender's messages
+/// become a [`NodePlan`] executed by [`Multicomputer::run_parallel`] on
+/// that many worker threads. Either way the simulated timeline — and
+/// therefore the state digest — is identical; only the host clock moves.
 ///
 /// # Panics
 ///
 /// Panics on kernel traps during setup (the workload is statically valid).
-pub fn stream_pairs(nodes: u16, msg_bytes: u64, messages_per_pair: u32) -> ThroughputResult {
+pub fn stream_pairs(
+    nodes: u16,
+    msg_bytes: u64,
+    messages_per_pair: u32,
+    threads: usize,
+) -> ThroughputResult {
     assert!(nodes >= 2 && nodes.is_multiple_of(2), "need sender/receiver pairs");
     let mut mc = Multicomputer::with_machine_config(nodes, MachineConfig::default());
     let pairs = usize::from(nodes) / 2;
@@ -111,27 +147,53 @@ pub fn stream_pairs(nodes: u16, msg_bytes: u64, messages_per_pair: u32) -> Throu
 
     let total = u64::from(messages_per_pair) * pairs as u64;
     let alloc_mark = alloc_count::allocation_count();
-    let t0 = Instant::now();
-    for _ in 0..messages_per_pair {
-        for &(send_node, sender, dev_page) in &flows {
-            mc.send(send_node, sender, VirtAddr::new(0x10_0000), dev_page, 0, msg_bytes)
-                .expect("steady-state send");
+    let wall_s = if threads == 0 {
+        let t0 = Instant::now();
+        for _ in 0..messages_per_pair {
+            for &(send_node, sender, dev_page) in &flows {
+                mc.send(send_node, sender, VirtAddr::new(0x10_0000), dev_page, 0, msg_bytes)
+                    .expect("steady-state send");
+            }
         }
-    }
-    mc.run_until_quiet();
-    let wall_s = t0.elapsed().as_secs_f64();
+        mc.run_until_quiet();
+        t0.elapsed().as_secs_f64()
+    } else {
+        let plans: Vec<NodePlan> = flows
+            .iter()
+            .map(|&(send_node, sender, dev_page)| NodePlan {
+                node: send_node,
+                ops: vec![
+                    SendOp {
+                        pid: sender,
+                        src_va: VirtAddr::new(0x10_0000),
+                        dev_page,
+                        dev_off: 0,
+                        nbytes: msg_bytes,
+                    };
+                    messages_per_pair as usize
+                ],
+            })
+            .collect();
+        let t0 = Instant::now();
+        mc.run_parallel(&plans, threads).expect("steady-state parallel run");
+        t0.elapsed().as_secs_f64()
+    };
     let allocs = alloc_count::delta_since(alloc_mark);
 
     assert_eq!(mc.dropped_packets(), 0, "workload must not drop packets");
 
+    let suffix = if threads == 0 { String::new() } else { format!("_t{threads}") };
     ThroughputResult {
-        name: format!("stream_{}b_{}node", msg_bytes, nodes),
+        name: format!("stream_{}b_{}node{}", msg_bytes, nodes, suffix),
         nodes,
         msg_bytes,
         messages: total,
+        threads,
         wall_s,
         msgs_per_sec: total as f64 / wall_s,
         mb_per_sec: (total * msg_bytes) as f64 / wall_s / (1024.0 * 1024.0),
+        digest: mc.state_digest(),
+        commit: commit_hash(),
         allocs_per_msg: if alloc_count::is_active() {
             Some(allocs as f64 / total as f64)
         } else {
@@ -146,19 +208,34 @@ mod tests {
 
     #[test]
     fn stream_pairs_moves_data_and_reports_sane_numbers() {
-        let r = stream_pairs(2, 4096, 16);
+        let r = stream_pairs(2, 4096, 16, 0);
         assert_eq!(r.messages, 16);
+        assert_eq!(r.threads, 0);
         assert!(r.msgs_per_sec > 0.0);
         assert!(r.mb_per_sec > 0.0);
         assert!(r.wall_s > 0.0);
+        assert_ne!(r.digest, 0);
+    }
+
+    #[test]
+    fn serial_and_parallel_digests_agree() {
+        let serial = stream_pairs(4, 512, 8, 0);
+        let par1 = stream_pairs(4, 512, 8, 1);
+        let par2 = stream_pairs(4, 512, 8, 2);
+        assert_eq!(serial.digest, par1.digest, "serial vs 1 thread");
+        assert_eq!(par1.digest, par2.digest, "1 vs 2 threads");
+        assert_eq!(par2.name, "stream_512b_4node_t2");
     }
 
     #[test]
     fn json_shape_is_stable() {
-        let r = stream_pairs(2, 256, 4);
+        let r = stream_pairs(2, 256, 4, 0);
         let j = r.to_json();
         assert!(j.contains("\"name\":\"stream_256b_2node\""), "{j}");
         assert!(j.contains("\"msgs_per_sec\":"), "{j}");
+        assert!(j.contains("\"threads\":0"), "{j}");
+        assert!(j.contains("\"digest\":\"0x"), "{j}");
+        assert!(j.contains("\"commit\":"), "{j}");
         assert!(j.contains("\"allocs_per_msg\":"), "{j}");
     }
 }

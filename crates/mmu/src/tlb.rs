@@ -16,6 +16,13 @@ use crate::Pte;
 pub struct Tlb {
     entries: Vec<(Vpn, Pte)>,
     capacity: usize,
+    /// Index of the most recent hit — a host-side shortcut for the
+    /// associative scan, since machine references run in page-local
+    /// bursts. Never trusted blindly: a lookup re-checks the VPN, so a
+    /// stale index after eviction or flush just falls back to the scan.
+    /// Purely an implementation detail of the host simulation: hit/miss
+    /// counts and simulated timing are unchanged.
+    last: usize,
     hits: Counter,
     misses: Counter,
 }
@@ -31,6 +38,7 @@ impl Tlb {
         Tlb {
             entries: Vec::with_capacity(capacity),
             capacity,
+            last: 0,
             hits: Counter::new(),
             misses: Counter::new(),
         }
@@ -38,10 +46,17 @@ impl Tlb {
 
     /// Looks up `vpn`, recording a hit or miss.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<Pte> {
-        match self.entries.iter().find(|(v, _)| *v == vpn) {
-            Some(&(_, pte)) => {
+        if let Some(&(v, pte)) = self.entries.get(self.last) {
+            if v == vpn {
                 self.hits.incr();
-                Some(pte)
+                return Some(pte);
+            }
+        }
+        match self.entries.iter().position(|(v, _)| *v == vpn) {
+            Some(i) => {
+                self.last = i;
+                self.hits.incr();
+                Some(self.entries[i].1)
             }
             None => {
                 self.misses.incr();
@@ -151,6 +166,26 @@ mod tests {
         tlb.insert(Vpn::new(7), pte(7));
         tlb.update(Vpn::new(7), pte(8));
         assert_eq!(tlb.lookup(Vpn::new(7)).unwrap().pfn, Pfn::new(8));
+    }
+
+    #[test]
+    fn stale_last_hit_index_is_harmless() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(Vpn::new(1), pte(1));
+        tlb.insert(Vpn::new(2), pte(2));
+        // Prime the shortcut on vpn 2 (index 1)…
+        assert!(tlb.lookup(Vpn::new(2)).is_some());
+        // …then shrink the table under it.
+        tlb.flush_page(Vpn::new(1));
+        assert_eq!(tlb.lookup(Vpn::new(2)).unwrap().pfn, Pfn::new(2));
+        tlb.flush_all();
+        assert!(tlb.lookup(Vpn::new(2)).is_none());
+        // Refill: the shortcut must re-verify, not resurrect old entries.
+        tlb.insert(Vpn::new(3), pte(3));
+        assert_eq!(tlb.lookup(Vpn::new(3)).unwrap().pfn, Pfn::new(3));
+        // Write-through lands in the slot the shortcut points at.
+        tlb.update(Vpn::new(3), pte(9));
+        assert_eq!(tlb.lookup(Vpn::new(3)).unwrap().pfn, Pfn::new(9));
     }
 
     #[test]

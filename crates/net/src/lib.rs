@@ -18,8 +18,9 @@
 //! let mut net = Interconnect::new(4, LinkParams::default());
 //! let p = Packet::new(NodeId::new(0), NodeId::new(3), PhysAddr::new(0x1000), vec![1, 2, 3]);
 //! let arrives = net.send(p, SimTime::ZERO);
-//! let delivered = net.deliver_until(arrives);
-//! assert_eq!(delivered.len(), 1);
+//! let (at, delivered) = net.deliver_due(arrives).expect("packet has arrived");
+//! assert_eq!(at, arrives);
+//! assert_eq!(delivered.payload, [1, 2, 3]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -28,5 +29,5 @@
 mod fabric;
 mod packet;
 
-pub use fabric::{Interconnect, LinkParams};
+pub use fabric::{FabricShard, Interconnect, LinkParams};
 pub use packet::{NodeId, Packet};

@@ -257,6 +257,42 @@ impl<D: Device> Node<D> {
         panic!("fault handler livelock at {va} (kernel bug)");
     }
 
+    /// The UDMA initiation pair — `STORE value TO dest_va; LOAD FROM
+    /// src_va` — with a single process-table lookup covering both
+    /// references in the no-fault steady state (the data-plane hot path
+    /// performs this sequence once per packet). Any fault falls back to
+    /// the general per-reference paths, so trap behavior and simulated
+    /// timing are identical to calling [`Node::user_store`] then
+    /// [`Node::user_load`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] the fault handler raises.
+    pub(crate) fn user_store_load_pair(
+        &mut self,
+        pid: Pid,
+        dest_va: VirtAddr,
+        value: i64,
+        src_va: VirtAddr,
+    ) -> Result<u64, Trap> {
+        if self.current != Some(pid) {
+            self.ensure_current(pid)?;
+        }
+        let proc = self.procs.get_mut(&pid).ok_or(Trap::NoSuchProcess(pid))?;
+        if let Err(fault) = self.machine.store(&mut proc.pt, dest_va, value, Mode::User) {
+            self.handle_fault(pid, fault)?;
+            self.user_store(pid, dest_va, value)?;
+            return self.user_load(pid, src_va);
+        }
+        match self.machine.load(&mut proc.pt, src_va, Mode::User) {
+            Ok(v) => Ok(v),
+            Err(fault) => {
+                self.handle_fault(pid, fault)?;
+                self.user_load(pid, src_va)
+            }
+        }
+    }
+
     /// Copies `data` into `pid`'s memory at `va` (bulk user write with
     /// fault handling).
     ///

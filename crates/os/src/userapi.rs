@@ -52,8 +52,7 @@ impl<D: Device> Node<D> {
         src_va: VirtAddr,
         nbytes: u64,
     ) -> Result<UdmaStatus, Trap> {
-        self.user_store(pid, dest_va, nbytes as i64)?;
-        let word = self.user_load(pid, src_va)?;
+        let word = self.user_store_load_pair(pid, dest_va, nbytes as i64, src_va)?;
         Ok(UdmaStatus::unpack(word))
     }
 

@@ -50,9 +50,11 @@ mod multicomputer;
 mod nic;
 mod nipt;
 mod node;
+mod parallel;
 
 pub use api::{Channel, ChannelMessage};
 pub use multicomputer::{Multicomputer, MulticomputerConfig, ShrimpError};
 pub use nic::{Nic, OutgoingPacket, PioError, NIC_MMIO};
 pub use nipt::{Nipt, NiptEntry};
 pub use node::ShrimpNode;
+pub use parallel::{NodePlan, ParallelReport, SendOp};

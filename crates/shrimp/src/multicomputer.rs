@@ -80,12 +80,12 @@ impl From<Trap> for ShrimpError {
 /// earlier than it (a node busy past that instant is unaffected).
 #[derive(Debug)]
 pub struct Multicomputer {
-    nodes: Vec<ShrimpNode>,
-    fabric: Interconnect,
-    eisa_busy: Vec<SimTime>,
-    last_delivery: Vec<SimTime>,
-    passive_receivers: bool,
-    dropped: u64,
+    pub(crate) nodes: Vec<ShrimpNode>,
+    pub(crate) fabric: Interconnect,
+    pub(crate) eisa_busy: Vec<SimTime>,
+    pub(crate) last_delivery: Vec<SimTime>,
+    pub(crate) passive_receivers: bool,
+    pub(crate) dropped: u64,
     /// Persistent scratch for the inject loop: NICs drain into it so the
     /// steady state reuses one allocation instead of taking each queue.
     outbox: Vec<crate::OutgoingPacket>,
@@ -161,6 +161,32 @@ impl Multicomputer {
     /// receiver's memory (a corrupted NIPT entry would do this).
     pub fn dropped_packets(&self) -> u64 {
         self.dropped
+    }
+
+    /// FNV-1a digest of the machine's externally visible state: every
+    /// node's clock, its last delivery completion, and its full physical
+    /// memory contents. Two runs of the same workload must digest
+    /// identically regardless of host thread count — the determinism
+    /// suite asserts it and `BENCH_throughput.json` records it.
+    pub fn state_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, node) in self.nodes.iter().enumerate() {
+            h = eat(h, &node.os().machine().now().as_nanos().to_le_bytes());
+            h = eat(h, &self.last_delivery[i].as_nanos().to_le_bytes());
+            let mem = node.os().machine().mem();
+            let bytes = mem
+                .read(shrimp_mem::PhysAddr::new(0), mem.size())
+                .expect("whole-memory read is in range");
+            h = eat(h, bytes);
+        }
+        h
     }
 
     /// Spawns a process on node `i`.
@@ -483,7 +509,7 @@ impl Multicomputer {
         }
     }
 
-    fn check_node(&self, i: usize) -> Result<(), ShrimpError> {
+    pub(crate) fn check_node(&self, i: usize) -> Result<(), ShrimpError> {
         if i < self.nodes.len() {
             Ok(())
         } else {

@@ -1,0 +1,481 @@
+//! Conservative parallel execution of deliberate-update workloads.
+//!
+//! [`Multicomputer::run_parallel`] runs a *plan* — per-node lists of UDMA
+//! sends — with every node sharded across worker threads, advancing in
+//! bounded **epochs** synchronized by the fabric's lookahead (one router
+//! hop): a node paused at simulated instant `t` cannot make any packet
+//! reach a destination's inbound link at or before `t`, so all traffic
+//! at or before the minimum paused clock is safe to commit.
+//!
+//! Each epoch has two barrier-separated phases:
+//!
+//! 1. **Execute** — every shard runs each of its unfinished nodes for up
+//!    to [`CHUNK`] sends. Outgoing packets are injected into the shard's
+//!    [`FabricShard`] (routing latency only) and posted to the receiving
+//!    shard's mailbox keyed `(link_ready, source ‖ sequence)`. The shard
+//!    then publishes a bound: the minimum clock of its unfinished nodes.
+//! 2. **Commit** — after the barrier, every shard reads the global
+//!    horizon (minimum published bound), drains its mailboxes into a
+//!    [`MergeQueue`], and applies every packet at or before the horizon
+//!    in `(link_ready, source ‖ sequence)` order: inbound-link
+//!    serialization, receive-side EISA DMA, the write into physical
+//!    memory. A second barrier keeps next-epoch bound publications from
+//!    racing this epoch's horizon reads.
+//!
+//! **Determinism.** The horizon is the minimum over *all* unfinished
+//! node clocks — independent of how nodes are assigned to shards — and
+//! per-epoch node progress is a fixed chunk, so the sequence of horizons
+//! is a pure function of the plan. Each destination's packets are
+//! committed in `(link_ready, tag)` order with per-destination receive
+//! state, so the simulated timeline and receiver memory are
+//! **bit-identical at any thread count**, including `threads = 1`.
+//! Equivalence with the *serial* [`Multicomputer::send`] driver
+//! additionally requires that per-destination injection order matches
+//! `(link_ready, tag)` order — true for feed-forward streams with one
+//! sender per destination (see `DESIGN.md` §6b).
+
+use shrimp_mem::VirtAddr;
+use shrimp_net::{FabricShard, Packet};
+use shrimp_os::Pid;
+use shrimp_sim::{merge_tag, ExchangeGrid, MergeQueue, SimTime, SpinBarrier, TimeFrontier};
+
+use crate::{Multicomputer, ShrimpError, ShrimpNode};
+
+/// Sends a node executes per epoch. Fixed (never derived from the thread
+/// count or the host) so epoch boundaries are identical at any
+/// parallelism — though the *timeline* would not change anyway: the
+/// chunk size only sets how much traffic defers to the next commit.
+/// Small enough that the deferred payload window stays cache-resident
+/// (large chunks collapse host throughput: every payload is written,
+/// aged out of cache, then re-read at commit), large enough to amortize
+/// the two barriers. 16 measured best on the `host_throughput` sweep.
+const CHUNK: usize = 16;
+
+/// One user-level DMA send in a [`NodePlan`]: the arguments of
+/// [`Multicomputer::send`] minus the node index.
+#[derive(Clone, Copy, Debug)]
+pub struct SendOp {
+    /// Sending process.
+    pub pid: Pid,
+    /// Source buffer virtual address.
+    pub src_va: VirtAddr,
+    /// Destination device proxy page.
+    pub dev_page: u64,
+    /// Offset on the proxy page.
+    pub dev_off: u64,
+    /// Transfer length in bytes.
+    pub nbytes: u64,
+}
+
+/// A node's share of a parallel workload.
+#[derive(Clone, Debug)]
+pub struct NodePlan {
+    /// Which node runs the ops.
+    pub node: usize,
+    /// Sends, executed in order.
+    pub ops: Vec<SendOp>,
+}
+
+/// What a parallel run did (observability; identical at any thread count).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelReport {
+    /// Epochs until every plan drained.
+    pub epochs: u64,
+    /// Sends executed.
+    pub messages: u64,
+    /// Packets exchanged through the fabric.
+    pub packets: u64,
+}
+
+/// A cross-shard packet: `(link_ready, merge tag, packet)`. `link_ready`
+/// is the instant the packet reaches its destination's inbound link,
+/// before serialization; the tag is `source node ‖ per-source sequence`.
+type Flit = (SimTime, u64, Packet);
+
+/// A node owned by a shard, with the receive-side state that must live
+/// wherever deliveries to it are applied.
+struct ShardNode {
+    /// Global node index.
+    index: usize,
+    node: ShrimpNode,
+    ops: Vec<SendOp>,
+    next: usize,
+    /// Per-source packet sequence (second half of the merge tag).
+    seq: u64,
+    eisa_busy: SimTime,
+    last_delivery: SimTime,
+}
+
+impl ShardNode {
+    fn exhausted(&self) -> bool {
+        self.next >= self.ops.len()
+    }
+}
+
+/// One worker's slice of the machine: its nodes, its copy of the fabric,
+/// and the deterministic merge queue for traffic addressed to it.
+struct Shard {
+    id: usize,
+    threads: usize,
+    passive: bool,
+    nodes: Vec<ShardNode>,
+    fabric: FabricShard,
+    queue: MergeQueue<Packet>,
+    /// Scratch: NIC drain target, reused across ops.
+    outbox: Vec<crate::OutgoingPacket>,
+    /// Staged outgoing flits, one batch per destination shard, posted
+    /// once per epoch so mailbox locks are taken O(shards) times.
+    staging: Vec<Vec<Flit>>,
+    /// Scratch: mailbox drain target.
+    incoming: Vec<Flit>,
+    dropped: u64,
+    epochs: u64,
+    messages: u64,
+    packets: u64,
+    /// Trapped nodes: `(global index, error)`. A trap finishes that
+    /// node's plan; the run keeps going and reports the error at the end.
+    errors: Vec<(usize, ShrimpError)>,
+}
+
+impl Shard {
+    fn run(&mut self, barrier: &SpinBarrier, frontier: &TimeFrontier, grid: &ExchangeGrid<Flit>) {
+        loop {
+            self.epochs += 1;
+            // Execute phase.
+            for ni in 0..self.nodes.len() {
+                self.execute_chunk(ni);
+            }
+            for dst in 0..self.threads {
+                grid.post_batch(self.id, dst, &mut self.staging[dst]);
+            }
+            let bound = self
+                .nodes
+                .iter()
+                .filter(|n| !n.exhausted())
+                .map(|n| n.node.os().machine().now())
+                .min();
+            frontier.publish(self.id, bound);
+            barrier.wait();
+
+            // Commit phase. The horizon is only meaningful between the
+            // two barriers: every shard has published, none has moved on.
+            let horizon = frontier.horizon();
+            grid.drain_to(self.id, &mut self.incoming);
+            for (at, tag, pkt) in self.incoming.drain(..) {
+                self.queue.push(at, tag, pkt);
+            }
+            while let Some((link_ready, pkt)) = self.queue.pop_within(horizon) {
+                self.commit(link_ready, pkt);
+            }
+            barrier.wait();
+
+            // A `None` horizon means every shard was exhausted when it
+            // published, so this commit drained everything in flight.
+            if horizon.is_none() {
+                debug_assert!(self.queue.is_empty(), "final commit must drain the queue");
+                return;
+            }
+        }
+    }
+
+    /// Runs up to [`CHUNK`] sends of node `ni`, staging its packets.
+    fn execute_chunk(&mut self, ni: usize) {
+        let sn = &mut self.nodes[ni];
+        let end = (sn.next + CHUNK).min(sn.ops.len());
+        while sn.next < end {
+            let op = sn.ops[sn.next];
+            sn.next += 1;
+            if let Err(trap) =
+                sn.node.os_mut().udma_send(op.pid, op.src_va, op.dev_page, op.dev_off, op.nbytes)
+            {
+                self.errors.push((sn.index, trap.into()));
+                sn.next = sn.ops.len();
+                break;
+            }
+            self.messages += 1;
+            sn.node.os_mut().machine_mut().device_mut().drain_outgoing_into(&mut self.outbox);
+            for out in self.outbox.drain(..) {
+                let mut pkt = out.packet;
+                let link_ready = self.fabric.inject(&mut pkt, out.ready_at);
+                let tag = merge_tag(sn.index as u16, sn.seq);
+                sn.seq += 1;
+                self.packets += 1;
+                let dst_shard = pkt.dst.raw() as usize % self.threads;
+                self.staging[dst_shard].push((link_ready, tag, pkt));
+            }
+        }
+    }
+
+    /// Applies one packet: link serialization, receive-side EISA DMA,
+    /// memory deposit — the same arithmetic as the serial
+    /// [`Multicomputer::propagate`] receive loop.
+    fn commit(&mut self, link_ready: SimTime, pkt: Packet) {
+        let arrival = self.fabric.admit(&pkt, link_ready);
+        let dst = pkt.dst.raw() as usize;
+        debug_assert_eq!(dst % self.threads, self.id, "packet routed to the wrong shard");
+        let local = &mut self.nodes[dst / self.threads];
+        let start = arrival.max(local.eisa_busy);
+        let done = {
+            let cost = local.node.os().machine().cost();
+            start + cost.dma_start + cost.bus_transfer(pkt.payload.len() as u64)
+        };
+        local.eisa_busy = done;
+        let mem = local.node.os_mut().machine_mut().mem_mut();
+        if mem.write(pkt.dst_paddr, &pkt.payload).is_err() {
+            self.dropped += 1;
+            return;
+        }
+        local.last_delivery = local.last_delivery.max(done);
+        if self.passive {
+            local.node.os_mut().machine_mut().advance_to(done);
+        }
+    }
+}
+
+impl Multicomputer {
+    /// Runs `plans` to completion across `threads` worker threads using
+    /// conservative epoch synchronization. The simulated timeline,
+    /// receiver memory, per-node clocks and fabric statistics are
+    /// identical at any thread count (the count is clamped to
+    /// `[1, node_count]`).
+    ///
+    /// Quiesces in-flight traffic first; plans for the same node
+    /// concatenate in argument order.
+    ///
+    /// # Errors
+    ///
+    /// A bad node index fails up front. A kernel trap mid-plan finishes
+    /// that node's plan early; the rest of the machine runs to
+    /// completion, state is reassembled, and the trap of the
+    /// lowest-indexed trapped node is returned.
+    pub fn run_parallel(
+        &mut self,
+        plans: &[NodePlan],
+        threads: usize,
+    ) -> Result<ParallelReport, ShrimpError> {
+        let n = self.nodes.len();
+        let mut ops: Vec<Vec<SendOp>> = vec![Vec::new(); n];
+        for plan in plans {
+            self.check_node(plan.node)?;
+            ops[plan.node].extend_from_slice(&plan.ops);
+        }
+        self.run_until_quiet();
+        let threads = threads.clamp(1, n);
+
+        // Disassemble: nodes and their receive-side state move to their
+        // shards (round-robin: shard `s` owns nodes `s, s+threads, …`),
+        // the fabric splits into per-shard link state.
+        let mut shards: Vec<Shard> = self
+            .fabric
+            .split(threads)
+            .into_iter()
+            .enumerate()
+            .map(|(id, fabric)| Shard {
+                id,
+                threads,
+                passive: self.passive_receivers,
+                nodes: Vec::new(),
+                fabric,
+                queue: MergeQueue::new(),
+                outbox: Vec::new(),
+                staging: (0..threads).map(|_| Vec::new()).collect(),
+                incoming: Vec::new(),
+                dropped: 0,
+                epochs: 0,
+                messages: 0,
+                packets: 0,
+                errors: Vec::new(),
+            })
+            .collect();
+        for (index, node) in std::mem::take(&mut self.nodes).into_iter().enumerate() {
+            shards[index % threads].nodes.push(ShardNode {
+                index,
+                node,
+                ops: std::mem::take(&mut ops[index]),
+                next: 0,
+                seq: 0,
+                eisa_busy: self.eisa_busy[index],
+                last_delivery: self.last_delivery[index],
+            });
+        }
+
+        let barrier = SpinBarrier::new(threads);
+        let frontier = TimeFrontier::new(threads);
+        let grid: ExchangeGrid<Flit> = ExchangeGrid::new(threads);
+        {
+            let (barrier, frontier, grid) = (&barrier, &frontier, &grid);
+            let (first, rest) = shards.split_at_mut(1);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = rest
+                    .iter_mut()
+                    .map(|shard| s.spawn(move || shard.run(barrier, frontier, grid)))
+                    .collect();
+                first[0].run(barrier, frontier, grid);
+                for h in handles {
+                    h.join().expect("shard thread panicked");
+                }
+            });
+        }
+        debug_assert!(grid.is_empty(), "all exchanged packets must be committed");
+
+        // Reassemble.
+        let mut report = ParallelReport::default();
+        let mut slots: Vec<Option<ShrimpNode>> = (0..n).map(|_| None).collect();
+        let mut fabric_shards = Vec::with_capacity(threads);
+        let mut first_error: Option<(usize, ShrimpError)> = None;
+        for shard in shards {
+            report.epochs = report.epochs.max(shard.epochs);
+            report.messages += shard.messages;
+            report.packets += shard.packets;
+            self.dropped += shard.dropped;
+            for (index, error) in shard.errors {
+                if first_error.is_none_or(|(lowest, _)| index < lowest) {
+                    first_error = Some((index, error));
+                }
+            }
+            for sn in shard.nodes {
+                self.eisa_busy[sn.index] = sn.eisa_busy;
+                self.last_delivery[sn.index] = sn.last_delivery;
+                slots[sn.index] = Some(sn.node);
+            }
+            fabric_shards.push(shard.fabric);
+        }
+        self.nodes = slots.into_iter().map(|s| s.expect("every node comes back")).collect();
+        let owner: Vec<usize> = (0..n).map(|i| i % threads).collect();
+        self.fabric.merge(fabric_shards, &owner);
+        match first_error {
+            Some((_, error)) => Err(error),
+            None => Ok(report),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MulticomputerConfig;
+    use shrimp_os::Trap;
+
+    /// An `n`-node machine with disjoint sender→receiver pairs
+    /// (`2p → 2p+1`) and a plan of `msgs` sends of `bytes` bytes per pair.
+    fn paired_stream(n: u16, msgs: usize, bytes: u64) -> (Multicomputer, Vec<NodePlan>) {
+        let mut mc = Multicomputer::new(n, MulticomputerConfig::default());
+        let mut plans = Vec::new();
+        for p in 0..(n as usize / 2) {
+            let (s, r) = (2 * p, 2 * p + 1);
+            let spid = mc.spawn_process(s);
+            let rpid = mc.spawn_process(r);
+            mc.map_user_buffer(s, spid, 0x10_0000, 2).unwrap();
+            mc.map_user_buffer(r, rpid, 0x40_0000, 2).unwrap();
+            let dev = mc.export(r, rpid, VirtAddr::new(0x40_0000), 2, s, spid).unwrap();
+            let fill: Vec<u8> = (0..bytes).map(|i| (i as u8) ^ (s as u8)).collect();
+            mc.write_user(s, spid, VirtAddr::new(0x10_0000), &fill).unwrap();
+            plans.push(NodePlan {
+                node: s,
+                ops: vec![
+                    SendOp {
+                        pid: spid,
+                        src_va: VirtAddr::new(0x10_0000),
+                        dev_page: dev,
+                        dev_off: 0,
+                        nbytes: bytes,
+                    };
+                    msgs
+                ],
+            });
+        }
+        (mc, plans)
+    }
+
+    /// Timeline fingerprint: every node clock, delivery time and EISA
+    /// state, plus fabric counters.
+    fn fingerprint(mc: &Multicomputer) -> Vec<u64> {
+        let mut v = Vec::new();
+        for i in 0..mc.node_count() {
+            v.push(mc.node(i).os().machine().now().as_nanos());
+            v.push(mc.last_delivery(i).as_nanos());
+        }
+        v.push(mc.fabric().stats().get("packets"));
+        v.push(mc.fabric().stats().get("payload_bytes"));
+        v.push(mc.dropped_packets());
+        v
+    }
+
+    #[test]
+    fn thread_counts_cannot_change_the_timeline() {
+        let mut prints = Vec::new();
+        for threads in [1usize, 2, 3, 4] {
+            let (mut mc, plans) = paired_stream(8, 40, 1024);
+            let report = mc.run_parallel(&plans, threads).unwrap();
+            assert_eq!(report.messages, 4 * 40);
+            prints.push((fingerprint(&mc), report));
+        }
+        for (p, r) in &prints[1..] {
+            assert_eq!(p, &prints[0].0, "timeline must be thread-count independent");
+            assert_eq!(r, &prints[0].1, "report must be thread-count independent");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_driver_on_streams() {
+        let msgs = 30;
+        let (mut serial, plans) = paired_stream(4, msgs, 512);
+        let (mut par, _) = paired_stream(4, msgs, 512);
+        for plan in &plans {
+            for op in &plan.ops {
+                serial
+                    .send(plan.node, op.pid, op.src_va, op.dev_page, op.dev_off, op.nbytes)
+                    .unwrap();
+            }
+        }
+        serial.run_until_quiet();
+        par.run_parallel(&plans, 2).unwrap();
+        assert_eq!(fingerprint(&par), fingerprint(&serial));
+        // Receiver memory matches too.
+        for r in [1usize, 3] {
+            let pid = Pid::new(1);
+            let a = serial.read_user(r, pid, VirtAddr::new(0x40_0000), 512).unwrap();
+            let b = par.read_user(r, pid, VirtAddr::new(0x40_0000), 512).unwrap();
+            assert_eq!(a, b, "receiver {r} memory diverged");
+        }
+    }
+
+    #[test]
+    fn delivered_data_is_correct() {
+        let (mut mc, plans) = paired_stream(2, 5, 2048);
+        mc.run_parallel(&plans, 2).unwrap();
+        let pid = Pid::new(1);
+        let got = mc.read_user(1, pid, VirtAddr::new(0x40_0000), 2048).unwrap();
+        let want: Vec<u8> = (0..2048u64).map(|i| i as u8).collect();
+        assert_eq!(got, want);
+        assert_eq!(mc.dropped_packets(), 0);
+    }
+
+    #[test]
+    fn bad_node_index_is_rejected() {
+        let (mut mc, _) = paired_stream(2, 1, 64);
+        let err = mc.run_parallel(&[NodePlan { node: 9, ops: Vec::new() }], 1).unwrap_err();
+        assert_eq!(err, ShrimpError::NoSuchNode(9));
+    }
+
+    #[test]
+    fn trap_mid_plan_surfaces_after_the_run() {
+        let (mut mc, mut plans) = paired_stream(2, 3, 64);
+        // Unmapped source address: the kernel traps on the second op.
+        plans[0].ops[1].src_va = VirtAddr::new(0xdead_0000);
+        let err = mc.run_parallel(&plans, 2).unwrap_err();
+        assert!(matches!(err, ShrimpError::Trap(Trap::SegFault { .. })), "got {err:?}");
+        // Ops before the trap still landed.
+        let pid = Pid::new(1);
+        let got = mc.read_user(1, pid, VirtAddr::new(0x40_0000), 64).unwrap();
+        assert_eq!(got, (0..64).map(|i| i as u8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn empty_plans_finish_immediately() {
+        let (mut mc, _) = paired_stream(2, 1, 64);
+        let report = mc.run_parallel(&[], 2).unwrap();
+        assert_eq!(report.messages, 0);
+        assert_eq!(report.packets, 0);
+    }
+}

@@ -7,8 +7,12 @@
 //! send→deliver cycle reuses the same few buffers and performs **zero**
 //! heap allocations per message.
 //!
-//! The simulator is single-threaded by construction (one deterministic
-//! event loop), so the pool is an `Rc<RefCell<…>>` with no locking.
+//! The pool is an `Arc<Mutex<…>>` so payloads are `Send`: the parallel
+//! execution layer moves packets between shard threads, and a payload
+//! dropped at the receiving shard returns its storage to the sending
+//! NIC's pool across threads. The lock is uncontended in the serial
+//! engine and touched only on allocate/drop in the parallel one, so the
+//! hot path stays a pointer swap either way.
 //!
 //! # Example
 //!
@@ -24,13 +28,12 @@
 //! assert_eq!(second.capacity(), cap); // …and is recycled, not reallocated
 //! ```
 
-use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Shared free-list: cleared `Vec`s whose capacity is ready for reuse.
-type Shelf = Rc<RefCell<Vec<Vec<u8>>>>;
+type Shelf = Arc<Mutex<Vec<Vec<u8>>>>;
 
 /// Maximum buffers the pool retains; beyond this, dropped payloads free
 /// their storage. Bounds worst-case memory for bursty workloads while
@@ -53,7 +56,7 @@ impl BufPool {
     /// A payload containing a copy of `bytes`, backed by a recycled buffer
     /// when one is available (the data plane's single sender-side copy).
     pub fn filled_from(&self, bytes: &[u8]) -> Payload {
-        let mut data = self.shelf.borrow_mut().pop().unwrap_or_default();
+        let mut data = self.shelf.lock().expect("buffer shelf poisoned").pop().unwrap_or_default();
         data.clear();
         data.extend_from_slice(bytes);
         Payload { data, home: Some(self.shelf.clone()) }
@@ -61,7 +64,7 @@ impl BufPool {
 
     /// Number of idle buffers currently shelved (test observability).
     pub fn free_buffers(&self) -> usize {
-        self.shelf.borrow().len()
+        self.shelf.lock().expect("buffer shelf poisoned").len()
     }
 }
 
@@ -90,7 +93,7 @@ impl Payload {
 impl Drop for Payload {
     fn drop(&mut self) {
         if let Some(home) = self.home.take() {
-            let mut shelf = home.borrow_mut();
+            let mut shelf = home.lock().expect("buffer shelf poisoned");
             if shelf.len() < MAX_POOLED {
                 let mut data = std::mem::take(&mut self.data);
                 data.clear();
@@ -106,7 +109,8 @@ impl Clone for Payload {
     fn clone(&self) -> Self {
         match &self.home {
             Some(shelf) => {
-                let mut data = shelf.borrow_mut().pop().unwrap_or_default();
+                let mut data =
+                    shelf.lock().expect("buffer shelf poisoned").pop().unwrap_or_default();
                 data.clear();
                 data.extend_from_slice(&self.data);
                 Payload { data, home: Some(shelf.clone()) }

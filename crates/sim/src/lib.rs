@@ -8,6 +8,8 @@
 //!   allocation-free data plane,
 //! - [`Clock`] — a monotonically advancing per-node clock,
 //! - [`EventQueue`] — a deterministic time-ordered event queue,
+//! - [`parallel`] — conservative parallel-execution primitives (epoch
+//!   barrier, sharded exchange, deterministic merge, commit horizon),
 //! - [`SplitMix64`] — a tiny, dependency-free deterministic RNG,
 //! - [`Counter`] / [`Histogram`] / [`StatSet`] — measurement plumbing,
 //! - [`TraceBuffer`] — a bounded event transcript for debugging,
@@ -35,6 +37,7 @@ mod buf;
 mod clock;
 mod cost;
 mod event;
+pub mod parallel;
 mod rng;
 mod stats;
 mod time;
@@ -44,6 +47,7 @@ pub use buf::{BufPool, Payload};
 pub use clock::Clock;
 pub use cost::CostModel;
 pub use event::{Event, EventQueue, PopUntil};
+pub use parallel::{merge_tag, ExchangeGrid, MergeQueue, SpinBarrier, TimeFrontier};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, StatSet};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,413 @@
+//! Primitives for conservative parallel discrete-event execution.
+//!
+//! The simulator's nodes only interact through fabric packets with a
+//! known minimum latency (the fabric's lookahead: at least one router
+//! hop plus wire time), so shards of the machine can advance
+//! independently in bounded epochs and exchange packets at epoch
+//! boundaries — classic conservative (Chandy–Misra–Bryant style)
+//! synchronization, with the lookahead standing in for null messages.
+//!
+//! This module provides the engine-agnostic pieces:
+//!
+//! - [`SpinBarrier`] — a sense-reversing barrier that spins briefly and
+//!   then yields, so oversubscribed hosts (more shards than cores) make
+//!   progress instead of burning a timeslice,
+//! - [`ExchangeGrid`] — per-(source, destination) shard mailboxes whose
+//!   slots are only ever touched by one producer and one consumer in
+//!   barrier-separated phases, so the locks are uncontended,
+//! - [`MergeQueue`] — a priority queue keyed `(SimTime, tag)` whose pop
+//!   order is a pure function of its *contents*, never of insertion
+//!   order, making cross-shard merges deterministic at any thread count,
+//! - [`TimeFrontier`] — published per-shard lower bounds on future event
+//!   times, whose minimum is the safe commit horizon for an epoch.
+//!
+//! Determinism contract: give every item a globally unique [`merge_tag`]
+//! (source id ‖ per-source sequence number) and pop strictly by
+//! `(time, tag)`. Two runs that insert the same item *sets* — however
+//! the insertions were interleaved by threads — then pop identical
+//! sequences. The simulated timeline therefore cannot observe the
+//! thread count.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::SimTime;
+
+/// Spin iterations before a waiting thread starts yielding its timeslice.
+/// Short: with more shards than cores (the common case on small hosts)
+/// the peer we wait for cannot run until we yield.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// A sense-reversing barrier for a fixed party count.
+///
+/// `wait` returns once all parties have arrived. Waiters spin briefly,
+/// then `yield_now` so an oversubscribed host schedules the stragglers.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        SpinBarrier { parties, arrived: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+    }
+
+    /// Blocks until all parties have called `wait` for the current
+    /// generation. The last arrival resets the barrier for reuse.
+    pub fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Leader: reset the arrival count *before* releasing the
+            // generation, so early arrivals of the next epoch count from
+            // zero.
+            self.arrived.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            spins = spins.saturating_add(1);
+            if spins < SPINS_BEFORE_YIELD {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Per-(source, destination) mailboxes for cross-shard item exchange.
+///
+/// Slot `(src, dst)` is written only by shard `src` during an execute
+/// phase and drained only by shard `dst` during the following commit
+/// phase; a barrier separates the phases, so every lock acquisition is
+/// uncontended and the drained item set is a deterministic function of
+/// the epoch, not of thread scheduling.
+#[derive(Debug)]
+pub struct ExchangeGrid<T> {
+    /// `slots[dst][src]`.
+    slots: Vec<Vec<Mutex<Vec<T>>>>,
+}
+
+impl<T> ExchangeGrid<T> {
+    /// A grid for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        let slots =
+            (0..shards).map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect()).collect();
+        ExchangeGrid { slots }
+    }
+
+    /// Number of shards the grid connects.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Posts one item from shard `src` to shard `dst`.
+    pub fn post(&self, src: usize, dst: usize, item: T) {
+        self.slots[dst][src].lock().expect("mailbox poisoned").push(item);
+    }
+
+    /// Moves every item out of `batch` into the `(src, dst)` mailbox,
+    /// keeping `batch`'s capacity — one lock per batch instead of one
+    /// per item.
+    pub fn post_batch(&self, src: usize, dst: usize, batch: &mut Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.slots[dst][src].lock().expect("mailbox poisoned").append(batch);
+    }
+
+    /// Drains every mailbox addressed to `dst` (in source-shard order)
+    /// into `out`.
+    pub fn drain_to(&self, dst: usize, out: &mut Vec<T>) {
+        for slot in &self.slots[dst] {
+            out.append(&mut slot.lock().expect("mailbox poisoned"));
+        }
+    }
+
+    /// Whether every mailbox in the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|row| row.iter().all(|s| s.lock().expect("mailbox poisoned").is_empty()))
+    }
+}
+
+/// Builds the unique merge key for an item from source `src` with
+/// per-source sequence number `seq` (the source's items must be numbered
+/// in their generation order). `seq` must stay below 2^48.
+pub const fn merge_tag(src: u16, seq: u64) -> u64 {
+    debug_assert!(seq < 1 << 48);
+    ((src as u64) << 48) | seq
+}
+
+/// One entry of a [`MergeQueue`]. Ordered by key alone so `T` needs no
+/// ordering of its own (packets aren't comparable).
+#[derive(Debug)]
+struct MergeEntry<T> {
+    at: SimTime,
+    tag: u64,
+    item: T,
+}
+
+impl<T> MergeEntry<T> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.tag)
+    }
+}
+
+impl<T> PartialEq for MergeEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<T> Eq for MergeEntry<T> {}
+
+impl<T> PartialOrd for MergeEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for MergeEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A deterministic min-queue keyed `(SimTime, tag)`.
+///
+/// Unlike [`EventQueue`](crate::EventQueue), which breaks time ties by
+/// *insertion* order (correct for a single-threaded scheduler, undefined
+/// across threads), `MergeQueue` orders purely by the caller-supplied
+/// key, so its pop sequence is a function of the inserted set alone.
+#[derive(Debug, Default)]
+pub struct MergeQueue<T> {
+    heap: BinaryHeap<Reverse<MergeEntry<T>>>,
+}
+
+impl<T> MergeQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        MergeQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Inserts `item` keyed `(at, tag)`. Tags must be unique per queue
+    /// (see [`merge_tag`]); entries are ordered by key alone, so
+    /// duplicate keys would pop in unspecified relative order.
+    pub fn push(&mut self, at: SimTime, tag: u64, item: T) {
+        self.heap.push(Reverse(MergeEntry { at, tag, item }));
+    }
+
+    /// Removes and returns the earliest entry with `at <= horizon`
+    /// (`None` horizon = no bound).
+    pub fn pop_within(&mut self, horizon: Option<SimTime>) -> Option<(SimTime, T)> {
+        let head = self.heap.peek()?;
+        if let Some(h) = horizon {
+            if head.0.at > h {
+                return None;
+            }
+        }
+        let Reverse(entry) = self.heap.pop().expect("peeked entry must pop");
+        Some((entry.at, entry.item))
+    }
+
+    /// Earliest key time, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Raw nanosecond value standing for "this shard has no future events".
+const FRONTIER_EXHAUSTED: u64 = u64::MAX;
+
+/// Published per-shard lower bounds on future event times.
+///
+/// During an execute phase each shard publishes a lower bound on the
+/// time of any event it may still produce (its minimum unfinished node
+/// clock; every future packet leaves at or after that clock and arrives
+/// strictly later thanks to the fabric lookahead). After a barrier,
+/// [`TimeFrontier::horizon`] — the minimum over shards — bounds what any
+/// shard may safely commit: all packets at or before it have already
+/// been exchanged.
+#[derive(Debug)]
+pub struct TimeFrontier {
+    bounds: Vec<AtomicU64>,
+}
+
+impl TimeFrontier {
+    /// A frontier for `shards` shards, initially all at time zero.
+    pub fn new(shards: usize) -> Self {
+        TimeFrontier { bounds: (0..shards).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Publishes shard `shard`'s bound: `Some(t)` = no future event
+    /// before `t`; `None` = the shard is exhausted (no future events at
+    /// all).
+    pub fn publish(&self, shard: usize, bound: Option<SimTime>) {
+        let raw = bound.map_or(FRONTIER_EXHAUSTED, SimTime::as_nanos);
+        self.bounds[shard].store(raw, Ordering::Release);
+    }
+
+    /// The commit horizon: the minimum published bound, or `None` when
+    /// every shard is exhausted (commit everything). Only meaningful
+    /// between the barrier that ends an execute phase and the barrier
+    /// that ends the commit phase.
+    pub fn horizon(&self) -> Option<SimTime> {
+        let min = self.bounds.iter().map(|b| b.load(Ordering::Acquire)).min().unwrap_or(0);
+        if min == FRONTIER_EXHAUSTED {
+            None
+        } else {
+            Some(SimTime::from_nanos(min))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_releases_all_parties_each_generation() {
+        let parties = 4;
+        let barrier = Arc::new(SpinBarrier::new(parties));
+        let passed = Arc::new(TestCounter::new(0));
+        let epochs = 50;
+        std::thread::scope(|s| {
+            for _ in 0..parties {
+                let barrier = Arc::clone(&barrier);
+                let passed = Arc::clone(&passed);
+                s.spawn(move || {
+                    for e in 0..epochs {
+                        barrier.wait();
+                        // Everyone from epoch e has arrived: the count
+                        // must be a multiple of the party count by the
+                        // time anyone passes.
+                        let seen = passed.fetch_add(1, Ordering::AcqRel);
+                        assert!(seen / parties as u64 <= e + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(passed.load(Ordering::Acquire), parties as u64 * epochs);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..3 {
+            b.wait();
+        }
+    }
+
+    #[test]
+    fn grid_routes_by_destination_in_source_order() {
+        let grid: ExchangeGrid<u32> = ExchangeGrid::new(3);
+        grid.post(0, 2, 10);
+        grid.post(1, 2, 20);
+        grid.post(0, 2, 11);
+        grid.post(2, 0, 30);
+        let mut out = Vec::new();
+        grid.drain_to(2, &mut out);
+        assert_eq!(out, [10, 11, 20], "source-major, generation order within a source");
+        out.clear();
+        grid.drain_to(0, &mut out);
+        assert_eq!(out, [30]);
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn grid_post_batch_moves_and_keeps_capacity() {
+        let grid: ExchangeGrid<u32> = ExchangeGrid::new(2);
+        let mut batch = Vec::with_capacity(8);
+        batch.extend([1, 2, 3]);
+        grid.post_batch(0, 1, &mut batch);
+        assert!(batch.is_empty());
+        assert!(batch.capacity() >= 8, "batch keeps its allocation");
+        let mut out = Vec::new();
+        grid.drain_to(1, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_queue_pops_by_time_then_tag_regardless_of_insertion_order() {
+        let t = SimTime::from_nanos;
+        // Two insertion orders of the same set.
+        let orders: [&[(u64, u16, u64)]; 2] = [
+            &[(50, 1, 0), (50, 0, 0), (10, 3, 7), (50, 0, 1)],
+            &[(50, 0, 1), (10, 3, 7), (50, 0, 0), (50, 1, 0)],
+        ];
+        let mut pops = Vec::new();
+        for order in orders {
+            let mut q = MergeQueue::new();
+            for &(at, src, seq) in order {
+                q.push(t(at), merge_tag(src, seq), (src, seq));
+            }
+            let mut seq = Vec::new();
+            while let Some((at, item)) = q.pop_within(None) {
+                seq.push((at, item));
+            }
+            pops.push(seq);
+        }
+        assert_eq!(pops[0], pops[1], "pop order must not depend on insertion order");
+        assert_eq!(
+            pops[0],
+            [(t(10), (3, 7)), (t(50), (0, 0)), (t(50), (0, 1)), (t(50), (1, 0))],
+            "ties break by (source, sequence)"
+        );
+    }
+
+    #[test]
+    fn merge_queue_respects_horizon() {
+        let mut q = MergeQueue::new();
+        q.push(SimTime::from_nanos(5), merge_tag(0, 0), "early");
+        q.push(SimTime::from_nanos(15), merge_tag(0, 1), "late");
+        assert_eq!(q.pop_within(Some(SimTime::from_nanos(10))).map(|(_, i)| i), Some("early"));
+        assert_eq!(q.pop_within(Some(SimTime::from_nanos(10))), None, "late item is beyond");
+        assert_eq!(q.next_at(), Some(SimTime::from_nanos(15)));
+        assert_eq!(q.pop_within(None).map(|(_, i)| i), Some("late"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn frontier_horizon_is_min_bound() {
+        let f = TimeFrontier::new(3);
+        f.publish(0, Some(SimTime::from_nanos(100)));
+        f.publish(1, Some(SimTime::from_nanos(40)));
+        f.publish(2, None);
+        assert_eq!(f.horizon(), Some(SimTime::from_nanos(40)));
+        f.publish(1, None);
+        assert_eq!(f.horizon(), Some(SimTime::from_nanos(100)));
+        f.publish(0, None);
+        assert_eq!(f.horizon(), None, "all exhausted: commit everything");
+    }
+
+    #[test]
+    fn merge_tag_orders_by_source_then_sequence() {
+        assert!(merge_tag(0, 5) < merge_tag(1, 0));
+        assert!(merge_tag(2, 3) < merge_tag(2, 4));
+    }
+}

@@ -1,0 +1,174 @@
+//! Determinism of the parallel engine: `run_parallel` must produce
+//! **bit-identical** simulated timelines and receiver memory at every
+//! thread count — including `threads = 1` versus the pre-existing serial
+//! driver — and the cross-shard merge order must equal the canonical
+//! serial event order. These are the contracts `DESIGN.md` §6b states;
+//! the CI determinism job runs exactly this suite.
+
+use proptest::prelude::*;
+
+use shrimp::{Multicomputer, MulticomputerConfig, NodePlan, SendOp};
+use shrimp_mem::VirtAddr;
+use shrimp_os::Pid;
+use shrimp_sim::{merge_tag, EventQueue, MergeQueue, SimTime};
+
+const SEND_BASE: u64 = 0x10_0000;
+const RECV_BASE: u64 = 0x40_0000;
+
+/// An `n`-node machine with disjoint sender→receiver pairs (`2p → 2p+1`)
+/// and a plan of `msgs` sends of `bytes` bytes per pair. Every pair's
+/// fill pattern depends on the sender index so receiver memories differ.
+fn paired_stream(n: u16, msgs: usize, bytes: u64) -> (Multicomputer, Vec<NodePlan>) {
+    let mut mc = Multicomputer::new(n, MulticomputerConfig::default());
+    let mut plans = Vec::new();
+    for p in 0..(n as usize / 2) {
+        let (s, r) = (2 * p, 2 * p + 1);
+        let spid = mc.spawn_process(s);
+        let rpid = mc.spawn_process(r);
+        mc.map_user_buffer(s, spid, SEND_BASE, 2).unwrap();
+        mc.map_user_buffer(r, rpid, RECV_BASE, 2).unwrap();
+        let dev = mc.export(r, rpid, VirtAddr::new(RECV_BASE), 2, s, spid).unwrap();
+        let fill: Vec<u8> = (0..bytes).map(|i| (i as u8) ^ (s as u8)).collect();
+        mc.write_user(s, spid, VirtAddr::new(SEND_BASE), &fill).unwrap();
+        plans.push(NodePlan {
+            node: s,
+            ops: vec![
+                SendOp {
+                    pid: spid,
+                    src_va: VirtAddr::new(SEND_BASE),
+                    dev_page: dev,
+                    dev_off: 0,
+                    nbytes: bytes,
+                };
+                msgs
+            ],
+        });
+    }
+    (mc, plans)
+}
+
+#[test]
+fn digests_are_identical_across_thread_counts() {
+    // 2-, 8- and 16-node streams, the sizes the throughput bench sweeps.
+    for (nodes, msgs, bytes) in [(2u16, 40, 1024u64), (8, 25, 1024), (16, 15, 512)] {
+        let mut digests = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let (mut mc, plans) = paired_stream(nodes, msgs, bytes);
+            let report = mc.run_parallel(&plans, threads).unwrap();
+            assert_eq!(report.messages, (nodes as u64 / 2) * msgs as u64);
+            digests.push(mc.state_digest());
+        }
+        assert_eq!(digests[0], digests[1], "{nodes}-node: 1 vs 2 threads");
+        assert_eq!(digests[1], digests[2], "{nodes}-node: 2 vs 4 threads");
+    }
+}
+
+#[test]
+fn parallel_engine_matches_the_serial_driver() {
+    // The pre-parallel path: one `send` at a time, `propagate` after each.
+    let (mut serial, plans) = paired_stream(8, 20, 768);
+    for plan in &plans {
+        for op in &plan.ops {
+            serial.send(plan.node, op.pid, op.src_va, op.dev_page, op.dev_off, op.nbytes).unwrap();
+        }
+    }
+    serial.run_until_quiet();
+
+    // Snapshot the digest before touching the machine again: `read_user`
+    // itself mutates kernel state (context switch, PTE status bits).
+    let serial_digest = serial.state_digest();
+    let serial_mem: Vec<Vec<u8>> = (1..8)
+        .step_by(2)
+        .map(|r| serial.read_user(r, Pid::new(1), VirtAddr::new(RECV_BASE), 768).unwrap())
+        .collect();
+
+    for threads in [1usize, 3] {
+        let (mut par, plans) = paired_stream(8, 20, 768);
+        par.run_parallel(&plans, threads).unwrap();
+        assert_eq!(
+            par.state_digest(),
+            serial_digest,
+            "threads={threads} diverged from the serial driver"
+        );
+        for (i, r) in (1..8).step_by(2).enumerate() {
+            let b = par.read_user(r, Pid::new(1), VirtAddr::new(RECV_BASE), 768).unwrap();
+            assert_eq!(serial_mem[i], b, "receiver {r} memory diverged at threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn digests_distinguish_different_workloads() {
+    // A digest that never changes proves nothing: different payload sizes
+    // must produce different machine states.
+    let (mut a, plans) = paired_stream(2, 5, 256);
+    a.run_parallel(&plans, 2).unwrap();
+    let (mut b, plans) = paired_stream(2, 5, 512);
+    b.run_parallel(&plans, 2).unwrap();
+    assert_ne!(a.state_digest(), b.state_digest());
+}
+
+#[test]
+fn merge_queue_ties_break_by_source_then_sequence() {
+    let mut q = MergeQueue::new();
+    let t = SimTime::from_nanos(100);
+    q.push(t, merge_tag(3, 0), "late source");
+    q.push(t, merge_tag(1, 1), "early source, later seq");
+    q.push(t, merge_tag(1, 0), "early source, first seq");
+    let order: Vec<_> = std::iter::from_fn(|| q.pop_within(None).map(|(_, i)| i)).collect();
+    assert_eq!(order, ["early source, first seq", "early source, later seq", "late source"]);
+}
+
+proptest! {
+    /// For any batch of timestamped packets with per-source sequence
+    /// numbers, popping a [`MergeQueue`] — however thread interleaving
+    /// ordered the insertions — yields exactly the order a serial
+    /// [`EventQueue`] produces when fed the canonical `(time, tag)`
+    /// sequence. This is the reduction the engine's determinism rests on:
+    /// the parallel commit order *is* the serial event order.
+    #[test]
+    fn merge_order_equals_serial_event_order(
+        batch in proptest::collection::vec((0u64..300, 0u16..6), 1..80),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Tag each item in generation order (per-source sequence numbers).
+        let mut next_seq = [0u64; 6];
+        let keyed: Vec<(SimTime, u64, usize)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &(at, src))| {
+                let tag = merge_tag(src, next_seq[src as usize]);
+                next_seq[src as usize] += 1;
+                (SimTime::from_nanos(at), tag, i)
+            })
+            .collect();
+
+        // Canonical serial order: schedule into an EventQueue sorted by
+        // (time, tag) — its insertion-order tie-break then matches the
+        // tag order — and drain it.
+        let mut canonical = keyed.clone();
+        canonical.sort_by_key(|&(at, tag, _)| (at, tag));
+        let mut eq = EventQueue::new();
+        for &(at, _, item) in &canonical {
+            eq.schedule(at, item);
+        }
+        let serial: Vec<(SimTime, usize)> =
+            eq.drain_all().into_iter().map(|e| (e.at, e.payload)).collect();
+
+        // Adversarial insertion order for the MergeQueue.
+        let mut shuffled = keyed.clone();
+        let mut rng = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (rng >> 33) as usize % (i + 1));
+        }
+        let mut mq = MergeQueue::new();
+        for &(at, tag, item) in &shuffled {
+            mq.push(at, tag, item);
+        }
+        let merged: Vec<(SimTime, usize)> =
+            std::iter::from_fn(|| mq.pop_within(None)).collect();
+
+        prop_assert_eq!(merged, serial);
+    }
+}

@@ -30,6 +30,16 @@ const RING_FINAL_NODE_TIMES_NS: [u64; 4] = [1_133_209, 1_046_661, 1_087_054, 1_1
 /// (50 messages), as simulated by the seed: (sender, receiver).
 const STREAM_FINAL_TIMES_NS: (u64, u64) = (7_552_383, 7_713_851);
 
+/// Final clocks of the *pure* 50-message 4 KB stream (one fill, fifty
+/// sends, one drain — the shape a [`shrimp::NodePlan`] expresses), as
+/// simulated by the serial driver when the parallel engine landed:
+/// (sender, receiver). Both the serial driver and `run_parallel` at any
+/// thread count must land exactly here.
+const PLAN_STREAM_FINAL_TIMES_NS: (u64, u64) = (7_133_433, 7_286_351);
+
+/// `Multicomputer::state_digest` of the machine at those final clocks.
+const PLAN_STREAM_DIGEST: u64 = 0x133a_63a5_a448_4120;
+
 #[test]
 fn ring_exchange_matches_seed_timeline_and_token() {
     const NODES: usize = 4;
@@ -110,6 +120,65 @@ fn deliberate_update_stream_matches_seed_memory_and_clocks() {
     assert_eq!(mc.node(1).os().machine().now(), SimTime::from_nanos(STREAM_FINAL_TIMES_NS.1));
     assert_eq!(mc.fabric().stats().get("packets"), 50);
     assert_eq!(mc.fabric().stats().get("payload_bytes"), 50 * msg_bytes);
+}
+
+/// Builds the pure 50-message stream machine and its plan.
+fn plan_stream() -> (Multicomputer, Vec<shrimp::NodePlan>) {
+    let mut mc = Multicomputer::with_machine_config(2, MachineConfig::default());
+    let sender = mc.spawn_process(0);
+    let receiver = mc.spawn_process(1);
+    let msg_bytes: u64 = 4096;
+    let pages = msg_bytes.div_ceil(PAGE_SIZE).max(1) + 1;
+    mc.map_user_buffer(0, sender, 0x10_0000, pages).unwrap();
+    mc.map_user_buffer(1, receiver, 0x40_0000, pages).unwrap();
+    let dev_page = mc.export(1, receiver, VirtAddr::new(0x40_0000), pages, 0, sender).unwrap();
+    let payload: Vec<u8> = (0..msg_bytes).map(|i| ((i * 31) % 251) as u8).collect();
+    mc.write_user(0, sender, VirtAddr::new(0x10_0000), &payload).unwrap();
+    let plans = vec![shrimp::NodePlan {
+        node: 0,
+        ops: vec![
+            shrimp::SendOp {
+                pid: sender,
+                src_va: VirtAddr::new(0x10_0000),
+                dev_page,
+                dev_off: 0,
+                nbytes: msg_bytes,
+            };
+            50
+        ],
+    }];
+    (mc, plans)
+}
+
+#[test]
+fn serial_plan_stream_matches_pinned_timeline() {
+    let (mut mc, plans) = plan_stream();
+    for op in &plans[0].ops {
+        mc.send(0, op.pid, op.src_va, op.dev_page, op.dev_off, op.nbytes).unwrap();
+    }
+    mc.run_until_quiet();
+    assert_eq!(mc.node(0).os().machine().now(), SimTime::from_nanos(PLAN_STREAM_FINAL_TIMES_NS.0));
+    assert_eq!(mc.node(1).os().machine().now(), SimTime::from_nanos(PLAN_STREAM_FINAL_TIMES_NS.1));
+    assert_eq!(mc.state_digest(), PLAN_STREAM_DIGEST);
+}
+
+#[test]
+fn parallel_plan_stream_matches_pinned_timeline() {
+    for threads in [1usize, 2] {
+        let (mut mc, plans) = plan_stream();
+        mc.run_parallel(&plans, threads).unwrap();
+        assert_eq!(
+            mc.node(0).os().machine().now(),
+            SimTime::from_nanos(PLAN_STREAM_FINAL_TIMES_NS.0),
+            "threads={threads}"
+        );
+        assert_eq!(
+            mc.node(1).os().machine().now(),
+            SimTime::from_nanos(PLAN_STREAM_FINAL_TIMES_NS.1),
+            "threads={threads}"
+        );
+        assert_eq!(mc.state_digest(), PLAN_STREAM_DIGEST, "threads={threads}");
+    }
 }
 
 // ---------------------------------------------------------------------
