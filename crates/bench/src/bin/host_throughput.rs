@@ -15,6 +15,10 @@
 //!   --out <path>       output JSON path (default: BENCH_throughput.json)
 //!   --compare <path>   embed a previous output as `"before"` and print
 //!                      per-workload speedups against it
+//!   --trace <path>     also run the 8-node stream with the flight
+//!                      recorder enabled, write the Perfetto trace-event
+//!                      JSON to <path>, and record the traced run (its
+//!                      digest must match the untraced runs)
 //!
 //! The default (no `--threads`) suite covers the serial baselines, a
 //! thread sweep on the 8-node stream, and 8→16-node scaling through the
@@ -33,6 +37,14 @@ use shrimp_bench::table::print_table;
 #[cfg(feature = "count-allocs")]
 #[global_allocator]
 static ALLOC: shrimp_bench::alloc_count::CountingAlloc = shrimp_bench::alloc_count::CountingAlloc;
+
+/// Scans `json` for `key` (e.g. `"spans":`) and parses the integer that
+/// follows it (our own format; no JSON dep).
+fn baseline_field_u64(json: &str, key: &str) -> Option<u64> {
+    let rest = &json[json.find(key)? + key.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
 
 /// Pulls `"msgs_per_sec":<n>` for workload `name` out of a previous
 /// output with plain string scanning (our own format; no JSON dep).
@@ -70,8 +82,8 @@ fn extract_runs_array(json: &str) -> Option<&str> {
     None
 }
 
-const USAGE: &str =
-    "usage: host_throughput [--quick] [--threads <n>] [--out <path>] [--compare <path>]";
+const USAGE: &str = "usage: host_throughput [--quick] [--threads <n>] [--out <path>] \
+     [--compare <path>] [--trace <path>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,11 +91,12 @@ fn main() {
     let mut smoke_threads: Option<usize> = None;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut compare_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" | "--compare" | "--threads" => {
+            "--out" | "--compare" | "--threads" | "--trace" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {a} requires a value\n{USAGE}");
                     std::process::exit(2);
@@ -91,6 +104,7 @@ fn main() {
                 match a.as_str() {
                     "--out" => out_path = v.clone(),
                     "--compare" => compare_path = Some(v.clone()),
+                    "--trace" => trace_path = Some(v.clone()),
                     _ => match v.parse::<usize>() {
                         Ok(n) if n >= 1 => smoke_threads = Some(n),
                         _ => {
@@ -137,6 +151,17 @@ fn main() {
     let mut runs: Vec<ThroughputResult> = Vec::new();
     for &(nodes, bytes, msgs, threads) in &workloads {
         runs.push(host_perf::stream_pairs(nodes, bytes, msgs, threads));
+    }
+
+    // Tracing smoke: rerun the 8-node stream with the flight recorder on.
+    // The traced entry joins `runs`, so the digest-equality check below
+    // also proves tracing never perturbs the simulated timeline.
+    if let Some(path) = &trace_path {
+        let (result, trace) = host_perf::stream_pairs_traced(8, 4096, 50_000 / scale, 2);
+        let spans = baseline_field_u64(&trace, "\"spans\":").unwrap_or(0);
+        fs::write(path, &trace).expect("write trace JSON");
+        println!("wrote {spans}-span Perfetto trace to {path}");
+        runs.push(result);
     }
 
     // Compare against the *most recent* runs in the old file (its

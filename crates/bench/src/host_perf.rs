@@ -118,6 +118,35 @@ pub fn stream_pairs(
     messages_per_pair: u32,
     threads: usize,
 ) -> ThroughputResult {
+    stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, false).0
+}
+
+/// [`stream_pairs`] with the flight recorder enabled: tracing is switched
+/// on *after* warm-up (so ring storage is reserved outside the measured
+/// region) and the Perfetto trace-event JSON is exported afterwards. The
+/// workload name gains a `_traced` suffix; the digest must equal the
+/// untraced run's (tracing is pure observation).
+///
+/// # Panics
+///
+/// Panics on kernel traps during setup (the workload is statically valid).
+pub fn stream_pairs_traced(
+    nodes: u16,
+    msg_bytes: u64,
+    messages_per_pair: u32,
+    threads: usize,
+) -> (ThroughputResult, String) {
+    let (result, trace) = stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, true);
+    (result, trace.expect("tracing was enabled"))
+}
+
+fn stream_pairs_impl(
+    nodes: u16,
+    msg_bytes: u64,
+    messages_per_pair: u32,
+    threads: usize,
+    traced: bool,
+) -> (ThroughputResult, Option<String>) {
     assert!(nodes >= 2 && nodes.is_multiple_of(2), "need sender/receiver pairs");
     let mut mc = Multicomputer::with_machine_config(nodes, MachineConfig::default());
     let pairs = usize::from(nodes) / 2;
@@ -144,6 +173,11 @@ pub fn stream_pairs(
             .expect("warm send");
     }
     mc.run_until_quiet();
+    if traced {
+        // Reserve every trace ring now, before the allocation mark: the
+        // traced steady state must stay allocation-free too.
+        mc.set_tracing(true);
+    }
 
     let total = u64::from(messages_per_pair) * pairs as u64;
     let alloc_mark = alloc_count::allocation_count();
@@ -181,10 +215,12 @@ pub fn stream_pairs(
     let allocs = alloc_count::delta_since(alloc_mark);
 
     assert_eq!(mc.dropped_packets(), 0, "workload must not drop packets");
+    let trace = traced.then(|| mc.export_trace());
 
-    let suffix = if threads == 0 { String::new() } else { format!("_t{threads}") };
-    ThroughputResult {
-        name: format!("stream_{}b_{}node{}", msg_bytes, nodes, suffix),
+    let threads_suffix = if threads == 0 { String::new() } else { format!("_t{threads}") };
+    let traced_suffix = if traced { "_traced" } else { "" };
+    let result = ThroughputResult {
+        name: format!("stream_{}b_{}node{}{}", msg_bytes, nodes, threads_suffix, traced_suffix),
         nodes,
         msg_bytes,
         messages: total,
@@ -199,7 +235,8 @@ pub fn stream_pairs(
         } else {
             None
         },
-    }
+    };
+    (result, trace)
 }
 
 #[cfg(test)]

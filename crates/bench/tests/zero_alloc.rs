@@ -1,0 +1,33 @@
+//! The data plane must stay allocation-free in steady state — with the
+//! flight recorder off *and* on. Tracing reserves all ring storage when it
+//! is enabled (before the measured window), so recording a span is a plain
+//! array write; this test registers the counting allocator and holds the
+//! harness to 0.00 heap allocations per message on the 4 KB stream.
+
+use shrimp_bench::alloc_count::{self, CountingAlloc};
+use shrimp_bench::host_perf;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn four_kb_stream_is_allocation_free_with_and_without_tracing() {
+    assert!(alloc_count::is_active(), "counting allocator not registered");
+
+    let plain = host_perf::stream_pairs(8, 4096, 2_000, 0);
+    assert_eq!(
+        plain.allocs_per_msg,
+        Some(0.0),
+        "untraced steady state allocated: {:?}/msg",
+        plain.allocs_per_msg
+    );
+
+    let (traced, trace) = host_perf::stream_pairs_traced(8, 4096, 2_000, 0);
+    assert_eq!(
+        traced.allocs_per_msg,
+        Some(0.0),
+        "traced steady state allocated: {:?}/msg",
+        traced.allocs_per_msg
+    );
+    assert!(trace.contains("\"ph\":\"X\""), "traced run exported no spans");
+}

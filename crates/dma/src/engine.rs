@@ -252,7 +252,7 @@ impl DmaEngine {
                 // Hand the device a borrow of memory itself: the bus moves
                 // the bytes once, with no staging buffer.
                 let data = mem.read(t.mem_addr, t.nbytes)?;
-                port.dma_write(t.dev_addr, data, t.completes_at);
+                port.dma_write_traced(t.dev_addr, data, t.started_at, t.completes_at);
             }
             Direction::DevToMem => {
                 // The device fills the destination frames in place.

@@ -14,6 +14,16 @@ pub trait DevicePort {
     /// transfer arriving at the device).
     fn dma_write(&mut self, dev_addr: u64, data: &[u8], now: SimTime);
 
+    /// [`DevicePort::dma_write`] plus the simulated time the transfer was
+    /// *initiated* (`started_at <= now`). Devices that correlate outgoing
+    /// work with its originating request — the SHRIMP NIC stamps transfer
+    /// spans for the flight recorder — override this; the default simply
+    /// forwards to `dma_write`.
+    fn dma_write_traced(&mut self, dev_addr: u64, data: &[u8], started_at: SimTime, now: SimTime) {
+        let _ = started_at;
+        self.dma_write(dev_addr, data, now);
+    }
+
     /// Fills `buf` with bytes from device address `dev_addr` (a
     /// device→memory transfer leaving the device). The engine passes the
     /// destination memory slice directly, so retirement moves data with a

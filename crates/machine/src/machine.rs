@@ -4,7 +4,10 @@ use shrimp_devices::Device;
 use shrimp_dma::DmaTiming;
 use shrimp_mem::{Layout, PhysMemory, Region, VirtAddr, MMIO_BASE, PAGE_SIZE};
 use shrimp_mmu::{AccessKind, Fault, Mmu, Mode, PageTable};
-use shrimp_sim::{Clock, CostModel, Counter, SimDuration, SimTime, StatSet, TraceBuffer};
+use shrimp_sim::{
+    Clock, CostModel, Counter, EventRing, MachineEvent, MachineEventKind, SimDuration, SimTime,
+    StatSet, TraceBuffer,
+};
 
 use crate::{UdmaHw, UdmaMode};
 
@@ -35,6 +38,10 @@ impl Default for MachineConfig {
         }
     }
 }
+
+/// Capacity of the typed machine event ring (events kept for rendering;
+/// older ones are overwritten).
+const TRACE_EVENTS: usize = 4096;
 
 /// Per-region reference counters.
 ///
@@ -67,7 +74,7 @@ pub struct Machine<D> {
     udma: UdmaHw,
     device: D,
     refs: RefCounters,
-    trace: TraceBuffer,
+    events: EventRing<MachineEvent>,
 }
 
 impl<D: Device> Machine<D> {
@@ -87,7 +94,7 @@ impl<D: Device> Machine<D> {
             cost: config.cost,
             device,
             refs: RefCounters::default(),
-            trace: TraceBuffer::new(4096),
+            events: EventRing::new(TRACE_EVENTS),
         }
     }
 
@@ -166,15 +173,43 @@ impl<D: Device> Machine<D> {
         s
     }
 
-    /// The event transcript (disabled by default; enable with
-    /// `machine.trace_mut().set_enabled(true)`).
-    pub fn trace(&self) -> &TraceBuffer {
-        &self.trace
+    /// Enables or disables the typed event transcript (disabled by
+    /// default; enabling reserves the ring's storage once, up front).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.events.set_enabled(enabled);
     }
 
-    /// Mutable transcript access (enabling, clearing, kernel records).
-    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
-        &mut self.trace
+    /// Whether typed events are currently recorded.
+    pub fn tracing(&self) -> bool {
+        self.events.is_enabled()
+    }
+
+    /// The typed event transcript, oldest → newest.
+    pub fn events(&self) -> &EventRing<MachineEvent> {
+        &self.events
+    }
+
+    /// Records one typed event at the current instant (no-op while
+    /// tracing is disabled; never allocates). The kernel layers use this
+    /// for events the machine itself cannot see (evictions, context
+    /// switches, message completion).
+    #[inline]
+    pub fn record_event(&mut self, kind: MachineEventKind) {
+        let at = self.clock.now();
+        self.events.record(MachineEvent { at, kind });
+    }
+
+    /// Renders the typed event transcript as a legacy string
+    /// [`TraceBuffer`] — the debug formatter. Built on demand and owned by
+    /// the caller; the hot path records only typed events.
+    pub fn trace(&self) -> TraceBuffer {
+        let mut buf = TraceBuffer::new(self.events.capacity());
+        buf.set_enabled(true);
+        for e in self.events.iter() {
+            buf.record(e.at, e.kind.category(), || e.kind.to_string());
+        }
+        buf.set_enabled(self.events.is_enabled());
+        buf
     }
 
     /// Lets autonomous hardware (UDMA engine, device) catch up to the
@@ -258,7 +293,10 @@ impl<D: Device> Machine<D> {
                 } else {
                     self.udma.handle_load(pa, now, &mut self.mem, &mut self.device)
                 };
-                self.trace.record(now, "udma", || format!("LOAD {pa} -> {status}"));
+                self.events.record(MachineEvent {
+                    at: now,
+                    kind: MachineEventKind::ProxyLoad { pa: pa.raw(), status: status.pack() },
+                });
                 Ok(status.pack())
             }
             Region::Mmio => {
@@ -307,7 +345,10 @@ impl<D: Device> Machine<D> {
                 self.refs.proxy_stores.incr();
                 let now = self.clock.now();
                 self.udma.handle_store(pa, value, now, &mut self.mem, &mut self.device);
-                self.trace.record(now, "udma", || format!("STORE {value} TO {pa}"));
+                self.events.record(MachineEvent {
+                    at: now,
+                    kind: MachineEventKind::ProxyStore { pa: pa.raw(), value },
+                });
                 Ok(())
             }
             Region::Mmio => {
@@ -391,7 +432,7 @@ impl<D: Device> Machine<D> {
             .expect("address 0 is always real memory");
         let now = self.clock.now();
         self.udma.handle_store(proxy, -1, now, &mut self.mem, &mut self.device);
-        self.trace.record(now, "udma", || "INVAL (context switch)".to_string());
+        self.events.record(MachineEvent { at: now, kind: MachineEventKind::Inval });
         self.refs.inval_stores.incr();
     }
 
@@ -595,11 +636,14 @@ mod tests {
         m.store(&mut pt, vdev, 64, Mode::User).unwrap();
         assert!(m.trace().is_empty());
 
-        m.trace_mut().set_enabled(true);
+        m.set_tracing(true);
         m.store(&mut pt, vdev, 64, Mode::User).unwrap();
         m.kernel_inval_udma();
-        assert_eq!(m.trace().in_category("udma").count(), 2);
-        let messages: Vec<_> = m.trace().iter().map(|e| e.message.clone()).collect();
+        assert_eq!(m.events().len(), 2);
+        // The debug formatter renders the typed events as legacy text.
+        let rendered = m.trace();
+        assert_eq!(rendered.in_category("udma").count(), 2);
+        let messages: Vec<_> = rendered.iter().map(|e| e.message.clone()).collect();
         assert!(messages[0].contains("STORE 64"), "{messages:?}");
         assert!(messages[1].contains("INVAL"), "{messages:?}");
         let _ = layout;

@@ -95,6 +95,8 @@ impl Interconnect {
 
         let route = self.params.hop_latency * self.hops(packet.src, packet.dst);
         let wire = SimDuration::from_bytes_at_rate(packet.wire_bytes(), self.params.mb_per_s);
+        // Flight recorder: routing done, head of the destination link.
+        packet.meta.link_ready = now + route;
 
         // Serialize on the destination's inbound link.
         let link = &mut self.link_busy_until[packet.dst.raw() as usize];
@@ -108,20 +110,8 @@ impl Interconnect {
         arrives
     }
 
-    /// Removes and returns every packet that has arrived by `deadline`, as
-    /// `(arrival_time, packet)` in arrival order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates an arrival vector per call; drain with `deliver_due` instead \
-                (retained for test assertions that want the whole arrival list)"
-    )]
-    pub fn deliver_until(&mut self, deadline: SimTime) -> Vec<(SimTime, Packet)> {
-        self.in_flight.pop_until(deadline).map(|e| (e.at, e.payload)).collect()
-    }
-
-    /// Removes the earliest packet that has arrived by `deadline`, if any —
-    /// the allocation-free form of [`Interconnect::deliver_until`] the
-    /// receive loop drains one packet at a time.
+    /// Removes the earliest packet that has arrived by `deadline`, if any.
+    /// Allocation-free; the receive loop drains one packet at a time.
     pub fn deliver_due(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
         self.in_flight.pop_due(deadline).map(|e| (e.at, e.payload))
     }
@@ -237,7 +227,9 @@ impl FabricShard {
         packet.sent_at = now;
         self.packets.incr();
         self.payload_bytes.add(packet.payload.len() as u64);
-        now + self.params.hop_latency * self.hops(packet.src, packet.dst)
+        let link_ready = now + self.params.hop_latency * self.hops(packet.src, packet.dst);
+        packet.meta.link_ready = link_ready;
+        link_ready
     }
 
     /// Receiver side: serializes a packet that reached the destination's
@@ -298,7 +290,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // deliver_until: the arrival vector is the assertion
     fn point_to_point_ordering_preserved() {
         let mut net = Interconnect::new(2, LinkParams::default());
         let mut expected = Vec::new();
@@ -308,22 +299,20 @@ mod tests {
             net.send(p, SimTime::from_nanos(u64::from(i)));
             expected.push(i);
         }
-        let got: Vec<u8> = net
-            .deliver_until(SimTime::from_nanos(u64::MAX / 2))
-            .into_iter()
-            .map(|(_, p)| p.payload[0])
-            .collect();
+        let mut got = Vec::new();
+        while let Some((_, p)) = net.deliver_due(SimTime::from_nanos(u64::MAX / 2)) {
+            got.push(p.payload[0]);
+        }
         assert_eq!(got, expected);
     }
 
     #[test]
-    #[allow(deprecated)] // deliver_until: the arrival vector is the assertion
-    fn deliver_until_respects_deadline() {
+    fn deliver_due_respects_deadline() {
         let mut net = Interconnect::new(2, LinkParams::default());
         let arrives = net.send(pkt(0, 1, 64), SimTime::ZERO);
-        assert!(net.deliver_until(arrives - SimDuration::from_nanos(1)).is_empty());
+        assert!(net.deliver_due(arrives - SimDuration::from_nanos(1)).is_none());
         assert_eq!(net.in_flight_count(), 1);
-        assert_eq!(net.deliver_until(arrives).len(), 1);
+        assert!(net.deliver_due(arrives).is_some());
         assert_eq!(net.in_flight_count(), 0);
     }
 

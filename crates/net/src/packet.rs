@@ -3,7 +3,7 @@
 use std::fmt;
 
 use shrimp_mem::PhysAddr;
-use shrimp_sim::{Payload, SimTime};
+use shrimp_sim::{Payload, SimTime, XferMeta};
 
 /// Identifies a node on the backplane.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -45,6 +45,9 @@ pub struct Packet {
     pub payload: Payload,
     /// When the packet entered the network (stamped by the fabric).
     pub sent_at: SimTime,
+    /// Flight-recorder correlation block: the transfer ID the sending NIC
+    /// minted plus the timestamps accumulated on the way to the wire.
+    pub meta: XferMeta,
 }
 
 impl Packet {
@@ -52,7 +55,14 @@ impl Packet {
     /// payload source: a pooled [`Payload`] on the hot path, or a plain
     /// `Vec<u8>` in tests.
     pub fn new(src: NodeId, dst: NodeId, dst_paddr: PhysAddr, payload: impl Into<Payload>) -> Self {
-        Packet { src, dst, dst_paddr, payload: payload.into(), sent_at: SimTime::ZERO }
+        Packet {
+            src,
+            dst,
+            dst_paddr,
+            payload: payload.into(),
+            sent_at: SimTime::ZERO,
+            meta: XferMeta::default(),
+        }
     }
 
     /// Header size on the wire (node id + physical address + length).

@@ -7,6 +7,7 @@ use shrimp_devices::Device;
 use shrimp_machine::{Machine, MachineConfig};
 use shrimp_mem::{BackingStore, FrameAllocator, Pfn, Region, SwapSlot, VirtAddr, Vpn, PAGE_SIZE};
 use shrimp_mmu::{Fault, Mode, Pte, PteFlags};
+use shrimp_sim::MachineEventKind;
 use shrimp_sim::StatSet;
 
 use crate::process::{DeviceGrant, Pid, Process, VPage};
@@ -208,11 +209,10 @@ impl<D: Device> Node<D> {
         self.machine.mmu_mut().flush_all();
         // Invariant I1: one STORE of a negative value to proxy space.
         self.machine.kernel_inval_udma();
-        let now = self.machine.now();
+        let as_raw = |p: Option<Pid>| p.map_or(-1, |p| i64::from(p.raw()));
         let from = self.current;
         self.machine
-            .trace_mut()
-            .record(now, "kernel", || format!("context switch {from:?} -> {to:?}"));
+            .record_event(MachineEventKind::ContextSwitch { from: as_raw(from), to: as_raw(to) });
         self.current = to;
         self.stats.bump("context_switches");
     }
@@ -364,8 +364,16 @@ impl<D: Device> Node<D> {
         let overhead = self.machine.cost().page_fault_overhead;
         self.machine.advance(overhead);
         self.stats.bump("page_faults");
-        let now = self.machine.now();
-        self.machine.trace_mut().record(now, "kernel", || format!("{pid}: {fault}"));
+        let what = match fault {
+            Fault::NotMapped { .. } => "not-mapped",
+            Fault::WriteProtected { .. } => "write-protected",
+            Fault::Privilege { .. } => "privilege",
+        };
+        self.machine.record_event(MachineEventKind::PageFault {
+            pid: u64::from(pid.raw()),
+            va: fault.va().raw(),
+            what,
+        });
         let layout = self.machine.layout();
         let va = fault.va();
         match layout.region_of_virt(va) {

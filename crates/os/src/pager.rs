@@ -12,6 +12,7 @@
 use shrimp_devices::Device;
 use shrimp_mem::{Pfn, Vpn, PAGE_SIZE};
 use shrimp_mmu::PteFlags;
+use shrimp_sim::MachineEventKind;
 
 use crate::process::{Pid, VPage};
 use crate::{Node, Trap};
@@ -136,8 +137,11 @@ impl<D: Device> Node<D> {
 
         self.frame_owner.remove(&pfn);
         self.frames.free(pfn);
-        let now = self.machine.now();
-        self.machine.trace_mut().record(now, "pager", || format!("evicted {pid}:{vpn} from {pfn}"));
+        self.machine.record_event(MachineEventKind::Evicted {
+            pid: u64::from(pid.raw()),
+            vpn: vpn.raw(),
+            pfn: pfn.raw(),
+        });
         self.stats.bump("evictions");
     }
 

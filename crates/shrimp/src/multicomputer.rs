@@ -8,7 +8,7 @@ use shrimp_machine::MachineConfig;
 use shrimp_mem::{VirtAddr, PAGE_SIZE};
 use shrimp_net::{Interconnect, LinkParams, NodeId};
 use shrimp_os::{NodeConfig, Pid, Trap, UdmaXferResult};
-use shrimp_sim::SimTime;
+use shrimp_sim::{FlightRecorder, SimTime, SpanRecord, Stage, StatSet};
 
 use crate::{Nic, Nipt, ShrimpNode};
 
@@ -89,6 +89,9 @@ pub struct Multicomputer {
     /// Persistent scratch for the inject loop: NICs drain into it so the
     /// steady state reuses one allocation instead of taking each queue.
     outbox: Vec<crate::OutgoingPacket>,
+    /// The transfer-level flight recorder (disabled by default; enable
+    /// with [`Multicomputer::set_tracing`]).
+    pub(crate) recorder: FlightRecorder,
 }
 
 impl Multicomputer {
@@ -109,7 +112,36 @@ impl Multicomputer {
             passive_receivers: config.passive_receivers,
             dropped: 0,
             outbox: Vec::new(),
+            recorder: FlightRecorder::new(Self::TRACE_SPANS),
         }
+    }
+
+    /// Capacity of the flight recorder's span ring: the newest this many
+    /// transfer spans are kept for export; summary histograms see every
+    /// span regardless.
+    pub const TRACE_SPANS: usize = 65536;
+
+    /// Enables or disables transfer tracing machine-wide: the flight
+    /// recorder plus every node's typed machine event ring. Enabling
+    /// reserves all ring storage up front, so the data plane stays
+    /// allocation-free afterwards. Tracing is pure observation — it never
+    /// advances a clock, so `state_digest` is unchanged by it.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.recorder.set_enabled(enabled);
+        for node in &mut self.nodes {
+            node.os_mut().machine_mut().set_tracing(enabled);
+        }
+    }
+
+    /// Whether transfer tracing is on.
+    pub fn tracing(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// The flight recorder (span inspection; see
+    /// [`Multicomputer::export_trace`] for the Perfetto form).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// A convenience config for benchmarks: default everything but the
@@ -187,6 +219,93 @@ impl Multicomputer {
             h = eat(h, bytes);
         }
         h
+    }
+
+    /// One combined statistics view of the whole machine: the fabric's
+    /// counters plus every node's machine, DMA engine, NIC and kernel
+    /// sets, unioned key-by-key with [`StatSet::merge`]. Component counter
+    /// names are disjoint, so the union is lossless; serial and parallel
+    /// runs of the same workload produce identical sets.
+    pub fn stats(&self) -> StatSet {
+        let mut all = StatSet::new("multicomputer");
+        all.merge(&self.fabric.stats());
+        for node in &self.nodes {
+            let machine = node.os().machine();
+            all.merge(&machine.stats());
+            all.merge(&machine.udma().engine().stats());
+            all.merge(&machine.device().stats());
+            all.merge(node.os().stats());
+        }
+        all
+    }
+
+    /// Exports the recorded transfer spans as Chrome/Perfetto trace-event
+    /// JSON: the object form with one `"ph":"X"` complete event per span
+    /// stage (timestamps and durations in microseconds), per-node
+    /// `process_name` metadata, and a `"stats"` summary with per-stage
+    /// latency figures (nanoseconds) from the recorder's histograms.
+    /// Load the output at <https://ui.perfetto.dev> or `chrome://tracing`.
+    ///
+    /// The output is a deterministic function of the recorded spans: the
+    /// same workload exports byte-identical JSON at any thread count.
+    pub fn export_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512 + self.recorder.len() * 5 * 160);
+        out.push_str("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
+        let mut first = true;
+        for i in 0..self.nodes.len() {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{i},\"tid\":0,\
+                 \"args\":{{\"name\":\"node{i}\"}}}}"
+            );
+        }
+        for span in self.recorder.iter() {
+            for stage in Stage::ALL {
+                let (start, end) = span.stage_bounds(stage);
+                if !std::mem::take(&mut first) {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n    {{\"name\":\"{}\",\"cat\":\"udma\",\"ph\":\"X\",\"ts\":{:.3},\
+                     \"dur\":{:.3},\"pid\":{},\"tid\":{},\
+                     \"args\":{{\"xfer\":\"{}\",\"bytes\":{}}}}}",
+                    stage.name(),
+                    start.as_micros_f64(),
+                    end.saturating_duration_since(start).as_micros_f64(),
+                    span.src,
+                    span.dst,
+                    span.id,
+                    span.bytes,
+                );
+            }
+        }
+        out.push_str("\n  ],\n");
+        let _ = write!(
+            out,
+            "  \"stats\": {{\"spans\":{},\"dropped\":{},\"stages\":{{",
+            self.recorder.total_recorded(),
+            self.recorder.dropped(),
+        );
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            let h = self.recorder.stage_histogram(stage);
+            let _ = write!(
+                out,
+                "{}\n    \"{}\":{{\"count\":{},\"mean_ns\":{:.1},\"min_ns\":{},\"max_ns\":{}}}",
+                if i == 0 { "" } else { "," },
+                stage.name(),
+                h.count(),
+                h.mean().unwrap_or(0.0),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+            );
+        }
+        out.push_str("\n  }}\n}\n");
+        out
     }
 
     /// Spawns a process on node `i`.
@@ -442,10 +561,21 @@ impl Multicomputer {
     /// Injects every NIC's built packets into the fabric and applies all
     /// deliveries: receive-side EISA DMA into physical memory.
     pub fn propagate(&mut self) {
+        let tracing = self.recorder.is_enabled();
         // Inject, draining every NIC into the persistent scratch queue.
         let mut outbox = std::mem::take(&mut self.outbox);
         for node in &mut self.nodes {
+            let drained_from = outbox.len();
             node.os_mut().machine_mut().device_mut().drain_outgoing_into(&mut outbox);
+            if tracing {
+                // The sender's clock is already past the completion-status
+                // LOAD for everything it queued: stamp when the status
+                // became observable.
+                let observed = node.os().machine().now();
+                for out in &mut outbox[drained_from..] {
+                    out.packet.meta.status_observed = observed;
+                }
+            }
         }
         for out in outbox.drain(..) {
             self.fabric.send(out.packet, out.ready_at);
@@ -471,6 +601,21 @@ impl Multicomputer {
                     continue;
                 }
                 self.last_delivery[dst] = self.last_delivery[dst].max(done);
+                if tracing {
+                    let m = packet.meta;
+                    self.recorder.record(SpanRecord {
+                        id: m.id,
+                        src: packet.src.raw(),
+                        dst: packet.dst.raw(),
+                        bytes: packet.payload.len() as u32,
+                        initiated_at: m.initiated_at,
+                        queued_at: m.queued_at,
+                        link_ready: m.link_ready,
+                        wire_done: arrival,
+                        delivered_at: done,
+                        status_at: m.status_observed.max(done),
+                    });
+                }
                 // Passive receiver: an idle node's clock catches up to the
                 // delivery it was waiting for.
                 if self.passive_receivers {

@@ -17,7 +17,7 @@ use shrimp_devices::Device;
 use shrimp_dma::DevicePort;
 use shrimp_mem::{Pfn, PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 use shrimp_net::{NodeId, Packet};
-use shrimp_sim::{BufPool, Counter, SimDuration, SimTime, StatSet};
+use shrimp_sim::{BufPool, Counter, SimDuration, SimTime, StatSet, XferId, XferMeta};
 
 use crate::{Nipt, NiptEntry};
 
@@ -75,6 +75,9 @@ pub struct Nic {
     /// Packet-buffer pool: payload storage cycles sender → fabric →
     /// receiver → back here, so steady-state sends never allocate.
     pool: BufPool,
+    /// Next flight-recorder transfer sequence number (each outgoing
+    /// packet gets a fresh correlation ID).
+    next_xfer: u64,
     /// Per-packet counts: plain fields on the packetize/auto-update path.
     packets_built: Counter,
     bytes_sent: Counter,
@@ -97,6 +100,7 @@ impl Nic {
             pio_status: 0,
             auto_bindings: HashMap::new(),
             pool: BufPool::new(),
+            next_xfer: 0,
             packets_built: Counter::new(),
             bytes_sent: Counter::new(),
             auto_updates: Counter::new(),
@@ -122,6 +126,15 @@ impl Nic {
         self.auto_bindings.len()
     }
 
+    /// Mints the flight-recorder correlation block for the next outgoing
+    /// packet: a fresh per-NIC transfer ID, the initiating instant, and
+    /// the packetize-complete (queued) instant.
+    fn stamp(&mut self, initiated_at: SimTime, queued_at: SimTime) -> XferMeta {
+        let id = XferId::new(self.node.raw(), self.next_xfer);
+        self.next_xfer += 1;
+        XferMeta { id, initiated_at, queued_at, ..XferMeta::default() }
+    }
+
     /// Forwards a snooped write to the bound remote page, if any.
     fn auto_forward(&mut self, pa: PhysAddr, data: &[u8], now: SimTime) {
         let Some(&NiptEntry { node, pfn }) = self.auto_bindings.get(&pa.page()) else {
@@ -131,8 +144,11 @@ impl Nic {
         // bound page (the binding is per-page).
         let len = (data.len() as u64).min(pa.bytes_to_page_end()) as usize;
         let dst_paddr = PhysAddr::new(pfn.base().raw() + pa.page_offset());
-        let packet = Packet::new(self.node, node, dst_paddr, self.pool.filled_from(&data[..len]));
-        self.outgoing.push(OutgoingPacket { packet, ready_at: now + self.header_cost });
+        let mut packet =
+            Packet::new(self.node, node, dst_paddr, self.pool.filled_from(&data[..len]));
+        let ready_at = now + self.header_cost;
+        packet.meta = self.stamp(now, ready_at);
+        self.outgoing.push(OutgoingPacket { packet, ready_at });
         self.auto_updates.incr();
         self.auto_update_bytes.add(len as u64);
     }
@@ -186,8 +202,17 @@ impl Nic {
     }
 
     /// Packetize `data` for the destination named by device-relative
-    /// address `dev_addr` (NIPT index ‖ page offset).
-    fn packetize(&mut self, dev_addr: u64, data: &[u8], now: SimTime) -> Result<(), PioError> {
+    /// address `dev_addr` (NIPT index ‖ page offset). `initiated_at` is
+    /// when the originating request started (the DMA transfer's
+    /// initiation STORE for UDMA, `now` for PIO), carried into the
+    /// packet's flight-recorder span.
+    fn packetize(
+        &mut self,
+        dev_addr: u64,
+        data: &[u8],
+        initiated_at: SimTime,
+        now: SimTime,
+    ) -> Result<(), PioError> {
         let index = dev_addr >> PAGE_SHIFT;
         let offset = dev_addr & PAGE_MASK;
         let Some(NiptEntry { node, pfn }) = self.nipt.get(index) else {
@@ -198,8 +223,10 @@ impl Nic {
         let dst_paddr = PhysAddr::new(pfn.base().raw() + offset);
         // The data plane's single sender-side copy: borrowed memory bytes
         // land in a recycled pool buffer that travels to the receiver.
-        let packet = Packet::new(self.node, node, dst_paddr, self.pool.filled_from(data));
-        self.outgoing.push(OutgoingPacket { packet, ready_at: now + self.header_cost });
+        let mut packet = Packet::new(self.node, node, dst_paddr, self.pool.filled_from(data));
+        let ready_at = now + self.header_cost;
+        packet.meta = self.stamp(initiated_at, ready_at);
+        self.outgoing.push(OutgoingPacket { packet, ready_at });
         self.packets_built.incr();
         self.bytes_sent.add(data.len() as u64);
         Ok(())
@@ -209,7 +236,14 @@ impl Nic {
 impl DevicePort for Nic {
     fn dma_write(&mut self, dev_addr: u64, data: &[u8], now: SimTime) {
         // `validate` ran at initiation; a failure here is a hardware bug.
-        self.packetize(dev_addr, data, now)
+        self.packetize(dev_addr, data, now, now)
+            .expect("DMA to NIC passed validate but failed packetize");
+    }
+
+    fn dma_write_traced(&mut self, dev_addr: u64, data: &[u8], started_at: SimTime, now: SimTime) {
+        // The DMA engine hands us the transfer's initiation instant so the
+        // flight-recorder span starts at the user's STORE, not at retire.
+        self.packetize(dev_addr, data, started_at, now)
             .expect("DMA to NIC passed validate but failed packetize");
     }
 
@@ -260,7 +294,7 @@ impl Device for Nic {
                 let data: Vec<u8> = self.pio_fifo.drain(..len).collect();
                 self.pio_fifo.clear();
                 let dev_addr = (self.pio_dest_page << PAGE_SHIFT) | self.pio_dest_offset;
-                self.pio_status = match self.packetize(dev_addr, &data, now) {
+                self.pio_status = match self.packetize(dev_addr, &data, now, now) {
                     Ok(()) => 0,
                     Err(_) => 1,
                 };

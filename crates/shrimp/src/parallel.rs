@@ -37,7 +37,10 @@
 use shrimp_mem::VirtAddr;
 use shrimp_net::{FabricShard, Packet};
 use shrimp_os::Pid;
-use shrimp_sim::{merge_tag, ExchangeGrid, MergeQueue, SimTime, SpinBarrier, TimeFrontier};
+use shrimp_sim::{
+    merge_tag, ExchangeGrid, FlightRecorder, MergeQueue, SimTime, SpanRecord, SpinBarrier,
+    TimeFrontier,
+};
 
 use crate::{Multicomputer, ShrimpError, ShrimpNode};
 
@@ -135,6 +138,9 @@ struct Shard {
     /// Trapped nodes: `(global index, error)`. A trap finishes that
     /// node's plan; the run keeps going and reports the error at the end.
     errors: Vec<(usize, ShrimpError)>,
+    /// Per-shard flight recorder; merged deterministically into the
+    /// multicomputer's recorder at reassembly.
+    recorder: FlightRecorder,
 }
 
 impl Shard {
@@ -194,6 +200,15 @@ impl Shard {
             }
             self.messages += 1;
             sn.node.os_mut().machine_mut().device_mut().drain_outgoing_into(&mut self.outbox);
+            if self.recorder.is_enabled() {
+                // Same stamp the serial driver applies in `propagate`: the
+                // sender's clock is past the completion-status LOAD for
+                // everything it just queued.
+                let observed = sn.node.os().machine().now();
+                for out in &mut self.outbox {
+                    out.packet.meta.status_observed = observed;
+                }
+            }
             for out in self.outbox.drain(..) {
                 let mut pkt = out.packet;
                 let link_ready = self.fabric.inject(&mut pkt, out.ready_at);
@@ -226,6 +241,21 @@ impl Shard {
             return;
         }
         local.last_delivery = local.last_delivery.max(done);
+        if self.recorder.is_enabled() {
+            let m = pkt.meta;
+            self.recorder.record(SpanRecord {
+                id: m.id,
+                src: pkt.src.raw(),
+                dst: pkt.dst.raw(),
+                bytes: pkt.payload.len() as u32,
+                initiated_at: m.initiated_at,
+                queued_at: m.queued_at,
+                link_ready,
+                wire_done: arrival,
+                delivered_at: done,
+                status_at: m.status_observed.max(done),
+            });
+        }
         if self.passive {
             local.node.os_mut().machine_mut().advance_to(done);
         }
@@ -285,6 +315,15 @@ impl Multicomputer {
                 messages: 0,
                 packets: 0,
                 errors: Vec::new(),
+                recorder: {
+                    // Full global capacity per shard: each shard's retained
+                    // tail is then a superset of its contribution to the
+                    // merged newest-capacity window, so the merge result is
+                    // independent of the sharding.
+                    let mut r = FlightRecorder::new(self.recorder.capacity());
+                    r.set_enabled(self.recorder.is_enabled());
+                    r
+                },
             })
             .collect();
         for (index, node) in std::mem::take(&mut self.nodes).into_iter().enumerate() {
@@ -322,8 +361,10 @@ impl Multicomputer {
         let mut report = ParallelReport::default();
         let mut slots: Vec<Option<ShrimpNode>> = (0..n).map(|_| None).collect();
         let mut fabric_shards = Vec::with_capacity(threads);
+        let mut recorders = Vec::with_capacity(threads);
         let mut first_error: Option<(usize, ShrimpError)> = None;
         for shard in shards {
+            recorders.push(shard.recorder);
             report.epochs = report.epochs.max(shard.epochs);
             report.messages += shard.messages;
             report.packets += shard.packets;
@@ -343,6 +384,10 @@ impl Multicomputer {
         self.nodes = slots.into_iter().map(|s| s.expect("every node comes back")).collect();
         let owner: Vec<usize> = (0..n).map(|i| i % threads).collect();
         self.fabric.merge(fabric_shards, &owner);
+        // Deterministic trace merge: spans re-sort into the same
+        // `(link_ready, src‖seq)` order the commit loops applied them in,
+        // so the merged recorder is bit-identical at any thread count.
+        self.recorder.absorb(recorders);
         match first_error {
             Some((_, error)) => Err(error),
             None => Ok(report),

@@ -12,7 +12,12 @@
 //!   barrier, sharded exchange, deterministic merge, commit horizon),
 //! - [`SplitMix64`] — a tiny, dependency-free deterministic RNG,
 //! - [`Counter`] / [`Histogram`] / [`StatSet`] — measurement plumbing,
-//! - [`TraceBuffer`] — a bounded event transcript for debugging,
+//! - [`FlightRecorder`] / [`SpanRecord`] / [`XferId`] — the transfer-level
+//!   flight recorder: typed five-stage spans with cross-node correlation
+//!   IDs and a deterministic merge for the parallel engine,
+//! - [`MachineEvent`] / [`EventRing`] — typed, allocation-free machine
+//!   event records; [`TraceBuffer`] remains as the debug formatter
+//!   rendered from them on demand,
 //! - [`CostModel`] — every timing constant used by the simulated machine,
 //!   documented with its calibration source (see `DESIGN.md` §4).
 //!
@@ -39,6 +44,7 @@ mod cost;
 mod event;
 pub mod parallel;
 mod rng;
+mod span;
 mod stats;
 mod time;
 mod trace;
@@ -49,6 +55,10 @@ pub use cost::CostModel;
 pub use event::{Event, EventQueue, PopUntil};
 pub use parallel::{merge_tag, ExchangeGrid, MergeQueue, SpinBarrier, TimeFrontier};
 pub use rng::SplitMix64;
+pub use span::{
+    EventRing, FlightRecorder, MachineEvent, MachineEventKind, SpanRecord, Stage, XferId, XferMeta,
+    STAGE_COUNT,
+};
 pub use stats::{Counter, Histogram, StatSet};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceEvent};

@@ -1,0 +1,662 @@
+//! Transfer-level flight recorder: typed spans with cross-node correlation.
+//!
+//! The UDMA fast path is invisible by design — two memory references and
+//! no kernel entry — so the simulator needs its own black box. This module
+//! provides one:
+//!
+//! - [`XferId`] — a correlation ID minted by the NIC when a transfer is
+//!   packetized, carried inside every fabric packet ([`XferMeta`]),
+//! - [`SpanRecord`] — the completed five-stage span of one packet
+//!   (initiation → queued → wire → delivered → status-observed), assembled
+//!   at delivery time from the timestamps the meta block accumulated,
+//! - [`EventRing`] — a fixed-capacity, allocation-free ring buffer for
+//!   `Copy` records (the hot path never touches the heap once the ring's
+//!   storage is reserved),
+//! - [`FlightRecorder`] — a span ring plus per-stage latency
+//!   [`Histogram`]s, with a deterministic merge for the sharded parallel
+//!   engine,
+//! - [`MachineEvent`] / [`MachineEventKind`] — the typed replacement for
+//!   the old string-based machine trace; the legacy `TraceBuffer` is now a
+//!   debug *formatter* rendered on demand from these events.
+//!
+//! Determinism contract: per-shard recorders merge in the same
+//! `(link_ready, src‖seq)` order the parallel engine commits packets, so
+//! the merged trace is bit-identical at any thread count.
+
+use std::fmt;
+
+use crate::stats::Histogram;
+use crate::time::SimTime;
+
+/// Correlation ID for one UDMA/PIO transfer packet.
+///
+/// Layout is `(source node) << 48 | per-NIC sequence number` — the same
+/// shape as the parallel engine's merge tag, so sorting span records by
+/// `(link_ready, id)` reproduces the engine's packet commit order exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct XferId(u64);
+
+impl XferId {
+    /// Mints the ID for `seq`-th packet sent by `node`.
+    ///
+    /// `seq` must fit in 48 bits; the simulator would need ~10^14 packets
+    /// from one NIC to overflow.
+    pub const fn new(node: u16, seq: u64) -> Self {
+        XferId(((node as u64) << 48) | (seq & ((1 << 48) - 1)))
+    }
+
+    /// The minting (source) node.
+    pub const fn node(self) -> u16 {
+        (self.0 >> 48) as u16
+    }
+
+    /// The per-NIC sequence number.
+    pub const fn seq(self) -> u64 {
+        self.0 & ((1 << 48) - 1)
+    }
+
+    /// The packed 64-bit form (sorts as `(node, seq)`).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for XferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node(), self.seq())
+    }
+}
+
+/// Per-packet correlation block carried inside every fabric packet.
+///
+/// The NIC fills `id`, `initiated_at` and `queued_at` when it packetizes;
+/// the fabric stamps `link_ready` on injection; the sending driver stamps
+/// `status_observed` (the sender's clock after its completion LOAD
+/// returned) when it drains the NIC. The receiver combines these with its
+/// own arrival/deposit times into a [`SpanRecord`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XferMeta {
+    /// Correlation ID minted by the sending NIC.
+    pub id: XferId,
+    /// When the user's STORE kicked off the DMA transfer that produced
+    /// this packet (the transfer's `started_at`).
+    pub initiated_at: SimTime,
+    /// When the NIC finished packetizing (DMA retire + header build).
+    pub queued_at: SimTime,
+    /// When the packet reached the head of the source link (routing done,
+    /// before link serialization).
+    pub link_ready: SimTime,
+    /// The sender's clock when the packet left the node — by then the
+    /// completion-status LOAD for the owning message has been observed.
+    pub status_observed: SimTime,
+}
+
+/// Number of stages in a transfer span.
+pub const STAGE_COUNT: usize = 5;
+
+/// One stage of a transfer span, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// User STORE → NIC packetize: DMA engine service time.
+    Initiation,
+    /// Packetize → head of the source link: header build + routing.
+    Queued,
+    /// Head of link → last byte off the wire: serialization + contention.
+    Wire,
+    /// Wire → data deposited in destination physical memory: EISA DMA.
+    Delivered,
+    /// Deposit → sender's completion status observed.
+    StatusObserved,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; STAGE_COUNT] =
+        [Stage::Initiation, Stage::Queued, Stage::Wire, Stage::Delivered, Stage::StatusObserved];
+
+    /// Stable display name (used in the Perfetto export).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Initiation => "initiation",
+            Stage::Queued => "queued",
+            Stage::Wire => "wire",
+            Stage::Delivered => "delivered",
+            Stage::StatusObserved => "status-observed",
+        }
+    }
+
+    /// Index into [`Stage::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            Stage::Initiation => 0,
+            Stage::Queued => 1,
+            Stage::Wire => 2,
+            Stage::Delivered => 3,
+            Stage::StatusObserved => 4,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The completed span of one packet: six timestamps bounding five stages.
+///
+/// `Copy` and fixed-size by construction — recording one is a handful of
+/// word moves into a pre-sized ring, never a heap allocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Correlation ID (also encodes the source node and NIC sequence).
+    pub id: XferId,
+    /// Sending node index.
+    pub src: u16,
+    /// Receiving node index.
+    pub dst: u16,
+    /// Payload bytes carried.
+    pub bytes: u32,
+    /// User STORE that started the owning DMA transfer.
+    pub initiated_at: SimTime,
+    /// NIC packetize complete.
+    pub queued_at: SimTime,
+    /// Head of the source link (routing done).
+    pub link_ready: SimTime,
+    /// Last byte off the wire at the receiver.
+    pub wire_done: SimTime,
+    /// Data deposited into destination physical memory.
+    pub delivered_at: SimTime,
+    /// Sender's completion status observed (clamped to `delivered_at`).
+    pub status_at: SimTime,
+}
+
+impl SpanRecord {
+    /// The `[start, end]` bounds of `stage`.
+    pub fn stage_bounds(&self, stage: Stage) -> (SimTime, SimTime) {
+        match stage {
+            Stage::Initiation => (self.initiated_at, self.queued_at),
+            Stage::Queued => (self.queued_at, self.link_ready),
+            Stage::Wire => (self.link_ready, self.wire_done),
+            Stage::Delivered => (self.wire_done, self.delivered_at),
+            Stage::StatusObserved => (self.delivered_at, self.status_at),
+        }
+    }
+
+    /// `true` when the six timestamps are non-decreasing in stage order.
+    pub fn is_monotonic(&self) -> bool {
+        self.initiated_at <= self.queued_at
+            && self.queued_at <= self.link_ready
+            && self.link_ready <= self.wire_done
+            && self.wire_done <= self.delivered_at
+            && self.delivered_at <= self.status_at
+    }
+
+    /// The deterministic merge key: `(link_ready, id)` — identical to the
+    /// parallel engine's `(link_ready, src‖seq)` packet commit order.
+    pub fn merge_key(&self) -> (SimTime, u64) {
+        (self.link_ready, self.id.raw())
+    }
+}
+
+/// Fixed-capacity ring buffer for `Copy` records.
+///
+/// Construction is free: storage is reserved only when the ring is
+/// enabled, so disabled recorders cost nothing and enabled ones allocate
+/// once, *before* the measured region. Recording into an enabled ring
+/// never allocates; when full, the oldest record is overwritten.
+#[derive(Clone, Debug)]
+pub struct EventRing<T> {
+    buf: Vec<T>,
+    head: usize,
+    cap: usize,
+    enabled: bool,
+    total: u64,
+}
+
+impl<T: Copy> EventRing<T> {
+    /// A disabled ring that will hold up to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "EventRing capacity must be non-zero");
+        EventRing { buf: Vec::new(), head: 0, cap: capacity, enabled: false, total: 0 }
+    }
+
+    /// Enables or disables recording. Enabling reserves the ring's full
+    /// storage up front (the one and only allocation).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        if enabled && self.buf.capacity() < self.cap {
+            self.buf.reserve_exact(self.cap - self.buf.len());
+        }
+        self.enabled = enabled;
+    }
+
+    /// Whether [`EventRing::record`] currently stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `value` if enabled; returns whether it was stored.
+    #[inline]
+    pub fn record(&mut self, value: T) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.push(value);
+        true
+    }
+
+    /// Stores `value` unconditionally (merge path; ignores `enabled`).
+    pub fn push(&mut self, value: T) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Accounts for `n` records dropped elsewhere (e.g. overwritten in a
+    /// per-shard ring before a merge): they raise `total` — and therefore
+    /// [`EventRing::dropped`] — without storing anything.
+    pub fn note_external_drops(&mut self, n: u64) {
+        self.total = self.total.saturating_add(n);
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum records held at once.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records ever offered to the ring (stored or overwritten).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records lost to overwriting (`total - len`).
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+
+    /// Empties the ring and resets the drop accounting.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.total = 0;
+    }
+}
+
+/// The flight recorder: a span ring plus per-stage latency histograms.
+///
+/// Histograms and the `total` count see *every* recorded span even after
+/// the ring starts overwriting, so summary statistics are exact while the
+/// ring keeps only the newest `capacity` spans for inspection/export.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    ring: EventRing<SpanRecord>,
+    stages: [Histogram; STAGE_COUNT],
+}
+
+impl FlightRecorder {
+    /// A disabled recorder holding up to `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder { ring: EventRing::new(capacity), stages: Default::default() }
+    }
+
+    /// Enables or disables recording; enabling reserves the span ring.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.ring.set_enabled(enabled);
+    }
+
+    /// Whether spans are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.ring.is_enabled()
+    }
+
+    /// Records one completed span (no-op while disabled, alloc-free
+    /// while enabled).
+    #[inline]
+    pub fn record(&mut self, span: SpanRecord) {
+        if !self.ring.is_enabled() {
+            return;
+        }
+        for stage in Stage::ALL {
+            let (start, end) = span.stage_bounds(stage);
+            self.stages[stage.index()].record(end.saturating_duration_since(start).as_nanos());
+        }
+        self.ring.push(span);
+    }
+
+    /// Deterministically merges per-shard recorders into this one.
+    ///
+    /// Span records are concatenated and sorted by [`SpanRecord::merge_key`]
+    /// — the parallel engine's packet commit order — so the result is
+    /// bit-identical regardless of how work was sharded. Stage histograms
+    /// are summed (not re-recorded), so summary statistics stay exact even
+    /// when a shard's ring overflowed.
+    pub fn absorb(&mut self, parts: Vec<FlightRecorder>) {
+        let mut records: Vec<SpanRecord> = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        let mut shed = 0u64;
+        for part in &parts {
+            for (i, h) in part.stages.iter().enumerate() {
+                self.stages[i].merge(h);
+            }
+            shed += part.ring.dropped();
+            records.extend(part.iter().copied());
+        }
+        records.sort_unstable_by_key(SpanRecord::merge_key);
+        self.ring.note_external_drops(shed);
+        for record in records {
+            self.ring.push(record);
+        }
+    }
+
+    /// Latency histogram (nanoseconds) for one stage.
+    pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Spans currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when no spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Maximum spans held at once.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Spans ever recorded (including those overwritten since).
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.total()
+    }
+
+    /// Spans lost to ring overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Iterates held spans, oldest → newest (commit order).
+    pub fn iter(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.ring.iter()
+    }
+
+    /// Empties the ring and zeroes the histograms.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.stages = Default::default();
+    }
+}
+
+/// One typed machine-level event: what the old string trace recorded,
+/// minus the strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: MachineEventKind,
+}
+
+/// The typed event vocabulary of the machine/OS layers.
+///
+/// Every variant is plain `Copy` data; the human-readable strings the old
+/// `TraceBuffer` stored are now produced on demand by the `Display` impl,
+/// off the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineEventKind {
+    /// A user STORE hit device proxy space (UDMA initiation, first half).
+    ProxyStore {
+        /// Proxy physical address stored to.
+        pa: u64,
+        /// The value stored (transfer size, or negative control values).
+        value: i64,
+    },
+    /// A user LOAD hit memory proxy space (UDMA initiation second half, or
+    /// a completion poll).
+    ProxyLoad {
+        /// Proxy physical address loaded from.
+        pa: u64,
+        /// The packed status word the load observed.
+        status: u64,
+    },
+    /// The kernel stored the invalidation value to proxy space on a
+    /// context switch (invariant I1).
+    Inval,
+    /// A user-level message completed (`udma_transfer` returned).
+    MsgDone {
+        /// Message payload bytes.
+        bytes: u64,
+        /// DMA transfers (chunks) the message needed.
+        transfers: u64,
+        /// Busy/invalidation retries across those chunks.
+        retries: u64,
+    },
+    /// The pager evicted a frame.
+    Evicted {
+        /// Owning process.
+        pid: u64,
+        /// Evicted virtual page.
+        vpn: u64,
+        /// Freed physical frame.
+        pfn: u64,
+    },
+    /// The kernel switched address spaces (`-1` encodes "idle").
+    ContextSwitch {
+        /// Outgoing pid, or -1 for idle.
+        from: i64,
+        /// Incoming pid, or -1 for idle.
+        to: i64,
+    },
+    /// The kernel fault handler ran.
+    PageFault {
+        /// Faulting process.
+        pid: u64,
+        /// Faulting virtual address.
+        va: u64,
+        /// Static fault label ("not-mapped", "write-protected", ...).
+        what: &'static str,
+    },
+}
+
+impl MachineEventKind {
+    /// The trace category the old string trace filed this under.
+    pub const fn category(self) -> &'static str {
+        match self {
+            MachineEventKind::ProxyStore { .. }
+            | MachineEventKind::ProxyLoad { .. }
+            | MachineEventKind::Inval => "udma",
+            MachineEventKind::MsgDone { .. } => "msg",
+            MachineEventKind::Evicted { .. } => "pager",
+            MachineEventKind::ContextSwitch { .. } | MachineEventKind::PageFault { .. } => "kernel",
+        }
+    }
+}
+
+/// Renders an `Option<pid>` encoded as `-1 = idle`.
+struct PidOrIdle(i64);
+
+impl fmt::Display for PidOrIdle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 0 {
+            f.write_str("idle")
+        } else {
+            write!(f, "pid{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for MachineEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MachineEventKind::ProxyStore { pa, value } => {
+                write!(f, "STORE {value} TO pa=0x{pa:x}")
+            }
+            MachineEventKind::ProxyLoad { pa, status } => {
+                write!(f, "LOAD pa=0x{pa:x} -> status=0x{status:x}")
+            }
+            MachineEventKind::Inval => f.write_str("INVAL (context switch)"),
+            MachineEventKind::MsgDone { bytes, transfers, retries } => {
+                write!(
+                    f,
+                    "message done: {bytes} bytes in {transfers} transfers ({retries} retries)"
+                )
+            }
+            MachineEventKind::Evicted { pid, vpn, pfn } => {
+                write!(f, "evicted pid{pid}:vpn{vpn} from pfn{pfn}")
+            }
+            MachineEventKind::ContextSwitch { from, to } => {
+                write!(f, "context switch {} -> {}", PidOrIdle(from), PidOrIdle(to))
+            }
+            MachineEventKind::PageFault { pid, va, what } => {
+                write!(f, "pid{pid}: {what} fault at va=0x{va:x}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn span(seq: u64, link_ready: u64) -> SpanRecord {
+        SpanRecord {
+            id: XferId::new(0, seq),
+            src: 0,
+            dst: 1,
+            bytes: 64,
+            initiated_at: t(10),
+            queued_at: t(20),
+            link_ready: t(link_ready),
+            wire_done: t(link_ready + 5),
+            delivered_at: t(link_ready + 9),
+            status_at: t(link_ready + 9),
+        }
+    }
+
+    #[test]
+    fn xfer_id_packs_node_and_sequence() {
+        let id = XferId::new(3, 17);
+        assert_eq!(id.node(), 3);
+        assert_eq!(id.seq(), 17);
+        assert_eq!(id.raw(), (3u64 << 48) | 17);
+        assert_eq!(id.to_string(), "3:17");
+    }
+
+    #[test]
+    fn span_monotonicity_and_bounds() {
+        let s = span(0, 30);
+        assert!(s.is_monotonic());
+        assert_eq!(s.stage_bounds(Stage::Initiation), (t(10), t(20)));
+        assert_eq!(s.stage_bounds(Stage::StatusObserved), (t(39), t(39)));
+        let mut bad = s;
+        bad.wire_done = t(5);
+        assert!(!bad.is_monotonic());
+    }
+
+    #[test]
+    fn ring_is_disabled_by_default_and_overwrites_when_full() {
+        let mut ring: EventRing<u64> = EventRing::new(3);
+        assert!(!ring.record(1));
+        assert!(ring.is_empty());
+        ring.set_enabled(true);
+        for v in 0..5 {
+            assert!(ring.record(v));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let held: Vec<u64> = ring.iter().copied().collect();
+        assert_eq!(held, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn enabling_reserves_storage_once() {
+        let mut ring: EventRing<u64> = EventRing::new(128);
+        assert_eq!(ring.buf.capacity(), 0);
+        ring.set_enabled(true);
+        let cap = ring.buf.capacity();
+        assert!(cap >= 128);
+        for v in 0..1000 {
+            ring.record(v);
+        }
+        assert_eq!(ring.buf.capacity(), cap, "recording must never reallocate");
+    }
+
+    #[test]
+    fn recorder_tracks_stage_histograms() {
+        let mut fr = FlightRecorder::new(8);
+        fr.set_enabled(true);
+        fr.record(span(0, 30));
+        let h = fr.stage_histogram(Stage::Initiation);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(SimDuration::from_nanos(10).as_nanos()));
+        assert_eq!(fr.stage_histogram(Stage::StatusObserved).max(), Some(0));
+    }
+
+    #[test]
+    fn absorb_merges_in_commit_order_regardless_of_sharding() {
+        // Shard A holds seq 0 (link_ready 40) and seq 2 (link_ready 30);
+        // shard B holds seq 1 (link_ready 30). Commit order sorts by
+        // (link_ready, id): seq1 ties seq2 on time, loses on id? No —
+        // XferId::new(0, 1) < XferId::new(0, 2), so order is 1, 2, 0.
+        let mut a = FlightRecorder::new(8);
+        let mut b = FlightRecorder::new(8);
+        a.set_enabled(true);
+        b.set_enabled(true);
+        a.record(span(0, 40));
+        a.record(span(2, 30));
+        b.record(span(1, 30));
+
+        let mut merged = FlightRecorder::new(8);
+        merged.absorb(vec![a, b]);
+        let seqs: Vec<u64> = merged.iter().map(|s| s.id.seq()).collect();
+        assert_eq!(seqs, vec![1, 2, 0]);
+        assert_eq!(merged.total_recorded(), 3);
+        assert_eq!(merged.stage_histogram(Stage::Wire).count(), 3);
+    }
+
+    #[test]
+    fn event_kinds_render_the_legacy_trace_text() {
+        assert_eq!(
+            MachineEventKind::ProxyStore { pa: 0x40, value: 64 }.to_string(),
+            "STORE 64 TO pa=0x40"
+        );
+        assert_eq!(MachineEventKind::Inval.to_string(), "INVAL (context switch)");
+        assert_eq!(MachineEventKind::Inval.category(), "udma");
+        assert_eq!(MachineEventKind::Evicted { pid: 1, vpn: 2, pfn: 3 }.category(), "pager");
+        assert_eq!(
+            MachineEventKind::ContextSwitch { from: -1, to: 2 }.to_string(),
+            "context switch idle -> pid2"
+        );
+    }
+}

@@ -1,6 +1,5 @@
 //! Measurement plumbing: counters, log-scaled histograms, named stat sets.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A monotonically increasing event counter.
@@ -39,6 +38,12 @@ impl Counter {
         self.0
     }
 
+    /// Adds `n`, clamping at `u64::MAX` instead of overflowing (the merge
+    /// path, where two near-saturated counters may meet).
+    pub fn saturating_add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
     /// Resets to zero, returning the previous value.
     pub fn take(&mut self) -> u64 {
         std::mem::take(&mut self.0)
@@ -51,18 +56,30 @@ impl fmt::Display for Counter {
     }
 }
 
+/// Number of power-of-two histogram buckets (`2^0` through `2^64`).
+const HIST_BUCKETS: usize = 65;
+
 /// A power-of-two bucketed histogram of `u64` samples.
 ///
 /// Bucket `i` holds samples whose value `v` satisfies `2^(i-1) < v <= 2^i`
 /// (bucket 0 holds `v == 0` and `v == 1`). Tracks count, sum, min and max
 /// exactly, so means are not subject to bucketing error.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Storage is a fixed inline array, so `record` is allocation-free — the
+/// flight recorder keeps these on the data-plane hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: BTreeMap<u32, u64>,
+    buckets: [u64; HIST_BUCKETS],
     count: u64,
     sum: u64,
     min: Option<u64>,
     max: Option<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: None, max: None }
+    }
 }
 
 impl Histogram {
@@ -71,14 +88,34 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Records one sample.
+    /// Records one sample. Never allocates.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         let bucket = if value <= 1 { 0 } else { 64 - (value - 1).leading_zeros() };
-        *self.buckets.entry(bucket).or_insert(0) += 1;
+        self.buckets[bucket as usize] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.min = Some(self.min.map_or(value, |m| m.min(value)));
         self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Folds `other` into `self`: bucketwise saturating sum, combined
+    /// count/sum/min/max. The union of two histograms of the same metric
+    /// is exactly the histogram of the combined sample stream.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Number of recorded samples.
@@ -107,8 +144,13 @@ impl Histogram {
     }
 
     /// Iterates `(bucket_upper_bound, count)` over non-empty buckets.
+    /// The last bucket's bound (`2^64`) is reported as `u64::MAX`.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets.iter().map(|(&b, &c)| (1u64 << b, c))
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (1u64.checked_shl(b as u32).unwrap_or(u64::MAX), c))
     }
 }
 
@@ -227,6 +269,20 @@ impl StatSet {
         sorted.into_iter()
     }
 
+    /// Folds `other`'s counters into `self` with saturating addition,
+    /// keyed by counter name; `other`'s set name is ignored.
+    ///
+    /// This is how the sharded parallel engine (and the multicomputer's
+    /// combined stats view) unions per-component stat sets: merging the
+    /// per-shard sets in any grouping yields the same counters the serial
+    /// engine would have produced.
+    pub fn merge(&mut self, other: &StatSet) {
+        for (key, value) in other.iter() {
+            let i = self.slot(key);
+            self.counters[i].1.saturating_add(value);
+        }
+    }
+
     /// Zeroes every counter.
     pub fn reset(&mut self) {
         self.counters.clear();
@@ -301,6 +357,55 @@ mod tests {
         let buckets: Vec<_> = h.iter().collect();
         // 0 and 1 in bucket <=1; 2 in <=2; 3,4 in <=4.
         assert_eq!(buckets, vec![(1, 2), (2, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn histogram_merge_is_the_union_of_sample_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 100, 7] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        // Merging an empty histogram is the identity.
+        a.merge(&Histogram::new());
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn histogram_merge_saturates() {
+        let mut a = Histogram::new();
+        a.record(u64::MAX);
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn statset_merge_unions_by_key_and_saturates() {
+        let mut a = StatSet::new("machine");
+        a.bump("loads");
+        a.add("stores", 2);
+        let mut b = StatSet::new("other-name");
+        b.add("loads", 10);
+        b.bump("faults");
+        b.add("big", u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.get("loads"), 11);
+        assert_eq!(a.get("stores"), 2);
+        assert_eq!(a.get("faults"), 1);
+        assert_eq!(a.name(), "machine", "merge keeps the receiver's name");
+        a.merge(&b);
+        assert_eq!(a.get("big"), u64::MAX, "saturates instead of overflowing");
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn main() -> Result<(), Trap> {
         user_frames: Some(5),
     };
     let mut node = Node::new(config, StreamSink::new("device"));
-    node.machine_mut().trace_mut().set_enabled(true);
+    node.machine_mut().set_tracing(true);
     let layout = node.machine().layout();
 
     // ---------------------------------------------------------------

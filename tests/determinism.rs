@@ -98,6 +98,67 @@ fn parallel_engine_matches_the_serial_driver() {
 }
 
 #[test]
+fn tracing_is_invisible_to_state_digests() {
+    // Satellite: the flight recorder is pure observation. Enabling it must
+    // not move a single clock or byte — digests match the untraced run at
+    // every thread count.
+    for threads in [1usize, 2, 4] {
+        let (mut plain, plans) = paired_stream(8, 15, 1024);
+        plain.run_parallel(&plans, threads).unwrap();
+        let (mut traced, plans) = paired_stream(8, 15, 1024);
+        traced.set_tracing(true);
+        traced.run_parallel(&plans, threads).unwrap();
+        assert!(!traced.recorder().is_empty(), "tracing on but nothing recorded");
+        assert_eq!(
+            plain.state_digest(),
+            traced.state_digest(),
+            "threads={threads}: tracing changed the simulated timeline"
+        );
+    }
+}
+
+#[test]
+fn traces_and_stats_are_bit_identical_across_thread_counts() {
+    // The exported Perfetto JSON and the combined stats view are pure
+    // functions of the simulated timeline: any thread count must produce
+    // byte-identical output (the recorder merges shard rings in commit
+    // order, exactly the serial event order).
+    let mut traces = Vec::new();
+    let mut stats = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let (mut mc, plans) = paired_stream(8, 20, 1024);
+        mc.set_tracing(true);
+        mc.run_parallel(&plans, threads).unwrap();
+        traces.push(mc.export_trace());
+        stats.push(mc.stats());
+    }
+    assert!(traces[0].contains("\"ph\":\"X\""), "trace must contain spans");
+    assert_eq!(traces[0], traces[1], "trace: 1 vs 2 threads");
+    assert_eq!(traces[1], traces[2], "trace: 2 vs 4 threads");
+    assert_eq!(stats[0], stats[1], "stats: 1 vs 2 threads");
+    assert_eq!(stats[1], stats[2], "stats: 2 vs 4 threads");
+}
+
+#[test]
+fn merged_parallel_stats_equal_serial_stats() {
+    // Satellite: the combined stats view after a parallel run must union
+    // the per-shard counters into exactly what the serial driver counts.
+    let (mut serial, plans) = paired_stream(8, 20, 768);
+    for plan in &plans {
+        for op in &plan.ops {
+            serial.send(plan.node, op.pid, op.src_va, op.dev_page, op.dev_off, op.nbytes).unwrap();
+        }
+    }
+    serial.run_until_quiet();
+    let serial_stats = serial.stats();
+    assert!(serial_stats.get("packets_sent") > 0 || serial_stats.iter().count() > 0);
+
+    let (mut par, plans) = paired_stream(8, 20, 768);
+    par.run_parallel(&plans, 2).unwrap();
+    assert_eq!(par.stats(), serial_stats, "parallel merge lost or double-counted a counter");
+}
+
+#[test]
 fn digests_distinguish_different_workloads() {
     // A digest that never changes proves nothing: different payload sizes
     // must produce different machine states.
