@@ -9,8 +9,9 @@
 //!
 //! Options:
 //!   --quick            smoke-test sizing (CI): ~1/20 of the message count
-//!   --threads <n>      determinism smoke: run the 8-node stream serially
-//!                      and with <n> worker threads, fail if the state
+//!   --threads <n>      determinism smoke: run the 8-node stream through
+//!                      the serial driver, the unified engine at 1 shard,
+//!                      and at <n> worker threads; fail if any state
 //!                      digests differ (exit 1)
 //!   --out <path>       output JSON path (default: BENCH_throughput.json)
 //!   --compare <path>   embed a previous output as `"before"` and print
@@ -134,9 +135,14 @@ fn main() {
     // `--compare` lines up across PRs; the rest sweep threads on 8 nodes
     // and scale 8 → 16 nodes through the parallel engine.
     let workloads: Vec<(u16, u64, u32, usize)> = match smoke_threads {
-        // Determinism smoke: one stream, serial then threaded; the digest
-        // comparison below is the pass/fail signal.
-        Some(n) => vec![(8, 4096, 50_000 / scale, 1), (8, 4096, 50_000 / scale, n)],
+        // Determinism smoke: one stream through the serial driver, the
+        // unified engine at one shard, and the unified engine at <n>
+        // shards; the digest comparison below is the pass/fail signal.
+        Some(n) => vec![
+            (8, 4096, 50_000 / scale, 0),
+            (8, 4096, 50_000 / scale, 1),
+            (8, 4096, 50_000 / scale, n),
+        ],
         None => vec![
             (2, 4096, 200_000 / scale, 0),
             (2, 256, 400_000 / scale, 0),

@@ -8,7 +8,8 @@
 //! `BENCH_throughput.json` so each perf PR has a measured baseline.
 //!
 //! Workloads run either through the serial driver loop (`threads == 0`)
-//! or through [`Multicomputer::run_parallel`] (`threads >= 1`). Each
+//! or through [`Multicomputer::run`] (`threads >= 1`) — since the
+//! single-engine refactor these are the same delivery core. Each
 //! entry records the thread count, the FNV digest of the final machine
 //! state, and the commit hash, so a result can be traced to the exact
 //! code and cross-checked for determinism: the digest of a stream must
@@ -104,8 +105,8 @@ pub fn commit_hash() -> String {
 ///
 /// With `threads == 0` the senders are driven round-robin through the
 /// serial driver (`Multicomputer::send` + `run_until_quiet`) — the
-/// pre-parallel baseline. With `threads >= 1` every sender's messages
-/// become a [`NodePlan`] executed by [`Multicomputer::run_parallel`] on
+/// call-per-message baseline. With `threads >= 1` every sender's
+/// messages become a [`NodePlan`] executed by [`Multicomputer::run`] on
 /// that many worker threads. Either way the simulated timeline — and
 /// therefore the state digest — is identical; only the host clock moves.
 ///
@@ -209,7 +210,7 @@ fn stream_pairs_impl(
             })
             .collect();
         let t0 = Instant::now();
-        mc.run_parallel(&plans, threads).expect("steady-state parallel run");
+        mc.run(&plans, threads).expect("steady-state parallel run");
         t0.elapsed().as_secs_f64()
     };
     let allocs = alloc_count::delta_since(alloc_mark);

@@ -1,6 +1,22 @@
 //! The mesh fabric: routing, link occupancy and in-order delivery.
+//!
+//! Since the engine unification there is exactly **one** delivery source:
+//! [`FabricShard`]. It carries a packet through three steps —
+//!
+//! 1. [`FabricShard::inject`] — routing latency; stamps `link_ready`,
+//! 2. staging ([`FabricShard::stage`]) — the packet waits in a
+//!    deterministic merge queue keyed `(link_ready, id)`,
+//! 3. [`FabricShard::commit_next`] — pops the earliest staged packet and
+//!    serializes it on the destination's inbound link, yielding its
+//!    arrival instant.
+//!
+//! [`Interconnect`] is a thin wrapper over one full-machine shard: the
+//! serial driver is the degenerate one-shard instantiation, and the
+//! parallel engine splits the same state into per-shard copies with
+//! [`Interconnect::split`] / [`Interconnect::merge`]. Both drain packets
+//! through the same `commit_next` — there is no second delivery loop.
 
-use shrimp_sim::{Counter, EventQueue, SimDuration, SimTime, StatSet};
+use shrimp_sim::{Counter, MergeQueue, SimDuration, SimTime, StatSet};
 
 use crate::{NodeId, Packet};
 
@@ -37,17 +53,13 @@ fn grid_cols(nodes: u16) -> u16 {
 /// `hops × hop_latency + wire_bytes / bandwidth`, serialized on the
 /// destination's inbound link, which preserves point-to-point ordering —
 /// the property SHRIMP's deliberate update relies on.
+///
+/// `Interconnect` owns a single [`FabricShard`] covering the whole
+/// machine; every delivery — serial or parallel — goes through the
+/// shard's staged queue and [`FabricShard::commit_next`].
 #[derive(Debug)]
 pub struct Interconnect {
-    nodes: u16,
-    cols: u16,
-    params: LinkParams,
-    in_flight: EventQueue<Packet>,
-    /// Inbound-link occupancy per destination node.
-    link_busy_until: Vec<SimTime>,
-    /// Per-packet counts: plain fields, bumped once per injected packet.
-    packets: Counter,
-    payload_bytes: Counter,
+    shard: FabricShard,
 }
 
 impl Interconnect {
@@ -60,78 +72,56 @@ impl Interconnect {
         assert!(nodes > 0, "a fabric needs at least one node");
         let cols = grid_cols(nodes);
         Interconnect {
-            nodes,
-            cols,
-            params,
-            in_flight: EventQueue::new(),
-            link_busy_until: vec![SimTime::ZERO; nodes as usize],
-            packets: Counter::new(),
-            payload_bytes: Counter::new(),
+            shard: FabricShard {
+                nodes,
+                cols,
+                params,
+                link_busy_until: vec![SimTime::ZERO; nodes as usize],
+                staged: MergeQueue::new(),
+                packets: Counter::new(),
+                payload_bytes: Counter::new(),
+            },
         }
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> u16 {
-        self.nodes
+        self.shard.nodes
     }
 
     /// Mesh hop count between two nodes (Manhattan distance + 1 for the
     /// ejection router; 1 for self-sends, which still traverse the NI).
     pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
-        let (ar, ac) = (a.raw() / self.cols, a.raw() % self.cols);
-        let (br, bc) = (b.raw() / self.cols, b.raw() % self.cols);
-        u64::from(ar.abs_diff(br)) + u64::from(ac.abs_diff(bc)) + 1
+        self.shard.hops(a, b)
     }
 
-    /// Injects `packet` at instant `now`; returns its delivery time.
+    /// Injects `packet` at instant `now` and stages it for delivery;
+    /// returns the instant it reaches its destination's inbound link
+    /// (before serialization). Drain staged packets with
+    /// [`FabricShard::commit_next`] via [`Interconnect::shard_mut`].
     ///
     /// # Panics
     ///
     /// Panics if either endpoint is outside the fabric.
-    pub fn send(&mut self, mut packet: Packet, now: SimTime) -> SimTime {
-        assert!(packet.src.raw() < self.nodes, "source {} not in fabric", packet.src);
-        assert!(packet.dst.raw() < self.nodes, "destination {} not in fabric", packet.dst);
-        packet.sent_at = now;
-
-        let route = self.params.hop_latency * self.hops(packet.src, packet.dst);
-        let wire = SimDuration::from_bytes_at_rate(packet.wire_bytes(), self.params.mb_per_s);
-        // Flight recorder: routing done, head of the destination link.
-        packet.meta.link_ready = now + route;
-
-        // Serialize on the destination's inbound link.
-        let link = &mut self.link_busy_until[packet.dst.raw() as usize];
-        let start = (now + route).max(*link);
-        let arrives = start + wire;
-        *link = arrives;
-
-        self.packets.incr();
-        self.payload_bytes.add(packet.payload.len() as u64);
-        self.in_flight.schedule(arrives, packet);
-        arrives
+    pub fn send(&mut self, packet: Packet, now: SimTime) -> SimTime {
+        self.shard.send(packet, now)
     }
 
-    /// Removes the earliest packet that has arrived by `deadline`, if any.
-    /// Allocation-free; the receive loop drains one packet at a time.
-    pub fn deliver_due(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
-        self.in_flight.pop_due(deadline).map(|e| (e.at, e.payload))
+    /// The machine-wide delivery source (the serial engine drains it with
+    /// [`FabricShard::commit_next`], exactly as each parallel shard drains
+    /// its own).
+    pub fn shard_mut(&mut self) -> &mut FabricShard {
+        &mut self.shard
     }
 
-    /// Earliest pending arrival, if any.
-    pub fn next_arrival(&self) -> Option<SimTime> {
-        self.in_flight.next_deadline()
-    }
-
-    /// Packets still in flight.
+    /// Packets staged but not yet committed.
     pub fn in_flight_count(&self) -> usize {
-        self.in_flight.len()
+        self.shard.staged_len()
     }
 
     /// Fabric statistics.
     pub fn stats(&self) -> StatSet {
-        let mut s = StatSet::new("net");
-        s.add("packets", self.packets.get());
-        s.add("payload_bytes", self.payload_bytes.get());
-        s
+        self.shard.stats()
     }
 
     /// Splits the fabric into `shards` independent shards for conservative
@@ -143,17 +133,18 @@ impl Interconnect {
     ///
     /// # Panics
     ///
-    /// Panics with packets still in flight (the engine must start from a
+    /// Panics with packets in flight (the engine must start from a
     /// quiet fabric) or a zero shard count.
     pub fn split(&mut self, shards: usize) -> Vec<FabricShard> {
         assert!(shards > 0, "need at least one shard");
-        assert!(self.in_flight.is_empty(), "cannot split a fabric with packets in flight");
+        assert!(self.shard.staged.is_empty(), "cannot split a fabric with packets in flight");
         (0..shards)
             .map(|_| FabricShard {
-                nodes: self.nodes,
-                cols: self.cols,
-                params: self.params,
-                link_busy_until: self.link_busy_until.clone(),
+                nodes: self.shard.nodes,
+                cols: self.shard.cols,
+                params: self.shard.params,
+                link_busy_until: self.shard.link_busy_until.clone(),
+                staged: MergeQueue::new(),
                 packets: Counter::new(),
                 payload_bytes: Counter::new(),
             })
@@ -167,31 +158,38 @@ impl Interconnect {
     ///
     /// # Panics
     ///
-    /// Panics if `owner` names a missing shard or is the wrong length.
+    /// Panics if `owner` names a missing shard, is the wrong length, or a
+    /// shard still holds staged packets (the engine must drain every shard
+    /// before reassembly).
     pub fn merge(&mut self, shards: Vec<FabricShard>, owner: &[usize]) {
-        assert_eq!(owner.len(), self.nodes as usize, "one owner per node");
+        assert_eq!(owner.len(), self.shard.nodes as usize, "one owner per node");
         for (node, &shard) in owner.iter().enumerate() {
-            self.link_busy_until[node] = shards[shard].link_busy_until[node];
+            self.shard.link_busy_until[node] = shards[shard].link_busy_until[node];
         }
         for shard in shards {
-            self.packets.add(shard.packets.get());
-            self.payload_bytes.add(shard.payload_bytes.get());
+            assert!(shard.staged.is_empty(), "cannot merge a shard with staged packets");
+            self.shard.packets.add(shard.packets.get());
+            self.shard.payload_bytes.add(shard.payload_bytes.get());
         }
     }
 }
 
-/// One shard's slice of the [`Interconnect`] for parallel execution.
+/// One shard's slice of the fabric — **the** delivery source of the
+/// machine. The serial [`Interconnect`] is one shard covering every node;
+/// the parallel engine runs N of them, one per worker.
 ///
 /// A shard plays both fabric roles without touching shared state:
 ///
 /// - **sender side** — [`FabricShard::inject`] stamps a packet and returns
 ///   when it reaches its destination's inbound link (routing latency only;
 ///   no shared queue),
-/// - **receiver side** — [`FabricShard::admit`] serializes an incoming
-///   packet on the destination's inbound link and returns its arrival.
+/// - **receiver side** — staged packets ([`FabricShard::stage`]) pop in
+///   deterministic `(link_ready, id)` order through
+///   [`FabricShard::commit_next`], which serializes each on the
+///   destination's inbound link and returns its arrival.
 ///
 /// Splitting the fabric this way moves every mutable per-destination
-/// structure (`link_busy_until`, the delivery queue) to the shard that
+/// structure (`link_busy_until`, the staged queue) to the shard that
 /// owns the destination node, which is what lets shards run on separate
 /// threads with packets exchanged only at epoch boundaries.
 #[derive(Debug)]
@@ -201,6 +199,10 @@ pub struct FabricShard {
     params: LinkParams,
     /// Inbound-link occupancy; only indices this shard owns are meaningful.
     link_busy_until: Vec<SimTime>,
+    /// Packets awaiting commit, keyed `(link_ready, XferId raw)`: the pop
+    /// order is a pure function of the staged set, never of insertion
+    /// order, so serial and parallel drains are the same sequence.
+    staged: MergeQueue<Packet>,
     packets: Counter,
     payload_bytes: Counter,
 }
@@ -232,11 +234,40 @@ impl FabricShard {
         link_ready
     }
 
-    /// Receiver side: serializes a packet that reached the destination's
-    /// inbound link at `link_ready` and returns its arrival instant.
-    /// Identical arithmetic to the serial [`Interconnect::send`], so a
-    /// parallel run admitting packets in the serial injection order
-    /// reproduces the serial timeline bit for bit.
+    /// Stages a packet that reaches its destination's inbound link at
+    /// `link_ready`, keyed for the deterministic commit order. `tag` must
+    /// be unique per staged packet — the packet's `XferId` raw value.
+    pub fn stage(&mut self, link_ready: SimTime, tag: u64, packet: Packet) {
+        self.staged.push(link_ready, tag, packet);
+    }
+
+    /// [`FabricShard::inject`] + [`FabricShard::stage`] in one step, keyed
+    /// by the packet's own correlation ID: the whole sender side of a
+    /// transfer. Returns the `link_ready` instant.
+    pub fn send(&mut self, mut packet: Packet, now: SimTime) -> SimTime {
+        let link_ready = self.inject(&mut packet, now);
+        let tag = packet.meta.id.raw();
+        self.staged.push(link_ready, tag, packet);
+        link_ready
+    }
+
+    /// Receiver side: pops the earliest staged packet whose `link_ready`
+    /// is at or before `horizon` (`None` = no bound), serializes it on its
+    /// destination's inbound link, and returns
+    /// `(link_ready, arrival, packet)`. Allocation-free; the delivery core
+    /// drains one packet at a time.
+    ///
+    /// Identical arithmetic at any shard count: admitting packets in the
+    /// staged `(link_ready, id)` order reproduces the timeline bit for bit.
+    pub fn commit_next(&mut self, horizon: Option<SimTime>) -> Option<(SimTime, SimTime, Packet)> {
+        let (link_ready, packet) = self.staged.pop_within(horizon)?;
+        let arrival = self.admit(&packet, link_ready);
+        Some((link_ready, arrival, packet))
+    }
+
+    /// Serializes a packet that reached the destination's inbound link at
+    /// `link_ready` and returns its arrival instant (wire time plus any
+    /// wait for earlier traffic on the same link).
     pub fn admit(&mut self, packet: &Packet, link_ready: SimTime) -> SimTime {
         let wire = SimDuration::from_bytes_at_rate(packet.wire_bytes(), self.params.mb_per_s);
         let link = &mut self.link_busy_until[packet.dst.raw() as usize];
@@ -244,6 +275,24 @@ impl FabricShard {
         let arrives = start + wire;
         *link = arrives;
         arrives
+    }
+
+    /// Packets staged but not yet committed.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Earliest staged `link_ready`, if any.
+    pub fn next_staged(&self) -> Option<SimTime> {
+        self.staged.next_at()
+    }
+
+    /// Traffic statistics (injected packets and payload bytes).
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new("net");
+        s.add("packets", self.packets.get());
+        s.add("payload_bytes", self.payload_bytes.get());
+        s
     }
 
     /// The shard's minimum cross-node latency (one router hop): the
@@ -259,9 +308,22 @@ impl FabricShard {
 mod tests {
     use super::*;
     use shrimp_mem::PhysAddr;
+    use shrimp_sim::XferId;
 
-    fn pkt(src: u16, dst: u16, bytes: usize) -> Packet {
-        Packet::new(NodeId::new(src), NodeId::new(dst), PhysAddr::new(0), vec![0; bytes])
+    /// A test packet with a unique correlation ID (`src:seq`): staged
+    /// packets are keyed by ID, so distinct IDs pin a deterministic order.
+    fn pkt(src: u16, dst: u16, bytes: usize, seq: u64) -> Packet {
+        let mut p =
+            Packet::new(NodeId::new(src), NodeId::new(dst), PhysAddr::new(0), vec![0; bytes]);
+        p.meta.id = XferId::new(src, seq);
+        p
+    }
+
+    /// Drains every staged packet, returning `(arrival, payload[0])`.
+    fn drain(net: &mut Interconnect) -> Vec<(SimTime, u8)> {
+        std::iter::from_fn(|| net.shard_mut().commit_next(None))
+            .map(|(_, at, p)| (at, p.payload[0]))
+            .collect()
     }
 
     #[test]
@@ -275,8 +337,10 @@ mod tests {
     #[test]
     fn delivery_time_scales_with_distance() {
         let mut net = Interconnect::new(4, LinkParams::default());
-        let near = net.send(pkt(0, 1, 64), SimTime::ZERO);
-        let far = net.send(pkt(0, 3, 64), SimTime::ZERO);
+        net.send(pkt(0, 1, 64, 0), SimTime::ZERO);
+        net.send(pkt(0, 3, 64, 1), SimTime::ZERO);
+        let times = drain(&mut net);
+        let (near, far) = (times[0].0, times[1].0);
         assert!(far > near);
         assert_eq!(far - near, LinkParams::default().hop_latency);
     }
@@ -284,9 +348,10 @@ mod tests {
     #[test]
     fn destination_link_serializes() {
         let mut net = Interconnect::new(4, LinkParams::default());
-        let first = net.send(pkt(0, 1, 1000), SimTime::ZERO);
-        let second = net.send(pkt(2, 1, 1000), SimTime::ZERO);
-        assert!(second > first, "second packet must queue behind the first");
+        net.send(pkt(0, 1, 1000, 0), SimTime::ZERO);
+        net.send(pkt(2, 1, 1000, 0), SimTime::ZERO);
+        let times = drain(&mut net);
+        assert!(times[1].0 > times[0].0, "second packet must queue behind the first");
     }
 
     #[test]
@@ -294,44 +359,47 @@ mod tests {
         let mut net = Interconnect::new(2, LinkParams::default());
         let mut expected = Vec::new();
         for i in 0..5u8 {
-            let mut p = pkt(0, 1, 32);
+            let mut p = pkt(0, 1, 32, u64::from(i));
             p.payload[0] = i;
             net.send(p, SimTime::from_nanos(u64::from(i)));
             expected.push(i);
         }
-        let mut got = Vec::new();
-        while let Some((_, p)) = net.deliver_due(SimTime::from_nanos(u64::MAX / 2)) {
-            got.push(p.payload[0]);
-        }
+        let got: Vec<u8> = drain(&mut net).into_iter().map(|(_, b)| b).collect();
         assert_eq!(got, expected);
     }
 
     #[test]
-    fn deliver_due_respects_deadline() {
+    fn commit_respects_horizon() {
         let mut net = Interconnect::new(2, LinkParams::default());
-        let arrives = net.send(pkt(0, 1, 64), SimTime::ZERO);
-        assert!(net.deliver_due(arrives - SimDuration::from_nanos(1)).is_none());
+        let link_ready = net.send(pkt(0, 1, 64, 0), SimTime::ZERO);
+        let shard = net.shard_mut();
+        assert!(shard.commit_next(Some(link_ready - SimDuration::from_nanos(1))).is_none());
         assert_eq!(net.in_flight_count(), 1);
-        assert!(net.deliver_due(arrives).is_some());
+        assert_eq!(net.shard_mut().next_staged(), Some(link_ready));
+        assert!(net.shard_mut().commit_next(Some(link_ready)).is_some());
         assert_eq!(net.in_flight_count(), 0);
     }
 
     #[test]
-    fn deliver_due_pops_one_at_a_time() {
+    fn commit_pops_one_at_a_time_in_staged_order() {
         let mut net = Interconnect::new(2, LinkParams::default());
-        let a = net.send(pkt(0, 1, 64), SimTime::ZERO);
-        let b = net.send(pkt(0, 1, 64), SimTime::ZERO);
-        assert!(net.deliver_due(a - SimDuration::from_nanos(1)).is_none());
-        assert_eq!(net.deliver_due(b).map(|(at, _)| at), Some(a));
-        assert_eq!(net.deliver_due(b).map(|(at, _)| at), Some(b));
-        assert!(net.deliver_due(b).is_none());
+        net.send(pkt(0, 1, 64, 0), SimTime::ZERO);
+        net.send(pkt(0, 1, 64, 1), SimTime::ZERO);
+        // Same link_ready: the correlation ID breaks the tie, so the
+        // first-injected packet commits first and owns the link first.
+        let first = net.shard_mut().commit_next(None).expect("two staged");
+        let second = net.shard_mut().commit_next(None).expect("one staged");
+        assert_eq!(first.2.meta.id, XferId::new(0, 0));
+        assert_eq!(second.2.meta.id, XferId::new(0, 1));
+        assert!(second.1 > first.1, "link serialization orders arrivals");
+        assert!(net.shard_mut().commit_next(None).is_none());
     }
 
     #[test]
     fn stats_count_traffic() {
         let mut net = Interconnect::new(2, LinkParams::default());
-        net.send(pkt(0, 1, 10), SimTime::ZERO);
-        net.send(pkt(1, 0, 20), SimTime::ZERO);
+        net.send(pkt(0, 1, 10, 0), SimTime::ZERO);
+        net.send(pkt(1, 0, 20, 0), SimTime::ZERO);
         assert_eq!(net.stats().get("packets"), 2);
         assert_eq!(net.stats().get("payload_bytes"), 30);
     }
@@ -340,7 +408,7 @@ mod tests {
     #[should_panic(expected = "not in fabric")]
     fn out_of_fabric_send_panics() {
         let mut net = Interconnect::new(2, LinkParams::default());
-        net.send(pkt(0, 5, 1), SimTime::ZERO);
+        net.send(pkt(0, 5, 1, 0), SimTime::ZERO);
     }
 
     #[test]
@@ -370,47 +438,60 @@ mod tests {
     }
 
     #[test]
-    fn shard_inject_admit_reproduces_serial_send_times() {
-        // The same packet sequence through the serial fabric and through
-        // split shards (admitted in injection order) must produce
-        // identical arrival times and identical post-run link state.
+    fn split_shards_reproduce_the_one_shard_timeline() {
+        // The same packet sequence through the one-shard Interconnect and
+        // through split shards (staged with the same keys, committed in
+        // the same order) must produce identical arrival times and
+        // identical post-run link state.
         let sequence: [(u16, u16, usize, u64); 5] =
             [(0, 1, 1000, 0), (2, 1, 1000, 0), (3, 1, 64, 100), (0, 3, 256, 200), (1, 3, 64, 200)];
 
         let mut serial = Interconnect::new(4, LinkParams::default());
-        let serial_times: Vec<SimTime> = sequence
-            .iter()
-            .map(|&(s, d, bytes, at)| serial.send(pkt(s, d, bytes), SimTime::from_nanos(at)))
-            .collect();
+        for (i, &(s, d, bytes, at)) in sequence.iter().enumerate() {
+            serial.send(pkt(s, d, bytes, i as u64), SimTime::from_nanos(at));
+        }
+        let serial_times: Vec<SimTime> =
+            std::iter::from_fn(|| serial.shard_mut().commit_next(None))
+                .map(|(_, at, _)| at)
+                .collect();
 
         let mut net = Interconnect::new(4, LinkParams::default());
         // Nodes 0..2 on shard 0, nodes 2..4 on shard 1.
         let owner = [0usize, 0, 1, 1];
         let mut shards = net.split(2);
-        let shard_times: Vec<SimTime> = sequence
-            .iter()
-            .map(|&(s, d, bytes, at)| {
-                let mut p = pkt(s, d, bytes);
-                let ready = shards[owner[s as usize]].inject(&mut p, SimTime::from_nanos(at));
-                shards[owner[d as usize]].admit(&p, ready)
-            })
-            .collect();
+        for (i, &(s, d, bytes, at)) in sequence.iter().enumerate() {
+            let mut p = pkt(s, d, bytes, i as u64);
+            let ready = shards[owner[s as usize]].inject(&mut p, SimTime::from_nanos(at));
+            let tag = p.meta.id.raw();
+            shards[owner[d as usize]].stage(ready, tag, p);
+        }
+        let mut shard_times = Vec::new();
+        for shard in &mut shards {
+            while let Some((_, at, _)) = shard.commit_next(None) {
+                shard_times.push(at);
+            }
+        }
+        shard_times.sort_unstable();
+        let mut sorted_serial = serial_times.clone();
+        sorted_serial.sort_unstable();
+        assert_eq!(shard_times, sorted_serial);
         net.merge(shards, &owner);
 
-        assert_eq!(shard_times, serial_times);
         assert_eq!(net.stats().get("packets"), serial.stats().get("packets"));
         assert_eq!(net.stats().get("payload_bytes"), serial.stats().get("payload_bytes"));
         // Follow-up traffic sees identical link occupancy.
-        let a = serial.send(pkt(0, 1, 64), SimTime::from_nanos(300));
-        let b = net.send(pkt(0, 1, 64), SimTime::from_nanos(300));
-        assert_eq!(a, b, "merged link state must match the serial fabric");
+        serial.send(pkt(0, 1, 64, 10), SimTime::from_nanos(300));
+        net.send(pkt(0, 1, 64, 10), SimTime::from_nanos(300));
+        let a = serial.shard_mut().commit_next(None).map(|(_, at, _)| at);
+        let b = net.shard_mut().commit_next(None).map(|(_, at, _)| at);
+        assert_eq!(a, b, "merged link state must match the one-shard fabric");
     }
 
     #[test]
     #[should_panic(expected = "packets in flight")]
     fn split_requires_quiet_fabric() {
         let mut net = Interconnect::new(2, LinkParams::default());
-        net.send(pkt(0, 1, 64), SimTime::ZERO);
+        net.send(pkt(0, 1, 64, 0), SimTime::ZERO);
         let _ = net.split(2);
     }
 

@@ -17,9 +17,11 @@
 //!
 //! let mut net = Interconnect::new(4, LinkParams::default());
 //! let p = Packet::new(NodeId::new(0), NodeId::new(3), PhysAddr::new(0x1000), vec![1, 2, 3]);
-//! let arrives = net.send(p, SimTime::ZERO);
-//! let (at, delivered) = net.deliver_due(arrives).expect("packet has arrived");
-//! assert_eq!(at, arrives);
+//! let link_ready = net.send(p, SimTime::ZERO);
+//! let (ready, arrives, delivered) =
+//!     net.shard_mut().commit_next(None).expect("one packet staged");
+//! assert_eq!(ready, link_ready);
+//! assert!(arrives > link_ready, "wire time follows routing");
 //! assert_eq!(delivered.payload, [1, 2, 3]);
 //! ```
 

@@ -1,0 +1,155 @@
+//! The delivery core: the **single** implementation of SHRIMP's receive
+//! path.
+//!
+//! The paper's fast path is one hardware story — proxy reference →
+//! packetize → wire → receive-side EISA DMA → status word — and this
+//! module is where the receive half of that story lives, exactly once.
+//! Both engine instantiations drain the same code:
+//!
+//! - the serial driver ([`Multicomputer::propagate`]) runs one
+//!   [`DeliveryCore`] over one machine-wide
+//!   [`FabricShard`](shrimp_net::FabricShard) with an unbounded horizon,
+//! - the parallel engine ([`Multicomputer::run`]) runs one core per shard
+//!   over that shard's fabric slice, bounded by the epoch horizon.
+//!
+//! A [`Lane`] is a node plus the receive-side state ([`RxState`]) that
+//! must live wherever deliveries to that node are applied; [`LaneMap`]
+//! abstracts how an engine finds the lane for a global node index
+//! (identity for the serial driver, round-robin for a shard).
+//!
+//! [`Multicomputer::propagate`]: crate::Multicomputer::propagate
+//! [`Multicomputer::run`]: crate::Multicomputer::run
+
+use shrimp_net::{FabricShard, Packet};
+use shrimp_sim::{FlightRecorder, SimTime, SpanRecord};
+
+use crate::ShrimpNode;
+
+/// Receive-side per-node state: it must be owned by whichever engine
+/// currently applies deliveries to the node, so it travels with the node
+/// inside a [`Lane`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RxState {
+    /// When the node's EISA bus frees up (receive-side DMA serializes on
+    /// it).
+    pub eisa_busy: SimTime,
+    /// When the last delivery to the node completed.
+    pub last_delivery: SimTime,
+}
+
+impl Default for RxState {
+    fn default() -> Self {
+        RxState { eisa_busy: SimTime::ZERO, last_delivery: SimTime::ZERO }
+    }
+}
+
+/// One node plus its receive-side state: the unit of ownership both
+/// engine instantiations shard (the serial driver owns every lane; a
+/// parallel shard owns every `threads`-th).
+#[derive(Debug)]
+pub(crate) struct Lane {
+    pub node: ShrimpNode,
+    pub rx: RxState,
+}
+
+impl Lane {
+    pub fn new(node: ShrimpNode) -> Self {
+        Lane { node, rx: RxState::default() }
+    }
+}
+
+/// How an engine finds the [`Lane`] for a global node index: identity for
+/// the serial driver (which owns all lanes), `global / threads` for a
+/// round-robin shard (which owns lanes `id, id + threads, …`).
+pub(crate) trait LaneMap {
+    fn lane_mut(&mut self, node: usize) -> &mut Lane;
+}
+
+impl LaneMap for [Lane] {
+    fn lane_mut(&mut self, node: usize) -> &mut Lane {
+        &mut self[node]
+    }
+}
+
+/// The receive-side delivery engine: EISA DMA apply, clock and
+/// `last_delivery` advance, passive-receiver wakeup, and `SpanRecord`
+/// stamping. There is exactly one of these per execution context (the
+/// whole machine when serial, one per shard when parallel) and exactly
+/// one implementation of its logic in the codebase.
+#[derive(Debug)]
+pub(crate) struct DeliveryCore {
+    /// Passive-receiver clock model: applying a delivery advances an idle
+    /// receiver's clock to the delivery completion.
+    pub passive: bool,
+    /// Packets dropped for naming physical addresses outside the
+    /// receiver's memory.
+    pub dropped: u64,
+    /// The transfer-level flight recorder this core stamps spans into.
+    pub recorder: FlightRecorder,
+}
+
+impl DeliveryCore {
+    pub fn new(passive: bool, recorder: FlightRecorder) -> Self {
+        DeliveryCore { passive, dropped: 0, recorder }
+    }
+
+    /// Commits every staged packet with `link_ready` at or before
+    /// `horizon` (`None` = drain everything), in the fabric's
+    /// deterministic `(link_ready, id)` order: **the** delivery drain
+    /// loop. One packet at a time, allocation-free.
+    pub fn commit_due<L: LaneMap + ?Sized>(
+        &mut self,
+        fabric: &mut FabricShard,
+        lanes: &mut L,
+        horizon: Option<SimTime>,
+    ) {
+        while let Some((link_ready, arrival, packet)) = fabric.commit_next(horizon) {
+            let dst = packet.dst.raw() as usize;
+            self.deliver(lanes.lane_mut(dst), link_ready, arrival, &packet);
+        }
+    }
+
+    /// Applies one packet to its destination lane: one receive-side EISA
+    /// DMA transaction (arbitration/setup plus the payload burst), the
+    /// deposit into physical memory, delivery bookkeeping, span stamping,
+    /// and the passive-receiver clock advance.
+    fn deliver(&mut self, lane: &mut Lane, link_ready: SimTime, arrival: SimTime, packet: &Packet) {
+        let start = arrival.max(lane.rx.eisa_busy);
+        let done = {
+            let cost = lane.node.os().machine().cost();
+            start + cost.dma_start + cost.bus_transfer(packet.payload.len() as u64)
+        };
+        lane.rx.eisa_busy = done;
+        let mem = lane.node.os_mut().machine_mut().mem_mut();
+        if mem.write(packet.dst_paddr, &packet.payload).is_err() {
+            self.dropped += 1;
+            return;
+        }
+        lane.rx.last_delivery = lane.rx.last_delivery.max(done);
+        if self.recorder.is_enabled() {
+            let m = packet.meta;
+            self.recorder.record(SpanRecord {
+                id: m.id,
+                src: packet.src.raw(),
+                dst: packet.dst.raw(),
+                bytes: packet.payload.len() as u32,
+                initiated_at: m.initiated_at,
+                queued_at: m.queued_at,
+                link_ready,
+                wire_done: arrival,
+                delivered_at: done,
+                status_at: m.status_observed.max(done),
+            });
+        }
+        // Passive receiver: an idle node's clock catches up to the
+        // delivery it was waiting for.
+        if self.passive {
+            lane.node.os_mut().machine_mut().advance_to(done);
+        }
+    }
+
+    /// Whether span recording is on.
+    pub fn tracing(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+}

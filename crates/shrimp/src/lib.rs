@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod api;
+mod engine;
 mod multicomputer;
 mod nic;
 mod nipt;

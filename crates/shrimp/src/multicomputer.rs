@@ -10,6 +10,7 @@ use shrimp_net::{Interconnect, LinkParams, NodeId};
 use shrimp_os::{NodeConfig, Pid, Trap, UdmaXferResult};
 use shrimp_sim::{FlightRecorder, SimTime, SpanRecord, Stage, StatSet};
 
+use crate::engine::{DeliveryCore, Lane};
 use crate::{Nic, Nipt, ShrimpNode};
 
 /// Configuration shared by every node of the multicomputer.
@@ -78,41 +79,45 @@ impl From<Trap> for ShrimpError {
 /// The receiver is modelled as passive: applying a delivery advances the
 /// receiving node's clock to the delivery completion if that node was idle
 /// earlier than it (a node busy past that instant is unaffected).
+///
+/// Delivery itself lives in one place — the crate-internal `DeliveryCore`
+/// (`engine.rs`) — which this serial driver runs over the whole machine
+/// and [`Multicomputer::run`] runs once per shard. The serial driver *is*
+/// the one-shard instantiation of the parallel engine.
 #[derive(Debug)]
 pub struct Multicomputer {
-    pub(crate) nodes: Vec<ShrimpNode>,
+    /// Every node with its receive-side state (`engine::Lane`).
+    pub(crate) lanes: Vec<Lane>,
     pub(crate) fabric: Interconnect,
-    pub(crate) eisa_busy: Vec<SimTime>,
-    pub(crate) last_delivery: Vec<SimTime>,
-    pub(crate) passive_receivers: bool,
-    pub(crate) dropped: u64,
+    /// The single receive-side delivery implementation, serial instance.
+    pub(crate) core: DeliveryCore,
     /// Persistent scratch for the inject loop: NICs drain into it so the
     /// steady state reuses one allocation instead of taking each queue.
     outbox: Vec<crate::OutgoingPacket>,
-    /// The transfer-level flight recorder (disabled by default; enable
-    /// with [`Multicomputer::set_tracing`]).
-    pub(crate) recorder: FlightRecorder,
 }
 
 impl Multicomputer {
     /// Builds an `n`-node machine.
     pub fn new(n: u16, config: MulticomputerConfig) -> Self {
         let header = config.node.machine.cost.packet_header;
-        let nodes = (0..n)
+        let lanes = (0..n)
             .map(|i| {
                 let id = NodeId::new(i);
-                ShrimpNode::new(id, config.node.clone(), Nic::new(id, config.nipt_entries, header))
+                Lane::new(ShrimpNode::new(
+                    id,
+                    config.node.clone(),
+                    Nic::new(id, config.nipt_entries, header),
+                ))
             })
             .collect();
         Multicomputer {
-            nodes,
+            lanes,
             fabric: Interconnect::new(n, config.link),
-            eisa_busy: vec![SimTime::ZERO; n as usize],
-            last_delivery: vec![SimTime::ZERO; n as usize],
-            passive_receivers: config.passive_receivers,
-            dropped: 0,
+            core: DeliveryCore::new(
+                config.passive_receivers,
+                FlightRecorder::new(Self::TRACE_SPANS),
+            ),
             outbox: Vec::new(),
-            recorder: FlightRecorder::new(Self::TRACE_SPANS),
         }
     }
 
@@ -127,21 +132,21 @@ impl Multicomputer {
     /// allocation-free afterwards. Tracing is pure observation — it never
     /// advances a clock, so `state_digest` is unchanged by it.
     pub fn set_tracing(&mut self, enabled: bool) {
-        self.recorder.set_enabled(enabled);
-        for node in &mut self.nodes {
-            node.os_mut().machine_mut().set_tracing(enabled);
+        self.core.recorder.set_enabled(enabled);
+        for lane in &mut self.lanes {
+            lane.node.os_mut().machine_mut().set_tracing(enabled);
         }
     }
 
     /// Whether transfer tracing is on.
     pub fn tracing(&self) -> bool {
-        self.recorder.is_enabled()
+        self.core.tracing()
     }
 
     /// The flight recorder (span inspection; see
     /// [`Multicomputer::export_trace`] for the Perfetto form).
     pub fn recorder(&self) -> &FlightRecorder {
-        &self.recorder
+        &self.core.recorder
     }
 
     /// A convenience config for benchmarks: default everything but the
@@ -158,7 +163,7 @@ impl Multicomputer {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.lanes.len()
     }
 
     /// Immutable node access.
@@ -167,7 +172,7 @@ impl Multicomputer {
     ///
     /// Panics for an out-of-range index.
     pub fn node(&self, i: usize) -> &ShrimpNode {
-        &self.nodes[i]
+        &self.lanes[i].node
     }
 
     /// Mutable node access.
@@ -176,7 +181,7 @@ impl Multicomputer {
     ///
     /// Panics for an out-of-range index.
     pub fn node_mut(&mut self, i: usize) -> &mut ShrimpNode {
-        &mut self.nodes[i]
+        &mut self.lanes[i].node
     }
 
     /// The interconnect (statistics inspection).
@@ -186,13 +191,13 @@ impl Multicomputer {
 
     /// When the last delivery to node `i` completed.
     pub fn last_delivery(&self, i: usize) -> SimTime {
-        self.last_delivery[i]
+        self.lanes[i].rx.last_delivery
     }
 
     /// Packets dropped for naming physical addresses outside the
     /// receiver's memory (a corrupted NIPT entry would do this).
     pub fn dropped_packets(&self) -> u64 {
-        self.dropped
+        self.core.dropped
     }
 
     /// FNV-1a digest of the machine's externally visible state: every
@@ -209,9 +214,10 @@ impl Multicomputer {
             h
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for (i, node) in self.nodes.iter().enumerate() {
+        for lane in &self.lanes {
+            let node = &lane.node;
             h = eat(h, &node.os().machine().now().as_nanos().to_le_bytes());
-            h = eat(h, &self.last_delivery[i].as_nanos().to_le_bytes());
+            h = eat(h, &lane.rx.last_delivery.as_nanos().to_le_bytes());
             let mem = node.os().machine().mem();
             let bytes = mem
                 .read(shrimp_mem::PhysAddr::new(0), mem.size())
@@ -229,7 +235,8 @@ impl Multicomputer {
     pub fn stats(&self) -> StatSet {
         let mut all = StatSet::new("multicomputer");
         all.merge(&self.fabric.stats());
-        for node in &self.nodes {
+        for lane in &self.lanes {
+            let node = &lane.node;
             let machine = node.os().machine();
             all.merge(&machine.stats());
             all.merge(&machine.udma().engine().stats());
@@ -247,13 +254,21 @@ impl Multicomputer {
     /// Load the output at <https://ui.perfetto.dev> or `chrome://tracing`.
     ///
     /// The output is a deterministic function of the recorded spans: the
-    /// same workload exports byte-identical JSON at any thread count.
+    /// same workload exports byte-identical JSON at any thread count —
+    /// **and** from either entry point. Spans are emitted sorted by their
+    /// merge key `(link_ready, id)`, the engine's packet commit order, so
+    /// the serial driver (which records per-`propagate`, source-major) and
+    /// the parallel engine (whose shard rings merge pre-sorted) produce
+    /// the same bytes. Export is off the hot path; the sort may allocate.
     pub fn export_trace(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::with_capacity(512 + self.recorder.len() * 5 * 160);
+        let recorder = &self.core.recorder;
+        let mut spans: Vec<&SpanRecord> = recorder.iter().collect();
+        spans.sort_unstable_by_key(|s| s.merge_key());
+        let mut out = String::with_capacity(512 + spans.len() * 5 * 160);
         out.push_str("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
         let mut first = true;
-        for i in 0..self.nodes.len() {
+        for i in 0..self.lanes.len() {
             if !std::mem::take(&mut first) {
                 out.push(',');
             }
@@ -263,7 +278,7 @@ impl Multicomputer {
                  \"args\":{{\"name\":\"node{i}\"}}}}"
             );
         }
-        for span in self.recorder.iter() {
+        for span in spans {
             for stage in Stage::ALL {
                 let (start, end) = span.stage_bounds(stage);
                 if !std::mem::take(&mut first) {
@@ -288,11 +303,11 @@ impl Multicomputer {
         let _ = write!(
             out,
             "  \"stats\": {{\"spans\":{},\"dropped\":{},\"stages\":{{",
-            self.recorder.total_recorded(),
-            self.recorder.dropped(),
+            recorder.total_recorded(),
+            recorder.dropped(),
         );
         for (i, stage) in Stage::ALL.into_iter().enumerate() {
-            let h = self.recorder.stage_histogram(stage);
+            let h = recorder.stage_histogram(stage);
             let _ = write!(
                 out,
                 "{}\n    \"{}\":{{\"count\":{},\"mean_ns\":{:.1},\"min_ns\":{},\"max_ns\":{}}}",
@@ -314,7 +329,7 @@ impl Multicomputer {
     ///
     /// Panics for an out-of-range node.
     pub fn spawn_process(&mut self, i: usize) -> Pid {
-        self.nodes[i].os_mut().spawn()
+        self.lanes[i].node.os_mut().spawn()
     }
 
     /// Maps `pages` writable pages at `va_base` for `pid` on node `i`.
@@ -330,7 +345,7 @@ impl Multicomputer {
         pages: u64,
     ) -> Result<(), ShrimpError> {
         self.check_node(i)?;
-        self.nodes[i].os_mut().mmap(pid, va_base, pages, true)?;
+        self.lanes[i].node.os_mut().mmap(pid, va_base, pages, true)?;
         Ok(())
     }
 
@@ -347,7 +362,7 @@ impl Multicomputer {
         data: &[u8],
     ) -> Result<(), ShrimpError> {
         self.check_node(i)?;
-        self.nodes[i].os_mut().write_user(pid, va, data)?;
+        self.lanes[i].node.os_mut().write_user(pid, va, data)?;
         Ok(())
     }
 
@@ -364,7 +379,7 @@ impl Multicomputer {
         len: u64,
     ) -> Result<Vec<u8>, ShrimpError> {
         self.check_node(i)?;
-        Ok(self.nodes[i].os_mut().read_user(pid, va, len)?)
+        Ok(self.lanes[i].node.os_mut().read_user(pid, va, len)?)
     }
 
     /// Establishes a deliberate-update mapping: wires `pages` pages of the
@@ -386,9 +401,9 @@ impl Multicomputer {
     ) -> Result<u64, ShrimpError> {
         self.check_node(recv_node)?;
         self.check_node(send_node)?;
-        let frames = self.nodes[recv_node].export_pages(recv_pid, recv_va, pages)?;
-        let dst = self.nodes[recv_node].id();
-        let dev_page = self.nodes[send_node].import_mapping(send_pid, dst, &frames, 0)?;
+        let frames = self.lanes[recv_node].node.export_pages(recv_pid, recv_va, pages)?;
+        let dst = self.lanes[recv_node].node.id();
+        let dev_page = self.lanes[send_node].node.import_mapping(send_pid, dst, &frames, 0)?;
         Ok(dev_page)
     }
 
@@ -418,10 +433,11 @@ impl Multicomputer {
     ) -> Result<(), ShrimpError> {
         self.check_node(send_node)?;
         self.check_node(recv_node)?;
-        let dst_frames = self.nodes[recv_node].export_pages(recv_pid, recv_va, pages)?;
-        let src_frames = self.nodes[send_node].os_mut().wire_pages(send_pid, send_va, pages)?;
-        let dst_id = self.nodes[recv_node].id();
-        let nic = self.nodes[send_node].os_mut().machine_mut().device_mut();
+        let dst_frames = self.lanes[recv_node].node.export_pages(recv_pid, recv_va, pages)?;
+        let src_frames =
+            self.lanes[send_node].node.os_mut().wire_pages(send_pid, send_va, pages)?;
+        let dst_id = self.lanes[recv_node].node.id();
+        let nic = self.lanes[send_node].node.os_mut().machine_mut().device_mut();
         for (src, dst) in src_frames.into_iter().zip(dst_frames) {
             nic.bind_auto_update(src, crate::NiptEntry { node: dst_id, pfn: dst });
         }
@@ -443,17 +459,23 @@ impl Multicomputer {
         self.check_node(send_node)?;
         for i in 0..pages {
             let va = send_va + i * PAGE_SIZE;
-            let pfn = self.nodes[send_node]
+            let pfn = self.lanes[send_node]
+                .node
                 .os()
                 .process(send_pid)?
                 .vpages
                 .get(&va.page())
                 .and_then(|v| v.pfn());
             if let Some(pfn) = pfn {
-                self.nodes[send_node].os_mut().machine_mut().device_mut().unbind_auto_update(pfn);
+                self.lanes[send_node]
+                    .node
+                    .os_mut()
+                    .machine_mut()
+                    .device_mut()
+                    .unbind_auto_update(pfn);
             }
         }
-        self.nodes[send_node].os_mut().unwire_pages(send_pid, send_va, pages);
+        self.lanes[send_node].node.os_mut().unwire_pages(send_pid, send_va, pages);
         Ok(())
     }
 
@@ -472,7 +494,7 @@ impl Multicomputer {
         value: i64,
     ) -> Result<(), ShrimpError> {
         self.check_node(i)?;
-        self.nodes[i].os_mut().user_store(pid, va, value)?;
+        self.lanes[i].node.os_mut().user_store(pid, va, value)?;
         self.propagate();
         Ok(())
     }
@@ -494,7 +516,8 @@ impl Multicomputer {
         nbytes: u64,
     ) -> Result<UdmaXferResult, ShrimpError> {
         self.check_node(i)?;
-        let result = self.nodes[i].os_mut().udma_send(pid, src_va, dev_page, dev_off, nbytes)?;
+        let result =
+            self.lanes[i].node.os_mut().udma_send(pid, src_va, dev_page, dev_off, nbytes)?;
         self.propagate();
         Ok(result)
     }
@@ -519,7 +542,7 @@ impl Multicomputer {
         assert!(data.len() as u64 + dev_off <= PAGE_SIZE, "PIO send must fit one page");
         self.ensure_mmio_mapped(i, pid)?;
         let base = shrimp_mem::MMIO_BASE;
-        let os = self.nodes[i].os_mut();
+        let os = self.lanes[i].node.os_mut();
         os.user_store(pid, VirtAddr::new(base + crate::NIC_MMIO::DEST_PAGE), dev_page as i64)?;
         os.user_store(pid, VirtAddr::new(base + crate::NIC_MMIO::DEST_OFFSET), dev_off as i64)?;
         for chunk in data.chunks(8) {
@@ -543,7 +566,7 @@ impl Multicomputer {
     /// Maps the NIC's MMIO window into `pid` (idempotent).
     fn ensure_mmio_mapped(&mut self, i: usize, pid: Pid) -> Result<(), ShrimpError> {
         use shrimp_mmu::{Pte, PteFlags};
-        let os = self.nodes[i].os_mut();
+        let os = self.lanes[i].node.os_mut();
         let vpn = VirtAddr::new(shrimp_mem::MMIO_BASE).page();
         let needs_map = os.process(pid)?.pt.get(vpn).is_none();
         if needs_map {
@@ -561,68 +584,21 @@ impl Multicomputer {
     /// Injects every NIC's built packets into the fabric and applies all
     /// deliveries: receive-side EISA DMA into physical memory.
     pub fn propagate(&mut self) {
-        let tracing = self.recorder.is_enabled();
+        let tracing = self.core.tracing();
         // Inject, draining every NIC into the persistent scratch queue.
         let mut outbox = std::mem::take(&mut self.outbox);
-        for node in &mut self.nodes {
-            let drained_from = outbox.len();
-            node.os_mut().machine_mut().device_mut().drain_outgoing_into(&mut outbox);
-            if tracing {
-                // The sender's clock is already past the completion-status
-                // LOAD for everything it queued: stamp when the status
-                // became observable.
-                let observed = node.os().machine().now();
-                for out in &mut outbox[drained_from..] {
-                    out.packet.meta.status_observed = observed;
-                }
-            }
+        for lane in &mut self.lanes {
+            lane.node.drain_nic(tracing, &mut outbox);
         }
         for out in outbox.drain(..) {
             self.fabric.send(out.packet, out.ready_at);
         }
         self.outbox = outbox;
         // Deliver everything currently in flight (new sends only happen
-        // from CPU activity, which happens between propagate calls), one
-        // packet at a time so no arrival list is ever materialized.
-        while let Some(t) = self.fabric.next_arrival() {
-            while let Some((arrival, packet)) = self.fabric.deliver_due(t) {
-                let dst = packet.dst.raw() as usize;
-                let start = arrival.max(self.eisa_busy[dst]);
-                // Each incoming packet is one receive-side EISA DMA
-                // transaction: arbitration/setup plus the payload burst.
-                let done = {
-                    let cost = self.nodes[dst].os().machine().cost();
-                    start + cost.dma_start + cost.bus_transfer(packet.payload.len() as u64)
-                };
-                self.eisa_busy[dst] = done;
-                let mem = self.nodes[dst].os_mut().machine_mut().mem_mut();
-                if mem.write(packet.dst_paddr, &packet.payload).is_err() {
-                    self.dropped += 1;
-                    continue;
-                }
-                self.last_delivery[dst] = self.last_delivery[dst].max(done);
-                if tracing {
-                    let m = packet.meta;
-                    self.recorder.record(SpanRecord {
-                        id: m.id,
-                        src: packet.src.raw(),
-                        dst: packet.dst.raw(),
-                        bytes: packet.payload.len() as u32,
-                        initiated_at: m.initiated_at,
-                        queued_at: m.queued_at,
-                        link_ready: m.link_ready,
-                        wire_done: arrival,
-                        delivered_at: done,
-                        status_at: m.status_observed.max(done),
-                    });
-                }
-                // Passive receiver: an idle node's clock catches up to the
-                // delivery it was waiting for.
-                if self.passive_receivers {
-                    self.nodes[dst].os_mut().machine_mut().advance_to(done);
-                }
-            }
-        }
+        // from CPU activity, which happens between propagate calls). The
+        // drain itself is the shared `DeliveryCore`, run with an unbounded
+        // horizon: the serial driver is the one-shard instantiation.
+        self.core.commit_due(self.fabric.shard_mut(), self.lanes.as_mut_slice(), None);
     }
 
     /// Advances every node's clock to the global maximum (a barrier) and
@@ -630,10 +606,14 @@ impl Multicomputer {
     /// before timing multi-node phases so flows start together.
     pub fn barrier_sync(&mut self) -> SimTime {
         self.run_until_quiet();
-        let horizon =
-            self.nodes.iter().map(|n| n.os().machine().now()).max().expect("at least one node");
-        for node in &mut self.nodes {
-            node.os_mut().machine_mut().advance_to(horizon);
+        let horizon = self
+            .lanes
+            .iter()
+            .map(|l| l.node.os().machine().now())
+            .max()
+            .expect("at least one node");
+        for lane in &mut self.lanes {
+            lane.node.os_mut().machine_mut().advance_to(horizon);
         }
         horizon
     }
@@ -644,9 +624,9 @@ impl Multicomputer {
             self.propagate();
             let pending = self.fabric.in_flight_count()
                 + self
-                    .nodes
+                    .lanes
                     .iter()
-                    .map(|n| n.os().machine().device().outgoing_len())
+                    .map(|l| l.node.os().machine().device().outgoing_len())
                     .sum::<usize>();
             if pending == 0 {
                 return;
@@ -655,7 +635,7 @@ impl Multicomputer {
     }
 
     pub(crate) fn check_node(&self, i: usize) -> Result<(), ShrimpError> {
-        if i < self.nodes.len() {
+        if i < self.lanes.len() {
             Ok(())
         } else {
             Err(ShrimpError::NoSuchNode(i))

@@ -126,9 +126,10 @@ impl Nic {
         self.auto_bindings.len()
     }
 
-    /// Mints the flight-recorder correlation block for the next outgoing
-    /// packet: a fresh per-NIC transfer ID, the initiating instant, and
-    /// the packetize-complete (queued) instant.
+    /// Mints the correlation block for the next outgoing packet: a fresh
+    /// per-NIC transfer ID (monotone per source, so it doubles as the
+    /// delivery engine's merge tag — see `engine.rs`), the initiating
+    /// instant, and the packetize-complete (queued) instant.
     fn stamp(&mut self, initiated_at: SimTime, queued_at: SimTime) -> XferMeta {
         let id = XferId::new(self.node.raw(), self.next_xfer);
         self.next_xfer += 1;

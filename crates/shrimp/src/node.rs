@@ -35,6 +35,24 @@ impl ShrimpNode {
         &mut self.os
     }
 
+    /// Drains this node's NIC into `outbox` (keeping the NIC queue's
+    /// capacity) and, when `tracing`, stamps each drained packet with the
+    /// instant the sender's completion status became observable — the
+    /// node's clock, already past the status LOAD for everything queued.
+    ///
+    /// This is the single send-side drain both engine instantiations use;
+    /// the receive side is `DeliveryCore` (see `engine.rs`).
+    pub(crate) fn drain_nic(&mut self, tracing: bool, outbox: &mut Vec<crate::OutgoingPacket>) {
+        let drained_from = outbox.len();
+        self.os.machine_mut().device_mut().drain_outgoing_into(outbox);
+        if tracing {
+            let observed = self.os.machine().now();
+            for out in &mut outbox[drained_from..] {
+                out.packet.meta.status_observed = observed;
+            }
+        }
+    }
+
     /// Export: wires down `pages` pages of `pid`'s buffer at `va` so
     /// incoming deliberate updates can land in them, returning the physical
     /// frames a remote NIPT entry should name.

@@ -1,48 +1,52 @@
 //! Conservative parallel execution of deliberate-update workloads.
 //!
-//! [`Multicomputer::run_parallel`] runs a *plan* — per-node lists of UDMA
-//! sends — with every node sharded across worker threads, advancing in
-//! bounded **epochs** synchronized by the fabric's lookahead (one router
-//! hop): a node paused at simulated instant `t` cannot make any packet
-//! reach a destination's inbound link at or before `t`, so all traffic
-//! at or before the minimum paused clock is safe to commit.
+//! [`Multicomputer::run`] runs a *plan* — per-node lists of UDMA sends —
+//! with every node sharded across worker threads, advancing in bounded
+//! **epochs** synchronized by the fabric's lookahead (one router hop): a
+//! node paused at simulated instant `t` cannot make any packet reach a
+//! destination's inbound link at or before `t`, so all traffic at or
+//! before the minimum paused clock is safe to commit.
+//!
+//! There is no separate parallel delivery implementation: each shard owns
+//! a [`FabricShard`] (the staged-packet source) and a `DeliveryCore` (the
+//! receive-side EISA DMA apply), the same two pieces the serial
+//! [`Multicomputer::propagate`] drives for the whole machine. The serial
+//! driver is literally the `threads = 1` instantiation of this engine
+//! minus the epoch machinery: one shard, unbounded horizon, no barriers.
 //!
 //! Each epoch has two barrier-separated phases:
 //!
 //! 1. **Execute** — every shard runs each of its unfinished nodes for up
 //!    to [`CHUNK`] sends. Outgoing packets are injected into the shard's
 //!    [`FabricShard`] (routing latency only) and posted to the receiving
-//!    shard's mailbox keyed `(link_ready, source ‖ sequence)`. The shard
-//!    then publishes a bound: the minimum clock of its unfinished nodes.
+//!    shard's mailbox keyed `(link_ready, transfer id)`. The shard then
+//!    publishes a bound: the minimum clock of its unfinished nodes.
 //! 2. **Commit** — after the barrier, every shard reads the global
-//!    horizon (minimum published bound), drains its mailboxes into a
-//!    [`MergeQueue`], and applies every packet at or before the horizon
-//!    in `(link_ready, source ‖ sequence)` order: inbound-link
-//!    serialization, receive-side EISA DMA, the write into physical
-//!    memory. A second barrier keeps next-epoch bound publications from
-//!    racing this epoch's horizon reads.
+//!    horizon (minimum published bound), drains its mailboxes into its
+//!    fabric's staged queue, and lets its `DeliveryCore` commit every
+//!    packet at or before the horizon in `(link_ready, transfer id)`
+//!    order: inbound-link serialization, receive-side EISA DMA, the
+//!    write into physical memory. A second barrier keeps next-epoch
+//!    bound publications from racing this epoch's horizon reads.
 //!
 //! **Determinism.** The horizon is the minimum over *all* unfinished
 //! node clocks — independent of how nodes are assigned to shards — and
 //! per-epoch node progress is a fixed chunk, so the sequence of horizons
 //! is a pure function of the plan. Each destination's packets are
-//! committed in `(link_ready, tag)` order with per-destination receive
+//! committed in `(link_ready, id)` order with per-destination receive
 //! state, so the simulated timeline and receiver memory are
 //! **bit-identical at any thread count**, including `threads = 1`.
-//! Equivalence with the *serial* [`Multicomputer::send`] driver
-//! additionally requires that per-destination injection order matches
-//! `(link_ready, tag)` order — true for feed-forward streams with one
-//! sender per destination (see `DESIGN.md` §6b).
+//! Equivalence with the *serial* [`Multicomputer::send`] driver holds
+//! because both now stage and commit through the same code with the same
+//! `(link_ready, id)` key (see `DESIGN.md` §6b).
 
 use shrimp_mem::VirtAddr;
 use shrimp_net::{FabricShard, Packet};
 use shrimp_os::Pid;
-use shrimp_sim::{
-    merge_tag, ExchangeGrid, FlightRecorder, MergeQueue, SimTime, SpanRecord, SpinBarrier,
-    TimeFrontier,
-};
+use shrimp_sim::{ExchangeGrid, FlightRecorder, SimTime, SpinBarrier, TimeFrontier};
 
-use crate::{Multicomputer, ShrimpError, ShrimpNode};
+use crate::engine::{DeliveryCore, Lane, LaneMap};
+use crate::{Multicomputer, ShrimpError};
 
 /// Sends a node executes per epoch. Fixed (never derived from the thread
 /// count or the host) so epoch boundaries are identical at any
@@ -92,21 +96,18 @@ pub struct ParallelReport {
 
 /// A cross-shard packet: `(link_ready, merge tag, packet)`. `link_ready`
 /// is the instant the packet reaches its destination's inbound link,
-/// before serialization; the tag is `source node ‖ per-source sequence`.
+/// before serialization; the tag is the packet's own transfer id
+/// (`source node ‖ per-source sequence`, minted by the sending NIC).
 type Flit = (SimTime, u64, Packet);
 
-/// A node owned by a shard, with the receive-side state that must live
-/// wherever deliveries to it are applied.
+/// A node owned by a shard: its [`Lane`] (node + receive-side state)
+/// plus this run's send plan.
 struct ShardNode {
     /// Global node index.
     index: usize,
-    node: ShrimpNode,
+    lane: Lane,
     ops: Vec<SendOp>,
     next: usize,
-    /// Per-source packet sequence (second half of the merge tag).
-    seq: u64,
-    eisa_busy: SimTime,
-    last_delivery: SimTime,
 }
 
 impl ShardNode {
@@ -115,15 +116,33 @@ impl ShardNode {
     }
 }
 
-/// One worker's slice of the machine: its nodes, its copy of the fabric,
-/// and the deterministic merge queue for traffic addressed to it.
+/// How a round-robin shard finds the [`Lane`] for a global node index:
+/// shard `id` owns nodes `id, id + threads, …` at local slots
+/// `global / threads`.
+struct RoundRobin<'a> {
+    nodes: &'a mut [ShardNode],
+    threads: usize,
+    id: usize,
+}
+
+impl LaneMap for RoundRobin<'_> {
+    fn lane_mut(&mut self, node: usize) -> &mut Lane {
+        debug_assert_eq!(node % self.threads, self.id, "packet routed to the wrong shard");
+        &mut self.nodes[node / self.threads].lane
+    }
+}
+
+/// One worker's slice of the machine: its nodes, its slice of the fabric
+/// (with the deterministic staged queue for traffic addressed to it), and
+/// its instance of the shared delivery core.
 struct Shard {
     id: usize,
     threads: usize,
-    passive: bool,
     nodes: Vec<ShardNode>,
     fabric: FabricShard,
-    queue: MergeQueue<Packet>,
+    /// The receive-side delivery implementation — the same code the
+    /// serial driver runs, bounded here by the epoch horizon.
+    core: DeliveryCore,
     /// Scratch: NIC drain target, reused across ops.
     outbox: Vec<crate::OutgoingPacket>,
     /// Staged outgoing flits, one batch per destination shard, posted
@@ -131,16 +150,12 @@ struct Shard {
     staging: Vec<Vec<Flit>>,
     /// Scratch: mailbox drain target.
     incoming: Vec<Flit>,
-    dropped: u64,
     epochs: u64,
     messages: u64,
     packets: u64,
     /// Trapped nodes: `(global index, error)`. A trap finishes that
     /// node's plan; the run keeps going and reports the error at the end.
     errors: Vec<(usize, ShrimpError)>,
-    /// Per-shard flight recorder; merged deterministically into the
-    /// multicomputer's recorder at reassembly.
-    recorder: FlightRecorder,
 }
 
 impl Shard {
@@ -158,7 +173,7 @@ impl Shard {
                 .nodes
                 .iter()
                 .filter(|n| !n.exhausted())
-                .map(|n| n.node.os().machine().now())
+                .map(|n| n.lane.node.os().machine().now())
                 .min();
             frontier.publish(self.id, bound);
             barrier.wait();
@@ -168,17 +183,22 @@ impl Shard {
             let horizon = frontier.horizon();
             grid.drain_to(self.id, &mut self.incoming);
             for (at, tag, pkt) in self.incoming.drain(..) {
-                self.queue.push(at, tag, pkt);
+                self.fabric.stage(at, tag, pkt);
             }
-            while let Some((link_ready, pkt)) = self.queue.pop_within(horizon) {
-                self.commit(link_ready, pkt);
-            }
+            self.core.commit_due(
+                &mut self.fabric,
+                &mut RoundRobin { nodes: &mut self.nodes, threads: self.threads, id: self.id },
+                horizon,
+            );
             barrier.wait();
 
             // A `None` horizon means every shard was exhausted when it
             // published, so this commit drained everything in flight.
             if horizon.is_none() {
-                debug_assert!(self.queue.is_empty(), "final commit must drain the queue");
+                debug_assert!(
+                    self.fabric.staged_len() == 0,
+                    "final commit must drain the staged queue"
+                );
                 return;
             }
         }
@@ -186,91 +206,49 @@ impl Shard {
 
     /// Runs up to [`CHUNK`] sends of node `ni`, staging its packets.
     fn execute_chunk(&mut self, ni: usize) {
+        let tracing = self.core.tracing();
         let sn = &mut self.nodes[ni];
         let end = (sn.next + CHUNK).min(sn.ops.len());
         while sn.next < end {
             let op = sn.ops[sn.next];
             sn.next += 1;
-            if let Err(trap) =
-                sn.node.os_mut().udma_send(op.pid, op.src_va, op.dev_page, op.dev_off, op.nbytes)
-            {
+            if let Err(trap) = sn.lane.node.os_mut().udma_send(
+                op.pid,
+                op.src_va,
+                op.dev_page,
+                op.dev_off,
+                op.nbytes,
+            ) {
                 self.errors.push((sn.index, trap.into()));
                 sn.next = sn.ops.len();
                 break;
             }
             self.messages += 1;
-            sn.node.os_mut().machine_mut().device_mut().drain_outgoing_into(&mut self.outbox);
-            if self.recorder.is_enabled() {
-                // Same stamp the serial driver applies in `propagate`: the
-                // sender's clock is past the completion-status LOAD for
-                // everything it just queued.
-                let observed = sn.node.os().machine().now();
-                for out in &mut self.outbox {
-                    out.packet.meta.status_observed = observed;
-                }
-            }
+            sn.lane.node.drain_nic(tracing, &mut self.outbox);
             for out in self.outbox.drain(..) {
                 let mut pkt = out.packet;
                 let link_ready = self.fabric.inject(&mut pkt, out.ready_at);
-                let tag = merge_tag(sn.index as u16, sn.seq);
-                sn.seq += 1;
+                let tag = pkt.meta.id.raw();
                 self.packets += 1;
                 let dst_shard = pkt.dst.raw() as usize % self.threads;
                 self.staging[dst_shard].push((link_ready, tag, pkt));
             }
         }
     }
-
-    /// Applies one packet: link serialization, receive-side EISA DMA,
-    /// memory deposit — the same arithmetic as the serial
-    /// [`Multicomputer::propagate`] receive loop.
-    fn commit(&mut self, link_ready: SimTime, pkt: Packet) {
-        let arrival = self.fabric.admit(&pkt, link_ready);
-        let dst = pkt.dst.raw() as usize;
-        debug_assert_eq!(dst % self.threads, self.id, "packet routed to the wrong shard");
-        let local = &mut self.nodes[dst / self.threads];
-        let start = arrival.max(local.eisa_busy);
-        let done = {
-            let cost = local.node.os().machine().cost();
-            start + cost.dma_start + cost.bus_transfer(pkt.payload.len() as u64)
-        };
-        local.eisa_busy = done;
-        let mem = local.node.os_mut().machine_mut().mem_mut();
-        if mem.write(pkt.dst_paddr, &pkt.payload).is_err() {
-            self.dropped += 1;
-            return;
-        }
-        local.last_delivery = local.last_delivery.max(done);
-        if self.recorder.is_enabled() {
-            let m = pkt.meta;
-            self.recorder.record(SpanRecord {
-                id: m.id,
-                src: pkt.src.raw(),
-                dst: pkt.dst.raw(),
-                bytes: pkt.payload.len() as u32,
-                initiated_at: m.initiated_at,
-                queued_at: m.queued_at,
-                link_ready,
-                wire_done: arrival,
-                delivered_at: done,
-                status_at: m.status_observed.max(done),
-            });
-        }
-        if self.passive {
-            local.node.os_mut().machine_mut().advance_to(done);
-        }
-    }
 }
 
 impl Multicomputer {
     /// Runs `plans` to completion across `threads` worker threads using
-    /// conservative epoch synchronization. The simulated timeline,
-    /// receiver memory, per-node clocks and fabric statistics are
-    /// identical at any thread count (the count is clamped to
-    /// `[1, node_count]`).
+    /// conservative epoch synchronization. With `threads = 1` the single
+    /// shard runs inline (no thread is spawned) and the run is the serial
+    /// driver under another name: same fabric, same delivery core, same
+    /// timeline. The simulated timeline, receiver memory, per-node clocks
+    /// and fabric statistics are identical at any thread count (the count
+    /// is clamped to `[1, node_count]`).
     ///
     /// Quiesces in-flight traffic first; plans for the same node
-    /// concatenate in argument order.
+    /// concatenate in argument order. Empty `plans` are exactly the
+    /// serial no-op: one epoch, no messages, state untouched.
     ///
     /// # Errors
     ///
@@ -278,12 +256,12 @@ impl Multicomputer {
     /// that node's plan early; the rest of the machine runs to
     /// completion, state is reassembled, and the trap of the
     /// lowest-indexed trapped node is returned.
-    pub fn run_parallel(
+    pub fn run(
         &mut self,
         plans: &[NodePlan],
         threads: usize,
     ) -> Result<ParallelReport, ShrimpError> {
-        let n = self.nodes.len();
+        let n = self.lanes.len();
         let mut ops: Vec<Vec<SendOp>> = vec![Vec::new(); n];
         for plan in plans {
             self.check_node(plan.node)?;
@@ -292,9 +270,10 @@ impl Multicomputer {
         self.run_until_quiet();
         let threads = threads.clamp(1, n);
 
-        // Disassemble: nodes and their receive-side state move to their
+        // Disassemble: lanes (nodes + receive-side state) move to their
         // shards (round-robin: shard `s` owns nodes `s, s+threads, …`),
-        // the fabric splits into per-shard link state.
+        // the fabric splits into per-shard link state, and each shard
+        // gets its own instance of the delivery core.
         let mut shards: Vec<Shard> = self
             .fabric
             .split(threads)
@@ -303,45 +282,44 @@ impl Multicomputer {
             .map(|(id, fabric)| Shard {
                 id,
                 threads,
-                passive: self.passive_receivers,
                 nodes: Vec::new(),
                 fabric,
-                queue: MergeQueue::new(),
-                outbox: Vec::new(),
-                staging: (0..threads).map(|_| Vec::new()).collect(),
-                incoming: Vec::new(),
-                dropped: 0,
-                epochs: 0,
-                messages: 0,
-                packets: 0,
-                errors: Vec::new(),
-                recorder: {
+                core: DeliveryCore::new(self.core.passive, {
                     // Full global capacity per shard: each shard's retained
                     // tail is then a superset of its contribution to the
                     // merged newest-capacity window, so the merge result is
                     // independent of the sharding.
-                    let mut r = FlightRecorder::new(self.recorder.capacity());
-                    r.set_enabled(self.recorder.is_enabled());
+                    let mut r = FlightRecorder::new(self.core.recorder.capacity());
+                    r.set_enabled(self.core.recorder.is_enabled());
                     r
-                },
+                }),
+                outbox: Vec::new(),
+                staging: (0..threads).map(|_| Vec::new()).collect(),
+                incoming: Vec::new(),
+                epochs: 0,
+                messages: 0,
+                packets: 0,
+                errors: Vec::new(),
             })
             .collect();
-        for (index, node) in std::mem::take(&mut self.nodes).into_iter().enumerate() {
+        for (index, lane) in std::mem::take(&mut self.lanes).into_iter().enumerate() {
             shards[index % threads].nodes.push(ShardNode {
                 index,
-                node,
+                lane,
                 ops: std::mem::take(&mut ops[index]),
                 next: 0,
-                seq: 0,
-                eisa_busy: self.eisa_busy[index],
-                last_delivery: self.last_delivery[index],
             });
         }
 
         let barrier = SpinBarrier::new(threads);
         let frontier = TimeFrontier::new(threads);
         let grid: ExchangeGrid<Flit> = ExchangeGrid::new(threads);
-        {
+        if threads == 1 {
+            // The degenerate serial case: run the one shard inline — the
+            // barriers and frontier are trivially uncontended and no
+            // thread is spawned.
+            shards[0].run(&barrier, &frontier, &grid);
+        } else {
             let (barrier, frontier, grid) = (&barrier, &frontier, &grid);
             let (first, rest) = shards.split_at_mut(1);
             std::thread::scope(|s| {
@@ -359,39 +337,47 @@ impl Multicomputer {
 
         // Reassemble.
         let mut report = ParallelReport::default();
-        let mut slots: Vec<Option<ShrimpNode>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<Lane>> = (0..n).map(|_| None).collect();
         let mut fabric_shards = Vec::with_capacity(threads);
         let mut recorders = Vec::with_capacity(threads);
         let mut first_error: Option<(usize, ShrimpError)> = None;
         for shard in shards {
-            recorders.push(shard.recorder);
+            recorders.push(shard.core.recorder);
             report.epochs = report.epochs.max(shard.epochs);
             report.messages += shard.messages;
             report.packets += shard.packets;
-            self.dropped += shard.dropped;
+            self.core.dropped += shard.core.dropped;
             for (index, error) in shard.errors {
                 if first_error.is_none_or(|(lowest, _)| index < lowest) {
                     first_error = Some((index, error));
                 }
             }
             for sn in shard.nodes {
-                self.eisa_busy[sn.index] = sn.eisa_busy;
-                self.last_delivery[sn.index] = sn.last_delivery;
-                slots[sn.index] = Some(sn.node);
+                slots[sn.index] = Some(sn.lane);
             }
             fabric_shards.push(shard.fabric);
         }
-        self.nodes = slots.into_iter().map(|s| s.expect("every node comes back")).collect();
+        self.lanes = slots.into_iter().map(|s| s.expect("every node comes back")).collect();
         let owner: Vec<usize> = (0..n).map(|i| i % threads).collect();
         self.fabric.merge(fabric_shards, &owner);
         // Deterministic trace merge: spans re-sort into the same
-        // `(link_ready, src‖seq)` order the commit loops applied them in,
-        // so the merged recorder is bit-identical at any thread count.
-        self.recorder.absorb(recorders);
+        // `(link_ready, id)` order the commit loops applied them in, so
+        // the merged recorder is bit-identical at any thread count.
+        self.core.recorder.absorb(recorders);
         match first_error {
             Some((_, error)) => Err(error),
             None => Ok(report),
         }
+    }
+
+    /// The original name of [`Multicomputer::run`], kept for callers
+    /// written against the earlier two-engine naming. Identical behavior.
+    pub fn run_parallel(
+        &mut self,
+        plans: &[NodePlan],
+        threads: usize,
+    ) -> Result<ParallelReport, ShrimpError> {
+        self.run(plans, threads)
     }
 }
 
@@ -451,7 +437,7 @@ mod tests {
         let mut prints = Vec::new();
         for threads in [1usize, 2, 3, 4] {
             let (mut mc, plans) = paired_stream(8, 40, 1024);
-            let report = mc.run_parallel(&plans, threads).unwrap();
+            let report = mc.run(&plans, threads).unwrap();
             assert_eq!(report.messages, 4 * 40);
             prints.push((fingerprint(&mc), report));
         }
@@ -474,7 +460,7 @@ mod tests {
             }
         }
         serial.run_until_quiet();
-        par.run_parallel(&plans, 2).unwrap();
+        par.run(&plans, 2).unwrap();
         assert_eq!(fingerprint(&par), fingerprint(&serial));
         // Receiver memory matches too.
         for r in [1usize, 3] {
@@ -488,7 +474,7 @@ mod tests {
     #[test]
     fn delivered_data_is_correct() {
         let (mut mc, plans) = paired_stream(2, 5, 2048);
-        mc.run_parallel(&plans, 2).unwrap();
+        mc.run(&plans, 2).unwrap();
         let pid = Pid::new(1);
         let got = mc.read_user(1, pid, VirtAddr::new(0x40_0000), 2048).unwrap();
         let want: Vec<u8> = (0..2048u64).map(|i| i as u8).collect();
@@ -499,7 +485,7 @@ mod tests {
     #[test]
     fn bad_node_index_is_rejected() {
         let (mut mc, _) = paired_stream(2, 1, 64);
-        let err = mc.run_parallel(&[NodePlan { node: 9, ops: Vec::new() }], 1).unwrap_err();
+        let err = mc.run(&[NodePlan { node: 9, ops: Vec::new() }], 1).unwrap_err();
         assert_eq!(err, ShrimpError::NoSuchNode(9));
     }
 
@@ -508,7 +494,7 @@ mod tests {
         let (mut mc, mut plans) = paired_stream(2, 3, 64);
         // Unmapped source address: the kernel traps on the second op.
         plans[0].ops[1].src_va = VirtAddr::new(0xdead_0000);
-        let err = mc.run_parallel(&plans, 2).unwrap_err();
+        let err = mc.run(&plans, 2).unwrap_err();
         assert!(matches!(err, ShrimpError::Trap(Trap::SegFault { .. })), "got {err:?}");
         // Ops before the trap still landed.
         let pid = Pid::new(1);
@@ -517,10 +503,28 @@ mod tests {
     }
 
     #[test]
-    fn empty_plans_finish_immediately() {
-        let (mut mc, _) = paired_stream(2, 1, 64);
-        let report = mc.run_parallel(&[], 2).unwrap();
-        assert_eq!(report.messages, 0);
-        assert_eq!(report.packets, 0);
+    fn empty_plans_are_the_serial_noop() {
+        // The empty workload must behave identically through both entry
+        // points: same report at every thread count, same digest as the
+        // serial driver's quiesce on an identically built machine.
+        let (mut serial, _) = paired_stream(4, 1, 64);
+        serial.run_until_quiet();
+        let want = serial.state_digest();
+        for threads in [1usize, 2, 4] {
+            let (mut mc, _) = paired_stream(4, 1, 64);
+            let report = mc.run(&[], threads).unwrap();
+            assert_eq!(report, ParallelReport { epochs: 1, messages: 0, packets: 0 });
+            assert_eq!(mc.state_digest(), want, "empty run diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn run_parallel_is_run() {
+        let (mut a, plans) = paired_stream(4, 10, 256);
+        let (mut b, _) = paired_stream(4, 10, 256);
+        let ra = a.run(&plans, 2).unwrap();
+        let rb = b.run_parallel(&plans, 2).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.state_digest(), b.state_digest());
     }
 }

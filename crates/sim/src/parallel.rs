@@ -146,9 +146,14 @@ impl<T> ExchangeGrid<T> {
 /// Builds the unique merge key for an item from source `src` with
 /// per-source sequence number `seq` (the source's items must be numbered
 /// in their generation order). `seq` must stay below 2^48.
+///
+/// The layout **is** [`XferId`](crate::XferId): one constructor
+/// owns the `(source << 48) | sequence` packing, so a transfer's
+/// correlation ID and its merge tag can never drift apart — the parallel
+/// engine commits packets keyed by `id.raw()` directly.
 pub const fn merge_tag(src: u16, seq: u64) -> u64 {
     debug_assert!(seq < 1 << 48);
-    ((src as u64) << 48) | seq
+    crate::span::XferId::new(src, seq).raw()
 }
 
 /// One entry of a [`MergeQueue`]. Ordered by key alone so `T` needs no
@@ -409,5 +414,21 @@ mod tests {
     fn merge_tag_orders_by_source_then_sequence() {
         assert!(merge_tag(0, 5) < merge_tag(1, 0));
         assert!(merge_tag(2, 3) < merge_tag(2, 4));
+    }
+
+    #[test]
+    fn merge_tag_is_the_xfer_id_layout_and_cannot_drift() {
+        use crate::span::XferId;
+        // Boundary and representative values: the packed tag must equal
+        // the correlation ID bit-for-bit, and the ID must round-trip the
+        // fields, so both views of "(source, sequence)" are one layout.
+        for (src, seq) in
+            [(0u16, 0u64), (0, 1), (1, 0), (7, 123), (u16::MAX, 0), (u16::MAX, (1 << 48) - 1)]
+        {
+            let id = XferId::new(src, seq);
+            assert_eq!(merge_tag(src, seq), id.raw(), "tag != id for {src}:{seq}");
+            assert_eq!(id.node(), src);
+            assert_eq!(id.seq(), seq);
+        }
     }
 }

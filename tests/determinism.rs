@@ -98,6 +98,41 @@ fn parallel_engine_matches_the_serial_driver() {
 }
 
 #[test]
+fn unified_engine_reproduces_the_serial_driver_bytes() {
+    // The single-engine contract: the old serial API (`send` +
+    // `run_until_quiet`) and the unified `run` entry point are the same
+    // delivery core, so `state_digest` AND the exported trace bytes must
+    // be identical — serial versus every thread count.
+    let (mut serial, plans) = paired_stream(8, 20, 1024);
+    serial.set_tracing(true);
+    for plan in &plans {
+        for op in &plan.ops {
+            serial.send(plan.node, op.pid, op.src_va, op.dev_page, op.dev_off, op.nbytes).unwrap();
+        }
+    }
+    serial.run_until_quiet();
+    let serial_digest = serial.state_digest();
+    let serial_trace = serial.export_trace();
+    assert!(serial_trace.contains("\"ph\":\"X\""), "serial trace must contain spans");
+
+    for threads in [1usize, 2, 4] {
+        let (mut mc, plans) = paired_stream(8, 20, 1024);
+        mc.set_tracing(true);
+        mc.run(&plans, threads).unwrap();
+        assert_eq!(
+            mc.state_digest(),
+            serial_digest,
+            "threads={threads}: unified engine digest diverged from the serial driver"
+        );
+        assert_eq!(
+            mc.export_trace(),
+            serial_trace,
+            "threads={threads}: unified engine trace bytes diverged from the serial driver"
+        );
+    }
+}
+
+#[test]
 fn tracing_is_invisible_to_state_digests() {
     // Satellite: the flight recorder is pure observation. Enabling it must
     // not move a single clock or byte — digests match the untraced run at
