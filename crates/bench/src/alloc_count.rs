@@ -27,17 +27,23 @@ static BYTES: AtomicU64 = AtomicU64::new(0);
 pub struct CountingAlloc;
 
 #[allow(unsafe_code)]
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the atomic counter updates have no effect on
+// allocation behaviour.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout handed unchanged to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` come from our `alloc`, which is `System`'s.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: arguments forwarded unchanged to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);

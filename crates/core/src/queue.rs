@@ -19,7 +19,7 @@
 //! priority queue reserved for the system, would certainly be useful"),
 //! guarding against a selfish user starving the kernel.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use shrimp_dma::{DevicePort, DmaEngine, DmaTiming};
 use shrimp_mem::{Layout, Pfn, PhysAddr, PhysMemory};
@@ -64,7 +64,7 @@ pub struct QueuedUdma {
     /// When the engine becomes free (tail of the in-order schedule).
     engine_free_at: SimTime,
     capacity: usize,
-    refcounts: HashMap<Pfn, u32>,
+    refcounts: BTreeMap<Pfn, u32>,
     stats: StatSet,
 }
 
@@ -86,7 +86,7 @@ impl QueuedUdma {
             active: None,
             engine_free_at: SimTime::ZERO,
             capacity,
-            refcounts: HashMap::new(),
+            refcounts: BTreeMap::new(),
             stats: StatSet::new("udma-queued"),
         }
     }

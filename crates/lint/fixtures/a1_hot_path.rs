@@ -1,0 +1,31 @@
+//! A1 fixture: allocating calls inside `lint:hot_path` functions.
+
+// lint:hot_path
+fn send_one(queue: &mut Vec<u8>, byte: u8) {
+    queue.push(byte); // line 5: fires (.push)
+    let copy = queue.to_vec(); // line 6: fires (.to_vec)
+    let boxed = Box::new(copy); // line 7: fires (Box::new)
+    let msg = format!("{boxed:?}"); // line 8: fires (format!)
+    let s = String::from(msg); // line 9: fires (String::from)
+    let v: Vec<u8> = s.bytes().collect(); // line 10: fires (.collect)
+    let w = vec![0u8; 4]; // line 11: fires (vec!)
+    let fresh = Vec::new(); // line 12: fires (Vec::new)
+    drop((v, w, fresh));
+}
+
+// lint:hot_path
+fn allocation_free(buf: &mut [u8], val: u8) -> u64 {
+    buf[0] = val; // fine: writes in place
+    buf.iter().map(|&b| u64::from(b)).sum() // fine: no allocation
+}
+
+fn cold_path(queue: &mut Vec<u8>) {
+    queue.push(1); // fine: not marked hot
+    let _ = queue.to_vec(); // fine: not marked hot
+}
+
+// lint:hot_path
+fn escaped(queue: &mut Vec<u8>) {
+    // lint:allow(A1) -- capacity retained across calls; amortized zero
+    queue.push(9); // fine: waived with a reason
+}

@@ -1,0 +1,14 @@
+//! L0 fixture: allow-escape mechanics.
+//! A reasoned `lint:allow` suppresses its rule; a reasonless one is
+//! itself a diagnostic (L0) and suppresses nothing.
+
+// lint:allow(D1) -- bounded map rebuilt from a sorted source each tick
+use std::collections::HashMap; // fine: waived with a reason
+
+// lint:allow(D1)
+use std::collections::HashSet; // line 9: D1 still fires; line 8 is an L0
+
+// lint:allow(D1) -- signature echo, keys drained in sorted order
+fn uses(m: HashMap<u8, u8>, s: HashSet<u8>) -> usize {
+    m.len() + s.len()
+}

@@ -1,0 +1,30 @@
+//! D1 fixture: iteration-order containers in a simulation crate.
+use std::collections::HashMap; // line 2: fires
+use std::collections::BTreeMap; // fine
+
+struct S {
+    order_leak: HashMap<u64, u64>, // line 6: fires
+    ordered: BTreeMap<u64, u64>,
+}
+
+fn hash_set_too() {
+    let mut s = std::collections::HashSet::new(); // line 11: fires
+    s.insert(1u64);
+}
+
+// Strings and comments never fire: "HashMap" / HashMap.
+fn innocuous() {
+    let msg = "HashMap is banned";
+    let _ = msg;
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may hash freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashing_in_tests_is_fine() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

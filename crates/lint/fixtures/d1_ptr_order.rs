@@ -1,0 +1,15 @@
+//! D1 fixture: pointer values cast to integers (nondeterministic
+//! ordering/hashing seed).
+
+fn key_of(x: &u32) -> usize {
+    (x as *const u32) as usize // line 5: fires
+}
+
+fn sort_by_address(mut items: Vec<&u32>) -> Vec<&u32> {
+    items.sort_by_key(|p| p.as_ptr() as usize); // line 9: fires
+    items
+}
+
+fn honest_integer_cast(n: u32) -> usize {
+    n as usize // fine: no pointer production nearby
+}

@@ -1,0 +1,15 @@
+//! D1 fixture: host wall-clock and OS randomness in simulation code.
+use std::time::Instant; // line 2: fires
+
+fn measure() -> u64 {
+    let start = Instant::now(); // line 5: fires
+    start.elapsed().as_nanos() as u64
+}
+
+fn stamp() {
+    let _ = std::time::SystemTime::now(); // line 10: fires
+}
+
+fn roll() -> u64 {
+    thread_rng().next_u64() // line 14: fires
+}

@@ -1,0 +1,30 @@
+//! P1 fixture: unjustified panics in delivery-path code.
+
+fn pop_front(queue: &mut Vec<u8>) -> u8 {
+    queue.pop().unwrap() // line 4: fires (.unwrap, no INVARIANT)
+}
+
+fn first(queue: &[u8]) -> u8 {
+    *queue.first().expect("queue empty") // line 8: fires (.expect, no INVARIANT)
+}
+
+fn never(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => panic!("bad kind"), // line 14: fires (panic!, no INVARIANT)
+    }
+}
+
+fn justified(queue: &mut Vec<u8>) -> u8 {
+    // INVARIANT: caller checked is_empty() before calling.
+    queue.pop().unwrap() // fine: INVARIANT comment within window
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Vec<u8> = vec![1];
+        let _ = v.first().unwrap();
+    }
+}

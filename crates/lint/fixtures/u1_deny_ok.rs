@@ -1,0 +1,7 @@
+//! U1 fixture: `#![deny(unsafe_code)]` is acceptable when a comment
+//! adjacent above the attribute justifies why `forbid` is not used.
+
+// deny, not forbid: the counting allocator needs #[allow(unsafe_code)].
+#![deny(unsafe_code)]
+
+fn clean() {}

@@ -1,0 +1,5 @@
+//! U1 fixture: crate root missing `#![forbid(unsafe_code)]`.
+//! Linted with `crate_root = true`, this file fires at line 1 because no
+//! `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]` attribute is present.
+
+fn nothing_else_wrong() {}

@@ -1,0 +1,14 @@
+//! U1 fixture: `unsafe` without a safety justification comment.
+
+fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p } // line 4: fires (no SAFETY comment)
+}
+
+// SAFETY: the caller guarantees `q` is valid and aligned.
+fn read_justified(q: *const u8) -> u8 {
+    unsafe { *q } // fine: SAFETY comment is 2 lines up, inside the window
+}
+
+unsafe impl Send for Wrapper {} // line 12: fires
+
+struct Wrapper(*const u8);

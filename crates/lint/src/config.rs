@@ -1,0 +1,70 @@
+//! Per-crate rule applicability: which invariants bind where.
+//!
+//! The tables mirror the repo's architecture documents (DESIGN.md §8):
+//! determinism binds every crate whose code runs *inside* the simulated
+//! timeline; panic discipline binds the files on the per-message
+//! delivery path; the unsafe audit and hot-path rules bind everywhere
+//! (hot paths are opt-in via `// lint:hot_path`).
+
+/// Crates (directory names under `crates/`) whose simulated behaviour
+/// must be bit-identical run to run — no iteration-order, wall-clock,
+/// RNG or pointer-value leaks. `bench` is deliberately absent: it
+/// measures host wall-clock. `proptest` and `lint` run outside the
+/// simulated timeline.
+pub const D1_CRATES: &[&str] =
+    &["sim", "net", "shrimp", "core", "machine", "dma", "mmu", "mem", "os"];
+
+/// Repo-relative files on the per-message delivery path, where a panic
+/// would take down a whole multi-node run: every `unwrap`/`expect`/
+/// `panic!` must carry an `// INVARIANT:` justification.
+pub const P1_FILES: &[&str] = &[
+    "crates/shrimp/src/engine.rs",
+    "crates/shrimp/src/nic.rs",
+    "crates/net/src/fabric.rs",
+    "crates/sim/src/buf.rs",
+    "crates/sim/src/parallel.rs",
+    "crates/sim/src/span.rs",
+];
+
+/// How the rules apply to one file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileContext {
+    /// D1 applies (the file belongs to a determinism-critical crate).
+    pub determinism: bool,
+    /// P1 applies (the file is on the delivery path).
+    pub delivery_path: bool,
+    /// U1's crate-root attribute check applies (the file is a `lib.rs`).
+    pub crate_root: bool,
+}
+
+impl FileContext {
+    /// The context for a repo-relative path like
+    /// `crates/net/src/fabric.rs`.
+    pub fn for_path(rel_path: &str) -> FileContext {
+        let norm = rel_path.replace('\\', "/");
+        let crate_name = norm
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or_default();
+        FileContext {
+            determinism: D1_CRATES.contains(&crate_name),
+            delivery_path: P1_FILES.contains(&norm.as_str()),
+            crate_root: norm.ends_with("/src/lib.rs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_follow_the_tables() {
+        let fabric = FileContext::for_path("crates/net/src/fabric.rs");
+        assert!(fabric.determinism && fabric.delivery_path && !fabric.crate_root);
+        let bench = FileContext::for_path("crates/bench/src/host_perf.rs");
+        assert!(!bench.determinism && !bench.delivery_path);
+        let root = FileContext::for_path("crates/mem/src/lib.rs");
+        assert!(root.crate_root && root.determinism);
+    }
+}

@@ -1,0 +1,226 @@
+//! Diagnostics, rule identifiers and the comment-marker layer
+//! (`lint:allow`, `lint:hot_path`, `SAFETY:`, `INVARIANT:`).
+
+use std::fmt;
+
+use crate::lexer::{Comment, Lexed};
+
+/// The four structural invariants this linter enforces (plus `L0`, the
+/// meta-rule that escape hatches themselves are well-formed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Malformed linter marker (an allow-escape without a reason).
+    L0,
+    /// Determinism: no iteration-order / wall-clock / RNG / pointer-value
+    /// leaks in simulation crates.
+    D1,
+    /// Zero-alloc: no allocating calls inside `// lint:hot_path` functions.
+    A1,
+    /// Unsafe audit: crate roots forbid/deny `unsafe_code`; every `unsafe`
+    /// carries a `// SAFETY:` justification.
+    U1,
+    /// Panic discipline: no `unwrap`/`expect`/`panic!` in delivery-path
+    /// code without an `// INVARIANT:` justification.
+    P1,
+}
+
+impl Rule {
+    /// The machine-readable rule id (`D1`, `A1`, `U1`, `P1`, `L0`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L0 => "L0",
+            Rule::D1 => "D1",
+            Rule::A1 => "A1",
+            Rule::U1 => "U1",
+            Rule::P1 => "P1",
+        }
+    }
+
+    /// Parses a rule id as written inside `lint:allow(...)`.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "L0" => Some(Rule::L0),
+            "D1" => Some(Rule::D1),
+            "A1" => Some(Rule::A1),
+            "U1" => Some(Rule::U1),
+            "P1" => Some(Rule::P1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding: rule, location, human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong and how to fix or escape it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A parsed `// lint:allow(<rule>) -- <reason>` escape.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule being waived.
+    pub rule: Rule,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Whether a `-- reason` was supplied (required).
+    pub has_reason: bool,
+}
+
+/// The markers extracted from one file's comments.
+#[derive(Clone, Debug, Default)]
+pub struct Markers {
+    /// `lint:allow` escapes.
+    pub allows: Vec<Allow>,
+    /// Lines bearing `lint:hot_path` (each marks the next `fn`).
+    pub hot_paths: Vec<u32>,
+    /// Lines whose comment contains `SAFETY:`.
+    pub safety: Vec<u32>,
+    /// Lines whose comment contains `INVARIANT:`.
+    pub invariant: Vec<u32>,
+    /// Every comment's starting line (U1 uses this to accept an arbitrary
+    /// justifying comment above a `deny(unsafe_code)` attribute).
+    pub comment_lines: Vec<u32>,
+}
+
+/// How many lines above a flagged token a justification comment
+/// (`SAFETY:` / `INVARIANT:`) or allow-escape may sit and still cover
+/// it: the flagged line itself plus up to three preceding lines (a
+/// short comment block above a multi-line expression).
+pub const JUSTIFY_WINDOW: u32 = 3;
+
+impl Markers {
+    /// Extracts all markers from a file's comments.
+    pub fn scan(lexed: &Lexed) -> Markers {
+        let mut m = Markers::default();
+        for c in &lexed.comments {
+            m.comment_lines.push(c.line);
+            scan_comment(c, &mut m);
+        }
+        m
+    }
+
+    /// True if `rule` is waived at `line` — an allow-escape on the same
+    /// line or within the justification window above it.
+    pub fn allowed(&self, rule: Rule, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule && a.has_reason && a.line <= line && line - a.line <= JUSTIFY_WINDOW
+        })
+    }
+
+    /// True if a `SAFETY:` comment covers `line`.
+    pub fn has_safety(&self, line: u32) -> bool {
+        covers(&self.safety, line)
+    }
+
+    /// True if an `INVARIANT:` comment covers `line`.
+    pub fn has_invariant(&self, line: u32) -> bool {
+        covers(&self.invariant, line)
+    }
+
+    /// Diagnostics for malformed markers (allow without a reason).
+    pub fn malformed(&self, file: &str) -> Vec<Diagnostic> {
+        self.allows
+            .iter()
+            .filter(|a| !a.has_reason)
+            .map(|a| Diagnostic {
+                rule: Rule::L0,
+                file: file.to_owned(),
+                line: a.line,
+                message: format!(
+                    "lint:allow({}) without a reason; write `// lint:allow({}) -- <why>`",
+                    a.rule, a.rule
+                ),
+            })
+            .collect()
+    }
+}
+
+fn covers(marks: &[u32], line: u32) -> bool {
+    marks.iter().any(|&m| m <= line && line - m <= JUSTIFY_WINDOW)
+}
+
+fn scan_comment(c: &Comment, m: &mut Markers) {
+    let text = c.text.trim();
+    if let Some(rest) = text.strip_prefix("lint:allow(") {
+        if let Some(close) = rest.find(')') {
+            if let Some(rule) = Rule::parse(&rest[..close]) {
+                let tail = rest[close + 1..].trim();
+                let has_reason =
+                    tail.strip_prefix("--").is_some_and(|reason| !reason.trim().is_empty());
+                m.allows.push(Allow { rule, line: c.line, has_reason });
+            }
+        }
+    }
+    if text.starts_with("lint:hot_path") {
+        m.hot_paths.push(c.line);
+    }
+    if text.contains("SAFETY:") {
+        m.safety.push(c.line);
+    }
+    if text.contains("INVARIANT:") {
+        m.invariant.push(c.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn allow_with_reason_parses_and_covers_nearby_lines() {
+        let lexed = lex("// lint:allow(A1) -- amortized, capacity retained\nfoo.push(x);\n");
+        let m = Markers::scan(&lexed);
+        assert!(m.allowed(Rule::A1, 1));
+        assert!(m.allowed(Rule::A1, 2));
+        assert!(!m.allowed(Rule::A1, 9));
+        assert!(!m.allowed(Rule::P1, 2), "an allow names exactly one rule");
+        assert!(m.malformed("f.rs").is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let lexed = lex("// lint:allow(D1)\nuse std::collections::HashMap;\n");
+        let m = Markers::scan(&lexed);
+        assert!(!m.allowed(Rule::D1, 2), "a reasonless allow waives nothing");
+        let bad = m.malformed("f.rs");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::L0);
+    }
+
+    #[test]
+    fn safety_and_invariant_markers_cover_a_window() {
+        let lexed =
+            lex("// SAFETY: delegates to System\nunsafe { x() }\n\n// INVARIANT: q\ny();\n");
+        let m = Markers::scan(&lexed);
+        assert!(m.has_safety(2));
+        assert!(!m.has_safety(40));
+        assert!(m.has_invariant(5));
+    }
+
+    #[test]
+    fn hot_path_marker_records_its_line() {
+        let lexed = lex("// lint:hot_path\nfn fast() {}\n");
+        let m = Markers::scan(&lexed);
+        assert_eq!(m.hot_paths, vec![1]);
+    }
+}

@@ -1,0 +1,380 @@
+//! A minimal hand-rolled Rust lexer: just enough structure for the rule
+//! engine, with zero dependencies.
+//!
+//! The lexer splits a source file into
+//!
+//! - a flat token stream ([`Token`]) of identifiers/keywords, literals
+//!   and single punctuation characters, each tagged with its 1-based
+//!   line, and
+//! - the file's comments ([`Comment`]), which is where this linter's
+//!   markers live (`lint:allow`, `lint:hot_path`, `SAFETY:`,
+//!   `INVARIANT:`).
+//!
+//! Everything inside string/char literals and comments is removed from
+//! the token stream, so a rule matching the identifier `HashMap` can
+//! never fire on prose or on a diagnostic message. Raw strings
+//! (`r#"…"#`), byte strings, nested block comments, char literals and
+//! lifetimes (`'a` vs `'a'`) are handled; full numeric-literal grammar
+//! is not needed — digits and their suffixes collapse into one
+//! [`TokenKind::Literal`].
+
+/// What a token is; rules mostly match on identifiers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `as`, …).
+    Ident(String),
+    /// One punctuation character (`.`, `!`, `[`, `*`, …).
+    Punct(char),
+    /// A literal (string, char, number) — contents deliberately dropped.
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind (and identifier text, when an identifier).
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment (line or block), 1-based line of its first character.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// A lexed source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// The token stream (comments/literals stripped).
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs consume to end-of-file (the compiler, not the linter, owns
+/// syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c => {
+                    self.out
+                        .tokens
+                        .push(Token { kind: TokenKind::Punct(c as char), line: self.line });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump_counting_newlines(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.peek() == Some(b'\n') {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        self.pos += 2;
+        let begin = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[begin..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line: start_line });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        self.pos += 2;
+        let begin = self.pos;
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.src.len() {
+            if self.peek() == Some(b'/') && self.peek_at(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek() == Some(b'*') && self.peek_at(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_counting_newlines(1);
+            }
+        }
+        let end = self.pos.saturating_sub(2).max(begin);
+        let text = String::from_utf8_lossy(&self.src[begin..end]).into_owned();
+        self.out.comments.push(Comment { text, line: start_line });
+    }
+
+    /// Consumes a `"…"` literal (handles `\"` escapes, counts newlines).
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        while let Some(c) = self.peek() {
+            match c {
+                b'\\' => self.bump_counting_newlines(2),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump_counting_newlines(1),
+            }
+        }
+        self.out.tokens.push(Token { kind: TokenKind::Literal, line });
+    }
+
+    /// If positioned at a raw/byte string (`r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`), consumes it and returns true.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let line = self.line;
+        let mut off = 0usize;
+        if self.peek_at(off) == Some(b'b') {
+            off += 1;
+        }
+        let raw = self.peek_at(off) == Some(b'r');
+        if raw {
+            off += 1;
+        }
+        let mut hashes = 0usize;
+        while raw && self.peek_at(off + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek_at(off + hashes) != Some(b'"') {
+            return false; // plain identifier starting with r/b
+        }
+        if !raw && hashes == 0 && off == 0 {
+            return false; // bare '"' is handled by string_literal
+        }
+        self.bump_counting_newlines(off + hashes + 1);
+        if raw {
+            // Scan for `"` followed by `hashes` hash marks.
+            'outer: while self.pos < self.src.len() {
+                if self.peek() == Some(b'"') {
+                    for h in 0..hashes {
+                        if self.peek_at(1 + h) != Some(b'#') {
+                            self.bump_counting_newlines(1);
+                            continue 'outer;
+                        }
+                    }
+                    self.bump_counting_newlines(1 + hashes);
+                    break;
+                }
+                self.bump_counting_newlines(1);
+            }
+        } else {
+            while let Some(c) = self.peek() {
+                match c {
+                    b'\\' => self.bump_counting_newlines(2),
+                    b'"' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => self.bump_counting_newlines(1),
+                }
+            }
+        }
+        self.out.tokens.push(Token { kind: TokenKind::Literal, line });
+        true
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // Escape sequence: definitely a char literal.
+        if self.peek_at(1) == Some(b'\\') {
+            self.pos += 2; // consume `'\`
+            self.bump_counting_newlines(1); // the escaped char
+            if self.peek() == Some(b'\'') {
+                self.pos += 1;
+            }
+            self.out.tokens.push(Token { kind: TokenKind::Literal, line });
+            return;
+        }
+        let is_ident_start =
+            |c: u8| c == b'_' || c.is_ascii_alphabetic() || !c.is_ascii() /* unicode */;
+        match (self.peek_at(1), self.peek_at(2)) {
+            // `'x'`: one char then a closing quote.
+            (Some(_), Some(b'\'')) => {
+                self.pos += 3;
+                self.out.tokens.push(Token { kind: TokenKind::Literal, line });
+            }
+            // `'ident` with no closing quote: a lifetime.
+            (Some(c), _) if is_ident_start(c) => {
+                self.pos += 2;
+                while let Some(c) = self.peek() {
+                    if c == b'_' || c.is_ascii_alphanumeric() {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.out.tokens.push(Token { kind: TokenKind::Lifetime, line });
+            }
+            _ => {
+                // Stray quote; emit as punctuation and move on.
+                self.out.tokens.push(Token { kind: TokenKind::Punct('\''), line });
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        // Digits, `_` separators, type suffixes, hex letters; a `.` is
+        // consumed only when followed by a digit (so `0..5` stays a
+        // range and `1.0` stays one literal).
+        while let Some(c) = self.peek() {
+            let in_literal = c == b'_'
+                || c.is_ascii_alphanumeric()
+                || (c == b'.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()));
+            if !in_literal {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.out.tokens.push(Token { kind: TokenKind::Literal, line });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let begin = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[begin..self.pos]).into_owned();
+        self.out.tokens.push(Token { kind: TokenKind::Ident(text), line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.iter().filter_map(|t| t.ident().map(str::to_owned)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_produce_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" string"#;
+            let b = b"HashMap bytes";
+            let actual = Vec::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"Vec".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lexed = lex("let a = 1;\n// lint:allow(D1) -- reason\nlet b = 2;\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("lint:allow(D1)"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let literals = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(literals, 1, "'x' is a char literal");
+    }
+
+    #[test]
+    fn escaped_char_literals_lex() {
+        let lexed = lex(r"let c = '\n'; let q = '\''; let id = x;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("id")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;\n/* block\ncomment */\nlet c = 2;\n";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+        let c = lexed.tokens.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 6);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let lexed = lex("for i in 0..50u64 { let f = 1.5; }");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the `..` of the range survives");
+    }
+}

@@ -1,0 +1,45 @@
+//! **shrimp-lint** — the in-tree static invariant checker.
+//!
+//! The repo's engine invariants — bit-identical timelines at any thread
+//! count, zero heap allocations per message on the data plane, a single
+//! audited `unsafe` impl, no unjustified panics on the delivery path —
+//! are *sampled* by `tests/determinism.rs` and
+//! `crates/bench/tests/zero_alloc.rs`, but a test only sees the
+//! workloads it runs. This linter enforces the same properties
+//! **structurally**: source that could violate them is rejected before
+//! it ever executes, the way the paper turns runtime protection checks
+//! into mapping invariants.
+//!
+//! Rules (each with a machine-readable id and `file:line` diagnostics):
+//!
+//! - **D1 determinism** — in simulation crates, no `HashMap`/`HashSet`,
+//!   `Instant`/`SystemTime`, `thread_rng`, or pointer-value-to-integer
+//!   casts,
+//! - **A1 zero-alloc** — functions marked `// lint:hot_path` contain no
+//!   allocating calls,
+//! - **U1 unsafe audit** — crate roots carry
+//!   `#![forbid(unsafe_code)]`/`#![deny(unsafe_code)]` (the latter with a
+//!   justification) and every `unsafe` carries `// SAFETY:`,
+//! - **P1 panic discipline** — no `unwrap`/`expect`/`panic!` on the
+//!   delivery path without `// INVARIANT:`.
+//!
+//! Escape hatch: `// lint:allow(<rule>) -- <reason>` on (or just above)
+//! the offending line. The reason is mandatory; a reasonless allow is
+//! itself a diagnostic (L0).
+//!
+//! Run it as a binary (`cargo run -p shrimp-lint -- --workspace`) or let
+//! `cargo test` run the bundled workspace-is-clean test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use config::FileContext;
+pub use diag::{Diagnostic, Rule};
+pub use rules::lint_source;
+pub use workspace::{find_workspace_root, lint_workspace};

@@ -1,0 +1,67 @@
+//! `shrimp-lint` CLI: lints the workspace, prints `file:line: [RULE]`
+//! diagnostics, exits 1 if any fire.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shrimp_lint::{find_workspace_root, lint_workspace};
+
+const USAGE: &str = "usage: shrimp-lint [--workspace] [--root <dir>]\n\
+                     \n\
+                     Checks the repo's structural invariants:\n\
+                     \x20 D1 determinism   A1 zero-alloc hot paths\n\
+                     \x20 U1 unsafe audit  P1 panic discipline\n\
+                     \n\
+                     Escape hatch: // lint:allow(<rule>) -- <reason>";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {} // the default (and only) scope
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("shrimp-lint: no workspace root found (run inside the repo or pass --root)");
+        return ExitCode::FAILURE;
+    };
+
+    match lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("shrimp-lint: workspace clean (D1 A1 U1 P1)");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("shrimp-lint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("shrimp-lint: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

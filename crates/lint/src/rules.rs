@@ -1,0 +1,365 @@
+//! The rule engine: D1 determinism, A1 zero-alloc hot paths, U1 unsafe
+//! audit, P1 panic discipline.
+//!
+//! Every rule works on the lexed token stream of one file plus its
+//! comment markers; no type information is needed because each invariant
+//! was designed to be *structurally* visible (the same trick the paper
+//! plays: turn a runtime property into something a dumb, fast check can
+//! reject). Test code (`#[cfg(test)]` modules, `#[test]` functions) is
+//! excluded everywhere — tests may hash, panic and allocate freely.
+
+use crate::config::FileContext;
+use crate::diag::{Diagnostic, Markers, Rule, JUSTIFY_WINDOW};
+use crate::lexer::{lex, Token};
+
+/// Lints one file's source under `ctx`, returning every diagnostic that
+/// is not covered by an allow-escape. `file` is the path used in
+/// diagnostics (repo-relative by convention).
+pub fn lint_source(file: &str, src: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let markers = Markers::scan(&lexed);
+    let test_mask = test_region_mask(&lexed.tokens);
+
+    let mut diags = markers.malformed(file);
+    if ctx.determinism {
+        d1_determinism(file, &lexed.tokens, &test_mask, &mut diags);
+    }
+    a1_hot_paths(file, &lexed.tokens, &test_mask, &markers, &mut diags);
+    u1_unsafe(file, &lexed.tokens, &test_mask, &markers, ctx, &mut diags);
+    if ctx.delivery_path {
+        p1_panic_discipline(file, &lexed.tokens, &test_mask, &markers, &mut diags);
+    }
+
+    diags.retain(|d| d.rule == Rule::L0 || !markers.allowed(d.rule, d.line));
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item.
+///
+/// On seeing such an attribute, everything from the attribute to the
+/// closing brace of the next braced block is masked. That covers the two
+/// shapes this workspace uses: `#[cfg(test)] mod tests { … }` and
+/// `#[test] fn case() { … }` (intervening attributes like
+/// `#[should_panic]` sit before the brace and are masked with it).
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = matching(tokens, i + 1, '[', ']');
+            if attr_is_test(&tokens[i + 2..close.min(tokens.len())]) {
+                // Mask attribute + item through its closing brace.
+                let mut j = close;
+                while j < tokens.len() && !tokens[j].is_punct('{') {
+                    j += 1;
+                }
+                let end = matching(tokens, j, '{', '}');
+                for slot in mask.iter_mut().take(end.min(tokens.len())).skip(i) {
+                    *slot = true;
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index just past the delimiter that closes `open` at `tokens[start]`
+/// (which must be the opening delimiter); `tokens.len()` if unclosed.
+fn matching(tokens: &[Token], start: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// True for `#[test]` or `#[cfg(test)]`-style attribute token bodies
+/// (`cfg(test)`, `cfg(all(test, …))`) — but not `#[cfg(not(test))]`,
+/// which guards *non*-test code.
+fn attr_is_test(body: &[Token]) -> bool {
+    if body.first().is_some_and(|t| t.is_ident("test")) {
+        return true;
+    }
+    body.windows(3).any(|w| {
+        w[0].is_ident("test")
+            && !w[0].is_punct('(')
+            && (w[1].is_punct(')') || w[1].is_punct(','))
+            && body.iter().any(|t| t.is_ident("cfg"))
+    }) && !body.iter().any(|t| t.is_ident("not"))
+}
+
+// ---------------------------------------------------------------------
+// D1 — determinism
+// ---------------------------------------------------------------------
+
+/// Identifiers whose mere presence in a simulation crate breaks the
+/// bit-identical-timeline contract, with the reason reported.
+const D1_BANNED_IDENTS: &[(&str, &str)] = &[
+    ("HashMap", "iteration order is randomized per process; use BTreeMap or Vec"),
+    ("HashSet", "iteration order is randomized per process; use BTreeSet or Vec"),
+    ("Instant", "wall-clock time leaks host speed into the simulation; use SimTime"),
+    ("SystemTime", "wall-clock time leaks host state into the simulation; use SimTime"),
+    ("thread_rng", "OS-seeded randomness is unreproducible; use the in-tree SplitMix64"),
+];
+
+fn d1_determinism(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if let Some(name) = t.ident() {
+            if let Some((_, why)) = D1_BANNED_IDENTS.iter().find(|(n, _)| *n == name) {
+                out.push(Diagnostic {
+                    rule: Rule::D1,
+                    file: file.to_owned(),
+                    line: t.line,
+                    message: format!("`{name}` in a determinism-critical crate: {why}"),
+                });
+            }
+        }
+        // Pointer-value ordering: a pointer cast to an integer makes the
+        // allocator's address choices observable. Flag `as usize`/`as
+        // u64`/… when a raw-pointer production (`as *const`/`as *mut` or
+        // `.as_ptr()`/`.as_mut_ptr()`) appears shortly before it.
+        if t.is_ident("as")
+            && tokens.get(i + 1).is_some_and(|n| {
+                ["usize", "u64", "isize", "i64", "u128"].iter().any(|ty| n.is_ident(ty))
+            })
+            && window_has_pointer_production(&tokens[i.saturating_sub(8)..i])
+        {
+            out.push(Diagnostic {
+                rule: Rule::D1,
+                file: file.to_owned(),
+                line: t.line,
+                message: "pointer value cast to an integer: addresses vary run to run, so any \
+                          ordering or hashing built on them is nondeterministic"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+fn window_has_pointer_production(window: &[Token]) -> bool {
+    window.iter().enumerate().any(|(j, t)| {
+        (t.is_punct('*')
+            && window.get(j + 1).is_some_and(|n| n.is_ident("const") || n.is_ident("mut"))
+            && j > 0
+            && window[j - 1].is_ident("as"))
+            || t.is_ident("as_ptr")
+            || t.is_ident("as_mut_ptr")
+    })
+}
+
+// ---------------------------------------------------------------------
+// A1 — zero-alloc hot paths
+// ---------------------------------------------------------------------
+
+/// Method names that (may) allocate, banned inside hot-path functions.
+const A1_BANNED_METHODS: &[&str] = &["push", "to_vec", "collect", "to_string"];
+
+fn a1_hot_paths(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    markers: &Markers,
+    out: &mut Vec<Diagnostic>,
+) {
+    for &marker_line in &markers.hot_paths {
+        // The marked function: first `fn` token at or after the marker
+        // line, then its body = the next braced block.
+        let Some(fn_idx) = tokens.iter().position(|t| t.line >= marker_line && t.is_ident("fn"))
+        else {
+            continue;
+        };
+        let mut open = fn_idx;
+        while open < tokens.len() && !tokens[open].is_punct('{') {
+            open += 1;
+        }
+        let end = matching(tokens, open, '{', '}');
+        a1_scan_body(
+            file,
+            &tokens[open..end.min(tokens.len())],
+            &mask[open..end.min(mask.len())],
+            out,
+        );
+    }
+}
+
+fn a1_scan_body(file: &str, body: &[Token], mask: &[bool], out: &mut Vec<Diagnostic>) {
+    let mut flag = |line: u32, what: &str| {
+        out.push(Diagnostic {
+            rule: Rule::A1,
+            file: file.to_owned(),
+            line,
+            message: format!(
+                "`{what}` inside a `lint:hot_path` function may heap-allocate; restructure to \
+                 reuse capacity, or waive with `// lint:allow(A1) -- <why it is allocation-free>`"
+            ),
+        });
+    };
+    for (i, t) in body.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let next = body.get(i + 1);
+        let next2 = body.get(i + 2);
+        // Constructor / macro forms.
+        if (t.is_ident("Vec") || t.is_ident("Box") || t.is_ident("String"))
+            && next.is_some_and(|n| n.is_punct(':'))
+            && next2.is_some_and(|n| n.is_punct(':'))
+        {
+            if let Some(m) = body.get(i + 3).and_then(Token::ident) {
+                if ["new", "from", "with_capacity", "from_utf8"].contains(&m) {
+                    flag(t.line, &format!("{}::{m}", t.ident().unwrap_or_default()));
+                }
+            }
+        }
+        if (t.is_ident("vec") || t.is_ident("format")) && next.is_some_and(|n| n.is_punct('!')) {
+            flag(t.line, &format!("{}!", t.ident().unwrap_or_default()));
+        }
+        // Allocating method calls: `.push(…)`, `.collect::<…>()`, …
+        if t.is_punct('.') {
+            if let Some(name) = next.and_then(Token::ident) {
+                if A1_BANNED_METHODS.contains(&name)
+                    && body.get(i + 2).is_some_and(|n| n.is_punct('(') || n.is_punct(':'))
+                {
+                    flag(next.map_or(t.line, |n| n.line), &format!(".{name}()"));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// U1 — unsafe audit
+// ---------------------------------------------------------------------
+
+fn u1_unsafe(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    markers: &Markers,
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.crate_root {
+        u1_crate_root_attr(file, tokens, markers, out);
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || !t.is_ident("unsafe") {
+            continue;
+        }
+        if !markers.has_safety(t.line) {
+            out.push(Diagnostic {
+                rule: Rule::U1,
+                file: file.to_owned(),
+                line: t.line,
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {JUSTIFY_WINDOW} lines \
+                     stating why the contract holds"
+                ),
+            });
+        }
+    }
+}
+
+/// Crate roots must carry `#![forbid(unsafe_code)]`, or
+/// `#![deny(unsafe_code)]` with an adjacent comment justifying the
+/// weaker level.
+fn u1_crate_root_attr(file: &str, tokens: &[Token], markers: &Markers, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let is_inner_attr = t.is_punct('#')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('['));
+        if !is_inner_attr {
+            continue;
+        }
+        let close = matching(tokens, i + 2, '[', ']');
+        let body = &tokens[i + 3..close.min(tokens.len())];
+        if !body.iter().any(|t| t.is_ident("unsafe_code")) {
+            continue;
+        }
+        if body.first().is_some_and(|t| t.is_ident("forbid")) {
+            return; // the strong form needs no justification
+        }
+        if body.first().is_some_and(|t| t.is_ident("deny")) {
+            // A plain comment immediately above the attribute counts as
+            // the justification.
+            if !comment_adjacent_above(markers, t.line) {
+                out.push(Diagnostic {
+                    rule: Rule::U1,
+                    file: file.to_owned(),
+                    line: t.line,
+                    message: "`#![deny(unsafe_code)]` without a justifying comment above it; \
+                              either upgrade to `forbid` or say why `deny` is needed"
+                        .to_owned(),
+                });
+            }
+            return;
+        }
+    }
+    out.push(Diagnostic {
+        rule: Rule::U1,
+        file: file.to_owned(),
+        line: 1,
+        message: "crate root lacks `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]` with a \
+                  justifying comment)"
+            .to_owned(),
+    });
+}
+
+/// Any comment on one of the few lines directly above `line`?
+fn comment_adjacent_above(markers: &Markers, line: u32) -> bool {
+    // Markers only records *marker* comments; an arbitrary justifying
+    // comment is found through the raw comment list the caller lexed.
+    // To keep the Markers API small, U1 re-checks via the all_comments
+    // list stashed at scan time.
+    markers.comment_lines.iter().any(|&l| l < line && line - l <= JUSTIFY_WINDOW)
+}
+
+// ---------------------------------------------------------------------
+// P1 — panic discipline
+// ---------------------------------------------------------------------
+
+fn p1_panic_discipline(
+    file: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    markers: &Markers,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let flagged = (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            || (t.is_ident("panic") || t.is_ident("unreachable"))
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if flagged && !markers.has_invariant(t.line) {
+            let what = t.ident().unwrap_or_default();
+            out.push(Diagnostic {
+                rule: Rule::P1,
+                file: file.to_owned(),
+                line: t.line,
+                message: format!(
+                    "`{what}` on the delivery path without an `// INVARIANT:` comment within \
+                     {JUSTIFY_WINDOW} lines stating why it cannot fire"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Proves each rule fires exactly where the known-bad fixtures say it
+//! should — no more, no less. Every fixture under `fixtures/` encodes
+//! its expected diagnostics in `// line N: fires` comments; this test is
+//! the executable form of those comments.
+
+use shrimp_lint::config::FileContext;
+use shrimp_lint::diag::Rule;
+use shrimp_lint::rules::lint_source;
+
+/// Lints a fixture file and returns the `(rule, line)` set.
+fn fire(name: &str, ctx: FileContext) -> Vec<(Rule, u32)> {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading fixture {path}: {e}"));
+    lint_source(name, &src, &ctx).iter().map(|d| (d.rule, d.line)).collect()
+}
+
+fn det() -> FileContext {
+    FileContext { determinism: true, ..FileContext::default() }
+}
+
+#[test]
+fn d1_flags_hash_containers_outside_test_code() {
+    assert_eq!(
+        fire("d1_hashmap.rs", det()),
+        vec![(Rule::D1, 2), (Rule::D1, 6), (Rule::D1, 11)],
+        "import, field and HashSet::new fire; BTreeMap, strings, comments \
+         and the #[cfg(test)] module do not"
+    );
+}
+
+#[test]
+fn d1_flags_wall_clock_and_os_randomness() {
+    assert_eq!(
+        fire("d1_wallclock.rs", det()),
+        vec![(Rule::D1, 2), (Rule::D1, 5), (Rule::D1, 10), (Rule::D1, 14)],
+    );
+}
+
+#[test]
+fn d1_flags_pointer_value_casts_but_not_plain_integer_casts() {
+    assert_eq!(fire("d1_ptr_order.rs", det()), vec![(Rule::D1, 5), (Rule::D1, 9)]);
+}
+
+#[test]
+fn d1_is_inert_outside_determinism_crates() {
+    assert_eq!(
+        fire("d1_hashmap.rs", FileContext::default()),
+        vec![],
+        "the same source is clean when the crate is not determinism-critical"
+    );
+}
+
+#[test]
+fn a1_flags_every_allocating_form_only_inside_hot_paths() {
+    assert_eq!(
+        fire("a1_hot_path.rs", FileContext::default()),
+        (5u32..=12).map(|l| (Rule::A1, l)).collect::<Vec<_>>(),
+        "push/to_vec/Box::new/format!/String::from/collect/vec!/Vec::new \
+         fire in the marked fn; the unmarked fn and the reasoned \
+         lint:allow(A1) escape do not"
+    );
+}
+
+#[test]
+fn u1_flags_unsafe_without_safety_comment() {
+    assert_eq!(
+        fire("u1_unsafe.rs", FileContext::default()),
+        vec![(Rule::U1, 4), (Rule::U1, 12)],
+        "a SAFETY: comment within the window covers its unsafe block"
+    );
+}
+
+#[test]
+fn u1_flags_crate_root_missing_unsafe_code_attr() {
+    let root = FileContext { crate_root: true, ..FileContext::default() };
+    assert_eq!(fire("u1_no_forbid.rs", root), vec![(Rule::U1, 1)]);
+}
+
+#[test]
+fn u1_accepts_deny_with_justifying_comment() {
+    let root = FileContext { crate_root: true, ..FileContext::default() };
+    assert_eq!(fire("u1_deny_ok.rs", root), vec![]);
+}
+
+#[test]
+fn p1_flags_unjustified_panics_on_the_delivery_path() {
+    let delivery = FileContext { delivery_path: true, ..FileContext::default() };
+    assert_eq!(
+        fire("p1_unwrap.rs", delivery),
+        vec![(Rule::P1, 4), (Rule::P1, 8), (Rule::P1, 14)],
+        "unwrap/expect/panic! fire; the INVARIANT-justified unwrap and the \
+         #[cfg(test)] module do not"
+    );
+}
+
+#[test]
+fn p1_is_inert_off_the_delivery_path() {
+    assert_eq!(fire("p1_unwrap.rs", FileContext::default()), vec![]);
+}
+
+#[test]
+fn allow_escape_suppresses_with_reason_and_is_flagged_without() {
+    assert_eq!(
+        fire("allow_escape.rs", det()),
+        vec![(Rule::L0, 8), (Rule::D1, 9)],
+        "a reasoned allow waives its rule; a reasonless allow is an L0 \
+         diagnostic and waives nothing"
+    );
+}

@@ -1,0 +1,18 @@
+//! The linter's own acceptance test: the workspace it lives in must be
+//! clean. This is what makes the invariants *stick* — any future
+//! HashMap on a simulated path, allocation in a hot path, bare
+//! `unsafe`, or unjustified delivery-path panic fails `cargo test`.
+
+use shrimp_lint::workspace::lint_workspace;
+
+#[test]
+fn the_whole_workspace_is_lint_clean() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let diags = lint_workspace(std::path::Path::new(&root)).expect("walking workspace sources");
+    assert!(
+        diags.is_empty(),
+        "shrimp-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}

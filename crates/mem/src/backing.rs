@@ -3,7 +3,7 @@
 //! The paper's invariant I3 is all about when page contents must reach
 //! backing store; this module is the destination of those "clean" writes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{MemError, PAGE_SIZE};
 
@@ -33,7 +33,7 @@ impl SwapSlot {
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BackingStore {
-    slots: HashMap<u64, Vec<u8>>,
+    slots: BTreeMap<u64, Vec<u8>>,
     next_slot: u64,
     writes: u64,
     reads: u64,

@@ -1,7 +1,7 @@
 //! [`Node`]: one machine plus its kernel — process management, demand
 //! paging, proxy-mapping faults and the UDMA invariants.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use shrimp_devices::Device;
 use shrimp_machine::{Machine, MachineConfig};
@@ -35,13 +35,13 @@ pub struct Node<D> {
     next_pid: u32,
     pub(crate) current: Option<Pid>,
     /// Which (process, virtual page) owns each allocated frame.
-    pub(crate) frame_owner: HashMap<Pfn, (Pid, Vpn)>,
+    pub(crate) frame_owner: BTreeMap<Pfn, (Pid, Vpn)>,
     /// Second-chance clock queue over resident frames.
     pub(crate) resident_fifo: VecDeque<Pfn>,
     /// Pin counts for the traditional DMA baseline.
-    pub(crate) pinned: HashMap<Pfn, u32>,
+    pub(crate) pinned: BTreeMap<Pfn, u32>,
     /// Backing-store slot assigned to each (process, page), if any.
-    pub(crate) swap_slots: HashMap<(Pid, Vpn), SwapSlot>,
+    pub(crate) swap_slots: BTreeMap<(Pid, Vpn), SwapSlot>,
     pub(crate) stats: StatSet,
 }
 
@@ -60,10 +60,10 @@ impl<D: Device> Node<D> {
             procs: BTreeMap::new(),
             next_pid: 1,
             current: None,
-            frame_owner: HashMap::new(),
+            frame_owner: BTreeMap::new(),
             resident_fifo: VecDeque::new(),
-            pinned: HashMap::new(),
-            swap_slots: HashMap::new(),
+            pinned: BTreeMap::new(),
+            swap_slots: BTreeMap::new(),
             stats: StatSet::new("kernel"),
         }
     }
@@ -555,7 +555,7 @@ impl<D: Device> Node<D> {
             self.machine.advance(pte_cost);
         }
         proc.vpages.insert(vpn, VPage::Resident { pfn, writable });
-        if let std::collections::hash_map::Entry::Vacant(e) = self.frame_owner.entry(pfn) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.frame_owner.entry(pfn) {
             e.insert((pid, vpn));
             self.resident_fifo.push_back(pfn);
         }

@@ -97,6 +97,7 @@ impl DeliveryCore {
     /// `horizon` (`None` = drain everything), in the fabric's
     /// deterministic `(link_ready, id)` order: **the** delivery drain
     /// loop. One packet at a time, allocation-free.
+    // lint:hot_path
     pub fn commit_due<L: LaneMap + ?Sized>(
         &mut self,
         fabric: &mut FabricShard,
@@ -113,6 +114,7 @@ impl DeliveryCore {
     /// DMA transaction (arbitration/setup plus the payload burst), the
     /// deposit into physical memory, delivery bookkeeping, span stamping,
     /// and the passive-receiver clock advance.
+    // lint:hot_path
     fn deliver(&mut self, lane: &mut Lane, link_ready: SimTime, arrival: SimTime, packet: &Packet) {
         let start = arrival.max(lane.rx.eisa_busy);
         let done = {

@@ -114,6 +114,8 @@ impl<T> ExchangeGrid<T> {
 
     /// Posts one item from shard `src` to shard `dst`.
     pub fn post(&self, src: usize, dst: usize, item: T) {
+        // INVARIANT: mailbox-lock holders never panic while holding the
+        // lock, so the mutex cannot be poisoned.
         self.slots[dst][src].lock().expect("mailbox poisoned").push(item);
     }
 
@@ -124,6 +126,8 @@ impl<T> ExchangeGrid<T> {
         if batch.is_empty() {
             return;
         }
+        // INVARIANT: mailbox-lock holders never panic while holding the
+        // lock, so the mutex cannot be poisoned.
         self.slots[dst][src].lock().expect("mailbox poisoned").append(batch);
     }
 
@@ -131,6 +135,8 @@ impl<T> ExchangeGrid<T> {
     /// into `out`.
     pub fn drain_to(&self, dst: usize, out: &mut Vec<T>) {
         for slot in &self.slots[dst] {
+            // INVARIANT: mailbox-lock holders never panic while holding
+            // the lock, so the mutex cannot be poisoned.
             out.append(&mut slot.lock().expect("mailbox poisoned"));
         }
     }
@@ -139,6 +145,8 @@ impl<T> ExchangeGrid<T> {
     pub fn is_empty(&self) -> bool {
         self.slots
             .iter()
+            // INVARIANT: mailbox-lock holders never panic while holding
+            // the lock, so the mutex cannot be poisoned.
             .all(|row| row.iter().all(|s| s.lock().expect("mailbox poisoned").is_empty()))
     }
 }
@@ -211,7 +219,10 @@ impl<T> MergeQueue<T> {
     /// Inserts `item` keyed `(at, tag)`. Tags must be unique per queue
     /// (see [`merge_tag`]); entries are ordered by key alone, so
     /// duplicate keys would pop in unspecified relative order.
+    // lint:hot_path
     pub fn push(&mut self, at: SimTime, tag: u64, item: T) {
+        // lint:allow(A1) -- the heap's backing storage is retained across
+        // pops; steady-state pushes reuse capacity and never allocate.
         self.heap.push(Reverse(MergeEntry { at, tag, item }));
     }
 
@@ -224,6 +235,8 @@ impl<T> MergeQueue<T> {
                 return None;
             }
         }
+        // INVARIANT: `peek` above returned `Some`, and no entry was
+        // removed since, so the heap is non-empty here.
         let Reverse(entry) = self.heap.pop().expect("peeked entry must pop");
         Some((entry.at, entry.item))
     }
