@@ -16,21 +16,34 @@
 //!   --out <path>       output JSON path (default: BENCH_throughput.json)
 //!   --compare <path>   embed a previous output as `"before"` and print
 //!                      per-workload speedups against it
+//!   --baseline-bin <path>
+//!                      interleaved A/B: alternate full passes of the
+//!                      given (previously built) host_throughput binary
+//!                      and the current build, keep each side's best pass
+//!                      per workload, and compare those — slow host drift
+//!                      (thermal, noisy neighbours) then biases neither
+//!                      side. The baseline's best rows become `"before"`.
 //!   --trace <path>     also run the 8-node stream with the flight
 //!                      recorder enabled, write the Perfetto trace-event
 //!                      JSON to <path>, and record the traced run (its
 //!                      digest must match the untraced runs)
+//!   --trace-bin <path> like --trace but writes the compact `SHRTRC01`
+//!                      binary span format (convertible to the identical
+//!                      JSON with `shrimp::trace_bin_to_json`)
 //!
 //! The default (no `--threads`) suite covers the serial baselines, a
 //! thread sweep on the 8-node stream, and 8→16-node scaling through the
 //! parallel engine. Every entry records its thread count, commit hash,
-//! and the FNV digest of final machine state; equal-workload entries must
-//! carry equal digests regardless of thread count.
+//! host logical-core count, and the FNV digest of final machine state;
+//! equal-workload entries must carry equal digests regardless of thread
+//! count. When a traced run happens, the output also records the
+//! traced-vs-untraced throughput ratio (`"traced_overhead"`).
 //!
 //! Build with `--features count-allocs` to register the counting
 //! allocator and report steady-state heap allocations per message.
 
 use std::fs;
+use std::process::Command;
 
 use shrimp_bench::host_perf::{self, ThroughputResult};
 use shrimp_bench::table::print_table;
@@ -83,8 +96,21 @@ fn extract_runs_array(json: &str) -> Option<&str> {
     None
 }
 
+/// Extracts workload `name`'s whole `{...}` row from a runs array (row
+/// objects are flat — no nested braces).
+fn extract_run_object<'a>(array: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"name\":\"{name}\"");
+    let pos = array.find(&key)?;
+    let start = array[..pos].rfind('{')?;
+    let end = array[pos..].find('}')? + pos;
+    Some(&array[start..=end])
+}
+
+/// Interleaved A/B passes (per side) for `--baseline-bin`.
+const AB_ROUNDS: usize = 2;
+
 const USAGE: &str = "usage: host_throughput [--quick] [--threads <n>] [--out <path>] \
-     [--compare <path>] [--trace <path>]";
+     [--compare <path>] [--baseline-bin <path>] [--trace <path>] [--trace-bin <path>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,12 +118,14 @@ fn main() {
     let mut smoke_threads: Option<usize> = None;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut compare_path: Option<String> = None;
+    let mut baseline_bin: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut trace_bin_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" | "--compare" | "--threads" | "--trace" => {
+            "--out" | "--compare" | "--baseline-bin" | "--threads" | "--trace" | "--trace-bin" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {a} requires a value\n{USAGE}");
                     std::process::exit(2);
@@ -105,7 +133,9 @@ fn main() {
                 match a.as_str() {
                     "--out" => out_path = v.clone(),
                     "--compare" => compare_path = Some(v.clone()),
+                    "--baseline-bin" => baseline_bin = Some(v.clone()),
                     "--trace" => trace_path = Some(v.clone()),
+                    "--trace-bin" => trace_bin_path = Some(v.clone()),
                     _ => match v.parse::<usize>() {
                         Ok(n) if n >= 1 => smoke_threads = Some(n),
                         _ => {
@@ -120,6 +150,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if compare_path.is_some() && baseline_bin.is_some() {
+        eprintln!("error: --compare and --baseline-bin are mutually exclusive\n{USAGE}");
+        std::process::exit(2);
     }
     let compare = compare_path.map(|p| match fs::read_to_string(&p) {
         Ok(s) => s,
@@ -153,30 +187,121 @@ fn main() {
             (16, 4096, 25_000 / scale, 4),
         ],
     };
+    let run_suite = |runs: &mut Vec<ThroughputResult>| {
+        for (i, &(nodes, bytes, msgs, threads)) in workloads.iter().enumerate() {
+            let result = host_perf::stream_pairs(nodes, bytes, msgs, threads);
+            match runs.get_mut(i) {
+                // A later A/B pass keeps each workload's best side.
+                Some(best) => {
+                    if result.msgs_per_sec > best.msgs_per_sec {
+                        *best = result;
+                    }
+                }
+                None => runs.push(result),
+            }
+        }
+    };
 
     let mut runs: Vec<ThroughputResult> = Vec::new();
-    for &(nodes, bytes, msgs, threads) in &workloads {
-        runs.push(host_perf::stream_pairs(nodes, bytes, msgs, threads));
+    // With a baseline binary: interleave full passes (baseline, own,
+    // baseline, own, …) so slow host drift hits both sides equally, and
+    // keep each side's best pass per workload. `baseline_best` maps our
+    // workload order to the baseline's best row text + msgs/sec.
+    let mut baseline_best: Vec<Option<(f64, String)>> = vec![None; workloads.len()];
+    let mode = if baseline_bin.is_some() { "interleaved_ab" } else { "single_pass" };
+    match &baseline_bin {
+        Some(bin) => {
+            let tmp = format!("{out_path}.baseline.tmp");
+            for _ in 0..AB_ROUNDS {
+                let mut cmd = Command::new(bin);
+                if quick {
+                    cmd.arg("--quick");
+                }
+                cmd.args(["--out", &tmp]);
+                match cmd.status() {
+                    Ok(s) if s.success() => {}
+                    Ok(s) => {
+                        eprintln!("error: baseline binary `{bin}` exited with {s}");
+                        std::process::exit(2);
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot run baseline binary `{bin}`: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                let json = fs::read_to_string(&tmp).unwrap_or_default();
+                if let Some(array) = extract_runs_array(&json) {
+                    for (i, &(nodes, bytes, _, threads)) in workloads.iter().enumerate() {
+                        let suffix =
+                            if threads == 0 { String::new() } else { format!("_t{threads}") };
+                        let name = format!("stream_{bytes}b_{nodes}node{suffix}");
+                        let Some(rate) = baseline_msgs_per_sec(array, &name) else { continue };
+                        let Some(obj) = extract_run_object(array, &name) else { continue };
+                        if baseline_best[i].as_ref().is_none_or(|(best, _)| rate > *best) {
+                            baseline_best[i] = Some((rate, obj.to_string()));
+                        }
+                    }
+                }
+                run_suite(&mut runs);
+            }
+            let _ = fs::remove_file(&tmp);
+        }
+        None => run_suite(&mut runs),
     }
 
     // Tracing smoke: rerun the 8-node stream with the flight recorder on.
     // The traced entry joins `runs`, so the digest-equality check below
     // also proves tracing never perturbs the simulated timeline.
-    if let Some(path) = &trace_path {
-        let (result, trace) = host_perf::stream_pairs_traced(8, 4096, 50_000 / scale, 2);
+    let mut traced_overhead = String::new();
+    if trace_path.is_some() || trace_bin_path.is_some() {
+        let (result, trace, bin) = host_perf::stream_pairs_traced_bin(8, 4096, 50_000 / scale, 2);
         let spans = baseline_field_u64(&trace, "\"spans\":").unwrap_or(0);
-        fs::write(path, &trace).expect("write trace JSON");
-        println!("wrote {spans}-span Perfetto trace to {path}");
+        if let Some(path) = &trace_path {
+            fs::write(path, &trace).expect("write trace JSON");
+            println!("wrote {spans}-span Perfetto trace to {path}");
+        }
+        if let Some(path) = &trace_bin_path {
+            let roundtrip = shrimp::trace_bin_to_json(&bin).expect("well-formed binary trace");
+            assert_eq!(roundtrip, trace, "binary trace must convert back to the exact JSON");
+            fs::write(path, &bin).expect("write binary trace");
+            println!(
+                "wrote {spans}-span binary trace to {path} ({} bytes vs {} JSON)",
+                bin.len(),
+                trace.len()
+            );
+        }
+        // The traced-vs-untraced throughput delta, against the same
+        // workload's untraced row from this invocation.
+        if let Some(untraced) = runs.iter().find(|r| {
+            (r.nodes, r.msg_bytes, r.messages, r.threads)
+                == (result.nodes, result.msg_bytes, result.messages, result.threads)
+                && !r.name.ends_with("_traced")
+        }) {
+            traced_overhead = format!(
+                "\n  \"traced_overhead\": {{\"untraced_msgs_per_sec\":{:.1},\
+                 \"traced_msgs_per_sec\":{:.1},\"ratio\":{:.3}}},",
+                untraced.msgs_per_sec,
+                result.msgs_per_sec,
+                result.msgs_per_sec / untraced.msgs_per_sec,
+            );
+        }
         runs.push(result);
     }
 
-    // Compare against the *most recent* runs in the old file (its
-    // "after" array), not whatever array a raw scan hits first.
-    let before = compare.as_deref().and_then(extract_runs_array);
+    // "before": the baseline binary's best rows (interleaved mode), or
+    // the *most recent* runs in the --compare file (its "after" array).
+    let baseline_rows: Vec<String> =
+        baseline_best.iter().flatten().map(|(_, obj)| format!("    {obj}")).collect();
+    let before: Option<String> = if baseline_rows.is_empty() {
+        compare.as_deref().and_then(extract_runs_array).map(str::to_string)
+    } else {
+        Some(format!("[\n{}\n  ]", baseline_rows.join(",\n")))
+    };
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
             let speedup = before
+                .as_deref()
                 .and_then(|old| baseline_msgs_per_sec(old, &r.name))
                 .map(|b| format!("{:.2}x", r.msgs_per_sec / b))
                 .unwrap_or_else(|| "-".to_string());
@@ -192,7 +317,11 @@ fn main() {
         })
         .collect();
     print_table(
-        "host_throughput — simulator data-plane wall-clock throughput",
+        &format!(
+            "host_throughput — simulator data-plane wall-clock throughput \
+             ({} logical cores, {mode})",
+            host_perf::host_logical_cores()
+        ),
         &["workload", "msgs", "threads", "msgs/s", "MB/s", "digest", "vs before"],
         &rows,
     );
@@ -216,11 +345,13 @@ fn main() {
     }
 
     let after = host_perf::runs_to_json(&runs);
+    let head = format!(
+        "{{\n  \"bench\": \"host_throughput\",\n  \"host_cores\": {},\n  \"mode\": \"{mode}\",{traced_overhead}",
+        host_perf::host_logical_cores()
+    );
     let json = match before {
-        Some(before) => format!(
-            "{{\n  \"bench\": \"host_throughput\",\n  \"before\": {before},\n  \"after\": {after}\n}}\n",
-        ),
-        None => format!("{{\n  \"bench\": \"host_throughput\",\n  \"runs\": {after}\n}}\n"),
+        Some(before) => format!("{head}\n  \"before\": {before},\n  \"after\": {after}\n}}\n"),
+        None => format!("{head}\n  \"runs\": {after}\n}}\n"),
     };
     fs::write(&out_path, &json).expect("write BENCH_throughput.json");
     println!("\nwrote {out_path}");

@@ -48,6 +48,9 @@ pub struct ThroughputResult {
     pub digest: u64,
     /// `git rev-parse --short HEAD` at measurement time (or `unknown`).
     pub commit: String,
+    /// Logical cores the host exposed to this process — a thread-sweep
+    /// speedup claim from a 1-core container should say so itself.
+    pub host_cores: usize,
     /// Steady-state heap allocations per message (`None` unless the
     /// counting allocator is registered — build with `count-allocs` and
     /// the `host_throughput` binary registers it).
@@ -65,7 +68,8 @@ impl ThroughputResult {
             concat!(
                 "{{\"name\":\"{}\",\"nodes\":{},\"msg_bytes\":{},\"messages\":{},",
                 "\"threads\":{},\"wall_s\":{:.4},\"msgs_per_sec\":{:.1},\"mb_per_sec\":{:.2},",
-                "\"digest\":\"{:#018x}\",\"commit\":\"{}\",\"allocs_per_msg\":{}}}"
+                "\"digest\":\"{:#018x}\",\"commit\":\"{}\",\"host_cores\":{},",
+                "\"allocs_per_msg\":{}}}"
             ),
             self.name,
             self.nodes,
@@ -77,6 +81,7 @@ impl ThroughputResult {
             self.mb_per_sec,
             self.digest,
             self.commit,
+            self.host_cores,
             allocs,
         )
     }
@@ -86,6 +91,13 @@ impl ThroughputResult {
 pub fn runs_to_json(runs: &[ThroughputResult]) -> String {
     let body: Vec<String> = runs.iter().map(|r| format!("    {}", r.to_json())).collect();
     format!("[\n{}\n  ]", body.join(",\n"))
+}
+
+/// Logical cores the host exposes to this process (`1` when the OS will
+/// not say). Every [`ThroughputResult`] records it: a parallel-speedup
+/// claim measured inside a 1-core container must label itself as such.
+pub fn host_logical_cores() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
 /// The current commit's short hash, or `unknown` outside a git checkout.
@@ -138,7 +150,26 @@ pub fn stream_pairs_traced(
     threads: usize,
 ) -> (ThroughputResult, String) {
     let (result, trace) = stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, true);
-    (result, trace.expect("tracing was enabled"))
+    let (json, _) = trace.expect("tracing was enabled");
+    (result, json)
+}
+
+/// [`stream_pairs_traced`] returning the trace in both export formats:
+/// the Perfetto JSON and the compact `SHRTRC01` binary
+/// ([`shrimp::Multicomputer::export_trace_bin`]) of the same spans.
+///
+/// # Panics
+///
+/// Panics on kernel traps during setup (the workload is statically valid).
+pub fn stream_pairs_traced_bin(
+    nodes: u16,
+    msg_bytes: u64,
+    messages_per_pair: u32,
+    threads: usize,
+) -> (ThroughputResult, String, Vec<u8>) {
+    let (result, trace) = stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, true);
+    let (json, bin) = trace.expect("tracing was enabled");
+    (result, json, bin)
 }
 
 fn stream_pairs_impl(
@@ -147,7 +178,7 @@ fn stream_pairs_impl(
     messages_per_pair: u32,
     threads: usize,
     traced: bool,
-) -> (ThroughputResult, Option<String>) {
+) -> (ThroughputResult, Option<(String, Vec<u8>)>) {
     assert!(nodes >= 2 && nodes.is_multiple_of(2), "need sender/receiver pairs");
     let mut mc = Multicomputer::with_machine_config(nodes, MachineConfig::default());
     let pairs = usize::from(nodes) / 2;
@@ -181,19 +212,12 @@ fn stream_pairs_impl(
     }
 
     let total = u64::from(messages_per_pair) * pairs as u64;
-    let alloc_mark = alloc_count::allocation_count();
-    let wall_s = if threads == 0 {
-        let t0 = Instant::now();
-        for _ in 0..messages_per_pair {
-            for &(send_node, sender, dev_page) in &flows {
-                mc.send(send_node, sender, VirtAddr::new(0x10_0000), dev_page, 0, msg_bytes)
-                    .expect("steady-state send");
-            }
-        }
-        mc.run_until_quiet();
-        t0.elapsed().as_secs_f64()
+    // Plans are workload *input*, not data-plane work: build them before
+    // the allocation mark so the steady-state figure measures the engine.
+    let plans: Vec<NodePlan> = if threads == 0 {
+        Vec::new()
     } else {
-        let plans: Vec<NodePlan> = flows
+        flows
             .iter()
             .map(|&(send_node, sender, dev_page)| NodePlan {
                 node: send_node,
@@ -208,7 +232,30 @@ fn stream_pairs_impl(
                     messages_per_pair as usize
                 ],
             })
-            .collect();
+            .collect()
+    };
+    let alloc_mark = alloc_count::allocation_count();
+    let wall_s = if threads == 0 {
+        // Each flow is a §7 message train: the serial driver batches its
+        // steady-state tail through `send_burst` (flows are disjoint
+        // pairs, so per-flow order and round-robin order share one
+        // timeline — the digest check below would catch any drift).
+        let t0 = Instant::now();
+        for &(send_node, sender, dev_page) in &flows {
+            mc.send_burst(
+                send_node,
+                sender,
+                VirtAddr::new(0x10_0000),
+                dev_page,
+                0,
+                msg_bytes,
+                u64::from(messages_per_pair),
+            )
+            .expect("steady-state burst");
+        }
+        mc.run_until_quiet();
+        t0.elapsed().as_secs_f64()
+    } else {
         let t0 = Instant::now();
         mc.run(&plans, threads).expect("steady-state parallel run");
         t0.elapsed().as_secs_f64()
@@ -216,7 +263,7 @@ fn stream_pairs_impl(
     let allocs = alloc_count::delta_since(alloc_mark);
 
     assert_eq!(mc.dropped_packets(), 0, "workload must not drop packets");
-    let trace = traced.then(|| mc.export_trace());
+    let trace = traced.then(|| (mc.export_trace(), mc.export_trace_bin()));
 
     let threads_suffix = if threads == 0 { String::new() } else { format!("_t{threads}") };
     let traced_suffix = if traced { "_traced" } else { "" };
@@ -231,6 +278,7 @@ fn stream_pairs_impl(
         mb_per_sec: (total * msg_bytes) as f64 / wall_s / (1024.0 * 1024.0),
         digest: mc.state_digest(),
         commit: commit_hash(),
+        host_cores: host_logical_cores(),
         allocs_per_msg: if alloc_count::is_active() {
             Some(allocs as f64 / total as f64)
         } else {
@@ -274,6 +322,7 @@ mod tests {
         assert!(j.contains("\"threads\":0"), "{j}");
         assert!(j.contains("\"digest\":\"0x"), "{j}");
         assert!(j.contains("\"commit\":"), "{j}");
+        assert!(j.contains("\"host_cores\":"), "{j}");
         assert!(j.contains("\"allocs_per_msg\":"), "{j}");
     }
 }

@@ -227,6 +227,21 @@ impl UdmaController {
         }
     }
 
+    /// Books `count` replayed repetitions of the steady-state message
+    /// cycle the machine layer verified against the event tail: one proxy
+    /// STORE, three proxy LOADs (initiate, busy poll, completion poll),
+    /// one initiation and one completion per message, plus the engine's
+    /// own start/retire accounting. The controller must be Idle — the
+    /// caller replays only after observing a completed cycle.
+    pub fn replay_completed(&mut self, count: u64, nbytes: u64) {
+        debug_assert_eq!(self.state, UdmaState::Idle, "replay requires an idle controller");
+        self.stores.add(count);
+        self.loads.add(3 * count);
+        self.initiations.add(count);
+        self.completions.add(count);
+        self.engine.replay_retired(count, nbytes);
+    }
+
     /// Kernel-privileged transfer termination — the extension §5 sketches:
     /// "although this design does not include a mechanism for software to
     /// terminate a transfer and force a transition from the Transferring

@@ -96,6 +96,9 @@ impl Error for DmaError {}
 pub struct DmaEngine {
     timing: DmaTiming,
     active: Option<Transfer>,
+    /// The most recently retired transfer — the template a replayed run of
+    /// identical transfers is stamped from (see `replay_retired`).
+    last_retired: Option<Transfer>,
     /// Per-transfer counts: plain fields, one increment per start/retire.
     starts: Counter,
     bytes: Counter,
@@ -109,6 +112,7 @@ impl DmaEngine {
         DmaEngine {
             timing,
             active: None,
+            last_retired: None,
             starts: Counter::new(),
             bytes: Counter::new(),
             retired: Counter::new(),
@@ -261,7 +265,24 @@ impl DmaEngine {
             }
         }
         self.retired.incr();
+        self.last_retired = Some(t);
         Ok(Some(t))
+    }
+
+    /// The most recently retired transfer, if any.
+    pub fn last_retired(&self) -> Option<&Transfer> {
+        self.last_retired.as_ref()
+    }
+
+    /// Accounts for `count` replayed repetitions of the last retired
+    /// transfer without re-running start/retire. The replayed transfers
+    /// are strides of the template: the caller moves the data (once — the
+    /// payload is identical) and advances time; the engine only books the
+    /// counters it would have booked had each transfer run individually.
+    pub fn replay_retired(&mut self, count: u64, nbytes: u64) {
+        self.starts.add(count);
+        self.bytes.add(count * nbytes);
+        self.retired.add(count);
     }
 
     /// Drops any in-flight transfer without moving data (used by fault

@@ -22,7 +22,7 @@ mod engine;
 mod port;
 
 pub use engine::{DmaEngine, DmaError, DmaTiming, Transfer};
-pub use port::{DevicePort, LoopbackPort};
+pub use port::{DevicePort, LoopbackPort, RunTiming};
 
 /// Transfer direction relative to main memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -2,6 +2,23 @@
 
 use shrimp_sim::SimTime;
 
+/// Timing for a replayed run of identical transfers: member `k` was
+/// initiated at `started_at + stride·k`, completed at
+/// `completes_at + stride·k`, and its sender observed completion status at
+/// `status_base + stride·k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunTiming {
+    /// Initiation instant of the first member.
+    pub started_at: SimTime,
+    /// Completion instant of the first member.
+    pub completes_at: SimTime,
+    /// Inter-member spacing.
+    pub stride: shrimp_sim::SimDuration,
+    /// Sender-side status-observed instant of the first member. Devices
+    /// without span stamping ignore it.
+    pub status_base: SimTime,
+}
+
 /// A device endpoint the DMA engine can stream to or from.
 ///
 /// `dev_addr` is the device's own address space: a block number for a disk,
@@ -22,6 +39,22 @@ pub trait DevicePort {
     fn dma_write_traced(&mut self, dev_addr: u64, data: &[u8], started_at: SimTime, now: SimTime) {
         let _ = started_at;
         self.dma_write(dev_addr, data, now);
+    }
+
+    /// A replayed *run* of `count` identical writes of `data` to
+    /// `dev_addr`, spaced per [`RunTiming`]. The default simply loops the
+    /// traced single-write path; batching devices (the SHRIMP NIC)
+    /// override this to build one run descriptor instead of `count`
+    /// packets.
+    fn dma_write_run(&mut self, dev_addr: u64, data: &[u8], count: u64, timing: RunTiming) {
+        for k in 0..count {
+            self.dma_write_traced(
+                dev_addr,
+                data,
+                timing.started_at + timing.stride * k,
+                timing.completes_at + timing.stride * k,
+            );
+        }
     }
 
     /// Fills `buf` with bytes from device address `dev_addr` (a

@@ -243,6 +243,82 @@ impl<D: Device> Machine<D> {
         self.udma.drained_at(self.clock.now())
     }
 
+    /// Replays `count` further repetitions of the just-completed
+    /// steady-state UDMA message cycle, each `stride` later than the last.
+    ///
+    /// The caller (the send-burst driver) has executed two literal
+    /// messages, verified they were single-transfer/zero-retry and exactly
+    /// `stride` apart, and asks the machine to advance as if the same
+    /// cycle ran `count` more times. The machine checks that the hardware
+    /// is in the replayable state (idle basic controller, last transfer
+    /// memory→device) and — when tracing — that the event tail has the
+    /// canonical five-event shape, then books every counter, event and
+    /// device write the literal path would have produced, in one pass.
+    ///
+    /// Returns `false` without changing any state when the situation is
+    /// not replayable; the caller falls back to literal sends.
+    // lint:hot_path
+    pub fn udma_replay_messages(&mut self, count: u64, stride: SimDuration) -> bool {
+        if count == 0 {
+            return true;
+        }
+        let Some(t) = self.udma.replay_template() else { return false };
+        // With tracing on, the replay must reproduce the exact event tail
+        // the literal path records per message: STORE, three LOADs, done.
+        let mut tail = [MachineEvent { at: SimTime::ZERO, kind: MachineEventKind::Inval }; 5];
+        let traced = self.events.is_enabled();
+        if traced {
+            let held = self.events.len();
+            if held < tail.len() {
+                return false;
+            }
+            let skip = held - tail.len();
+            for (slot, e) in tail.iter_mut().zip(self.events.iter().skip(skip)) {
+                *slot = *e;
+            }
+            let shape_ok = matches!(tail[0].kind, MachineEventKind::ProxyStore { .. })
+                && matches!(tail[1].kind, MachineEventKind::ProxyLoad { .. })
+                && matches!(tail[2].kind, MachineEventKind::ProxyLoad { .. })
+                && matches!(tail[3].kind, MachineEventKind::ProxyLoad { .. })
+                && matches!(tail[4].kind, MachineEventKind::MsgDone { .. });
+            if !shape_ok {
+                return false;
+            }
+        }
+        self.udma.replay_completed(count, t.nbytes);
+        self.refs.proxy_stores.add(count);
+        self.refs.proxy_loads.add(3 * count);
+        if traced {
+            for k in 1..=count {
+                for e in tail {
+                    // lint:allow(A1) -- EventRing::push writes into the
+                    // ring's pre-reserved storage (overwriting when full);
+                    // it never allocates after set_enabled.
+                    self.events.push(MachineEvent { at: e.at + stride * k, kind: e.kind });
+                }
+            }
+        }
+        let status_base = self.clock.now() + stride;
+        // INVARIANT: the template transfer read this range when it retired,
+        // and physical memory cannot shrink.
+        let data =
+            self.mem.read(t.mem_addr, t.nbytes).expect("replay template was readable at retire");
+        self.device.dma_write_run(
+            t.dev_addr,
+            data,
+            count,
+            shrimp_dma::RunTiming {
+                started_at: t.started_at + stride,
+                completes_at: t.completes_at + stride,
+                stride,
+                status_base,
+            },
+        );
+        self.clock.advance(stride * count);
+        self.poll();
+        true
+    }
+
     /// Translates `va` through the MMU without performing an access (used
     /// by the kernel's traditional-DMA path to build descriptors).
     ///

@@ -1,9 +1,9 @@
 //! Unified front end over the basic and queued UDMA hardware variants.
 
-use shrimp_dma::{DevicePort, DmaEngine, DmaTiming};
+use shrimp_dma::{DevicePort, Direction, DmaEngine, DmaTiming, Transfer};
 use shrimp_mem::{Layout, Pfn, PhysAddr, PhysMemory};
 use shrimp_sim::SimTime;
-use udma_core::{Priority, QueuedUdma, UdmaController, UdmaStatus};
+use udma_core::{Priority, QueuedUdma, UdmaController, UdmaState, UdmaStatus};
 
 /// Which UDMA hardware variant a machine is built with.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -111,6 +111,27 @@ impl UdmaHw {
         match self {
             UdmaHw::Basic(c) => c.engine().active().map(|t| t.completes_at).unwrap_or(now).max(now),
             UdmaHw::Queued(q) => q.drained_at().max(now),
+        }
+    }
+
+    /// The template for a steady-state message replay: the last retired
+    /// memory→device transfer of an otherwise idle *basic* controller.
+    /// Queued hardware keeps per-request state a replay cannot stride, so
+    /// it never offers a template.
+    pub fn replay_template(&self) -> Option<Transfer> {
+        match self {
+            UdmaHw::Basic(c) if c.state() == UdmaState::Idle && c.engine().active().is_none() => {
+                c.engine().last_retired().copied().filter(|t| t.direction == Direction::MemToDev)
+            }
+            _ => None,
+        }
+    }
+
+    /// Books `count` replayed steady-state cycles on the basic controller.
+    /// No-op on queued hardware (which never offers a replay template).
+    pub fn replay_completed(&mut self, count: u64, nbytes: u64) {
+        if let UdmaHw::Basic(c) = self {
+            c.replay_completed(count, nbytes);
         }
     }
 

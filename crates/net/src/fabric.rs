@@ -16,9 +16,99 @@
 //! [`Interconnect::split`] / [`Interconnect::merge`]. Both drain packets
 //! through the same `commit_next` — there is no second delivery loop.
 
-use shrimp_sim::{Counter, MergeQueue, SimDuration, SimTime, StatSet};
+use shrimp_sim::{Counter, MergeQueue, SimDuration, SimTime, StatSet, XferId};
 
 use crate::{NodeId, Packet};
+
+/// A contiguous run of `count` same-shape packets: one template plus a
+/// constant inter-member time stride. Member `i` (0-based) is the template
+/// with every timestamp shifted by `stride × i` and the transfer sequence
+/// number advanced by `i` — exactly the packets a steady-state message
+/// train would have produced one at a time, folded into one descriptor
+/// (the §7 gather-descriptor idea applied to the simulator's own hot
+/// path). The payload is stored once; deliveries reuse it per member.
+#[derive(Debug)]
+pub struct PacketRun {
+    /// Member 0 of the run, carrying the shared payload and destination.
+    pub template: Packet,
+    /// Members remaining in the run (≥ 1 when staged).
+    pub count: u32,
+    /// Inter-member stride in nanoseconds. Fits `u32` by construction:
+    /// runs are only minted for strides under ~4.3 ms, far above any
+    /// per-message cost the model produces.
+    pub stride_ns: u32,
+}
+
+impl PacketRun {
+    /// The inter-member stride as a duration.
+    pub fn stride(&self) -> SimDuration {
+        SimDuration::from_nanos(u64::from(self.stride_ns))
+    }
+
+    /// The staged-queue key `(link_ready, id)` of member `i`: the delta
+    /// encoding means the whole run's ordering is two integer adds per
+    /// member, never a re-derivation of routing latency.
+    pub fn member_key(&self, i: u32) -> (SimTime, u64) {
+        (
+            self.template.meta.link_ready + self.stride() * u64::from(i),
+            self.template.meta.id.raw() + u64::from(i),
+        )
+    }
+
+    /// Advances the template past the first `consumed` members: every
+    /// timestamp shifts by `stride × consumed` and the sequence number
+    /// advances, so the remainder is itself a well-formed run.
+    pub fn advance(&mut self, consumed: u32) {
+        debug_assert!(consumed < self.count, "cannot advance past the end of a run");
+        let shift = self.stride() * u64::from(consumed);
+        self.template.sent_at += shift;
+        let m = &mut self.template.meta;
+        m.id = XferId::new(m.id.node(), m.id.seq() + u64::from(consumed));
+        m.initiated_at += shift;
+        m.queued_at += shift;
+        m.link_ready += shift;
+        m.status_observed += shift;
+        self.count -= consumed;
+    }
+}
+
+/// One staged entry: a single packet or a whole run. The queue key of a
+/// run is its first member's key; later members stay ordered because the
+/// commit loop splits a run the moment another staged entry would sort
+/// between its members.
+#[derive(Debug)]
+pub enum Staged {
+    /// A single packet.
+    One(Packet),
+    /// A contiguous run of packets sharing one payload and stride.
+    Run(PacketRun),
+}
+
+/// One committed unit popped from the staged queue.
+#[derive(Debug)]
+pub enum Commit {
+    /// A single packet, already serialized on its destination link.
+    One {
+        /// When the packet reached the destination's inbound link.
+        link_ready: SimTime,
+        /// When it finished serializing on that link.
+        arrival: SimTime,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// The leading `take` members of a run are committed; the caller
+    /// delivers them (admitting each on the link via
+    /// [`FabricShard::admit`]) and hands any remainder back through
+    /// [`FabricShard::restage_run_tail`] — the payload is never cloned.
+    Run {
+        /// When member 0 reached the destination's inbound link.
+        link_ready: SimTime,
+        /// The full run; members `0..take` are committed.
+        run: PacketRun,
+        /// How many leading members commit now (≥ 1).
+        take: u32,
+    },
+}
 
 /// Link and router parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -199,10 +289,12 @@ pub struct FabricShard {
     params: LinkParams,
     /// Inbound-link occupancy; only indices this shard owns are meaningful.
     link_busy_until: Vec<SimTime>,
-    /// Packets awaiting commit, keyed `(link_ready, XferId raw)`: the pop
+    /// Entries awaiting commit, keyed `(link_ready, XferId raw)`: the pop
     /// order is a pure function of the staged set, never of insertion
-    /// order, so serial and parallel drains are the same sequence.
-    staged: MergeQueue<Packet>,
+    /// order, so serial and parallel drains are the same sequence. An
+    /// entry is a single packet or a whole [`PacketRun`] keyed by its
+    /// first member.
+    staged: MergeQueue<Staged>,
     packets: Counter,
     payload_bytes: Counter,
 }
@@ -235,14 +327,15 @@ impl FabricShard {
         link_ready
     }
 
-    /// Stages a packet that reaches its destination's inbound link at
+    /// Stages an entry that reaches its destination's inbound link at
     /// `link_ready`, keyed for the deterministic commit order. `tag` must
-    /// be unique per staged packet — the packet's `XferId` raw value.
+    /// be unique per staged member — the (first) packet's `XferId` raw
+    /// value; a run's later members own the consecutive tags above it.
     // lint:hot_path
-    pub fn stage(&mut self, link_ready: SimTime, tag: u64, packet: Packet) {
+    pub fn stage(&mut self, link_ready: SimTime, tag: u64, item: Staged) {
         // lint:allow(A1) -- MergeQueue::push reuses heap capacity retained
         // across pops; steady-state staging never allocates.
-        self.staged.push(link_ready, tag, packet);
+        self.staged.push(link_ready, tag, item);
     }
 
     /// [`FabricShard::inject`] + [`FabricShard::stage`] in one step, keyed
@@ -254,23 +347,98 @@ impl FabricShard {
         let tag = packet.meta.id.raw();
         // lint:allow(A1) -- MergeQueue::push reuses heap capacity retained
         // across pops; steady-state staging never allocates.
-        self.staged.push(link_ready, tag, packet);
+        self.staged.push(link_ready, tag, Staged::One(packet));
         link_ready
     }
 
-    /// Receiver side: pops the earliest staged packet whose `link_ready`
-    /// is at or before `horizon` (`None` = no bound), serializes it on its
-    /// destination's inbound link, and returns
-    /// `(link_ready, arrival, packet)`. Allocation-free; the delivery core
-    /// drains one packet at a time.
+    /// Sender side of a whole run: stamps the template as sent at `now`
+    /// (member `k` follows at `now + stride·k`), counts every member, and
+    /// returns the instant member 0 reaches the destination's inbound
+    /// link. One routing computation covers the run — later members add
+    /// the delta-encoded stride instead of re-deriving hop latency.
     ///
-    /// Identical arithmetic at any shard count: admitting packets in the
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the fabric or the run is
+    /// empty.
+    // lint:hot_path
+    pub fn inject_run(&mut self, run: &mut PacketRun, now: SimTime) -> SimTime {
+        assert!(run.count > 0, "a run needs at least one member");
+        let p = &mut run.template;
+        assert!(p.src.raw() < self.nodes, "source {} not in fabric", p.src);
+        assert!(p.dst.raw() < self.nodes, "destination {} not in fabric", p.dst);
+        p.sent_at = now;
+        self.packets.add(u64::from(run.count));
+        self.payload_bytes.add(p.payload.len() as u64 * u64::from(run.count));
+        let link_ready = now + self.params.hop_latency * self.hops(p.src, p.dst);
+        p.meta.link_ready = link_ready;
+        link_ready
+    }
+
+    /// [`FabricShard::inject_run`] + staging in one step: the whole
+    /// sender side of a message train as one queue entry. Returns member
+    /// 0's `link_ready` instant.
+    // lint:hot_path
+    pub fn send_run(&mut self, mut run: PacketRun, now: SimTime) -> SimTime {
+        let link_ready = self.inject_run(&mut run, now);
+        let tag = run.template.meta.id.raw();
+        // lint:allow(A1) -- MergeQueue::push reuses heap capacity retained
+        // across pops; steady-state staging never allocates.
+        self.staged.push(link_ready, tag, Staged::Run(run));
+        link_ready
+    }
+
+    /// Receiver side: pops the earliest staged entry whose `link_ready`
+    /// is at or before `horizon` (`None` = no bound). A single packet is
+    /// serialized on its destination's inbound link immediately
+    /// ([`Commit::One`]); for a run, one horizon check and one queue
+    /// comparison bound how many leading members commit now
+    /// ([`Commit::Run`]) — member `i` joins the commit while its key
+    /// `(link_ready + stride·i, id + i)` is still due **and** still
+    /// sorts ahead of every other staged entry, so splitting a run never
+    /// reorders the global `(link_ready, id)` timeline. Allocation-free.
+    ///
+    /// Identical arithmetic at any shard count: admitting members in the
     /// staged `(link_ready, id)` order reproduces the timeline bit for bit.
     // lint:hot_path
-    pub fn commit_next(&mut self, horizon: Option<SimTime>) -> Option<(SimTime, SimTime, Packet)> {
-        let (link_ready, packet) = self.staged.pop_within(horizon)?;
-        let arrival = self.admit(&packet, link_ready);
-        Some((link_ready, arrival, packet))
+    pub fn commit_next(&mut self, horizon: Option<SimTime>) -> Option<Commit> {
+        let (link_ready, item) = self.staged.pop_within(horizon)?;
+        match item {
+            Staged::One(packet) => {
+                let arrival = self.admit(&packet, link_ready);
+                Some(Commit::One { link_ready, arrival, packet })
+            }
+            Staged::Run(run) => {
+                let next = self.staged.next_key();
+                let mut take: u32 = 1;
+                while take < run.count {
+                    let key = run.member_key(take);
+                    let due = horizon.is_none_or(|h| key.0 <= h);
+                    let ahead = next.is_none_or(|n| key < n);
+                    if !(due && ahead) {
+                        break;
+                    }
+                    take += 1;
+                }
+                Some(Commit::Run { link_ready, run, take })
+            }
+        }
+    }
+
+    /// Returns the uncommitted tail of a partially committed run to the
+    /// staged queue: the template advances past the `take` delivered
+    /// members and the remainder re-enters keyed by its new first member.
+    /// The payload moves with the run — no clone, no allocation.
+    // lint:hot_path
+    pub fn restage_run_tail(&mut self, mut run: PacketRun, take: u32) {
+        if take >= run.count {
+            return;
+        }
+        run.advance(take);
+        let (at, tag) = run.member_key(0);
+        // lint:allow(A1) -- MergeQueue::push reuses heap capacity retained
+        // across pops; steady-state staging never allocates.
+        self.staged.push(at, tag, Staged::Run(run));
     }
 
     /// Serializes a packet that reached the destination's inbound link at
@@ -328,11 +496,46 @@ mod tests {
         p
     }
 
-    /// Drains every staged packet, returning `(arrival, payload[0])`.
+    /// Pops one commit and flattens it to per-member `(arrival, packet-ish)`
+    /// tuples: run members are admitted on the link one by one exactly as
+    /// the delivery core does, and any tail is restaged.
+    fn commit_flat(
+        shard: &mut FabricShard,
+        horizon: Option<SimTime>,
+    ) -> Vec<(SimTime, XferId, u8)> {
+        match shard.commit_next(horizon) {
+            None => Vec::new(),
+            Some(Commit::One { arrival, packet, .. }) => {
+                vec![(arrival, packet.meta.id, packet.payload[0])]
+            }
+            Some(Commit::Run { link_ready, run, take }) => {
+                let mut out = Vec::new();
+                for i in 0..take {
+                    let lr = link_ready + run.stride() * u64::from(i);
+                    let arrival = shard.admit(&run.template, lr);
+                    let id = XferId::new(
+                        run.template.meta.id.node(),
+                        run.template.meta.id.seq() + u64::from(i),
+                    );
+                    out.push((arrival, id, run.template.payload[0]));
+                }
+                shard.restage_run_tail(run, take);
+                out
+            }
+        }
+    }
+
+    /// Drains every staged entry, returning `(arrival, payload[0])`.
     fn drain(net: &mut Interconnect) -> Vec<(SimTime, u8)> {
-        std::iter::from_fn(|| net.shard_mut().commit_next(None))
-            .map(|(_, at, p)| (at, p.payload[0]))
-            .collect()
+        let mut out = Vec::new();
+        loop {
+            let batch = commit_flat(net.shard_mut(), None);
+            if batch.is_empty() {
+                break;
+            }
+            out.extend(batch.into_iter().map(|(at, _, b)| (at, b)));
+        }
+        out
     }
 
     #[test]
@@ -396,12 +599,74 @@ mod tests {
         net.send(pkt(0, 1, 64, 1), SimTime::ZERO);
         // Same link_ready: the correlation ID breaks the tie, so the
         // first-injected packet commits first and owns the link first.
-        let first = net.shard_mut().commit_next(None).expect("two staged");
-        let second = net.shard_mut().commit_next(None).expect("one staged");
-        assert_eq!(first.2.meta.id, XferId::new(0, 0));
-        assert_eq!(second.2.meta.id, XferId::new(0, 1));
-        assert!(second.1 > first.1, "link serialization orders arrivals");
+        let first = commit_flat(net.shard_mut(), None);
+        let second = commit_flat(net.shard_mut(), None);
+        assert_eq!(first[0].1, XferId::new(0, 0));
+        assert_eq!(second[0].1, XferId::new(0, 1));
+        assert!(second[0].0 > first[0].0, "link serialization orders arrivals");
         assert!(net.shard_mut().commit_next(None).is_none());
+    }
+
+    /// A run staged alongside the equivalent singles: identical arrival
+    /// sequence, and a mid-run single from another node splits the run at
+    /// exactly the right member.
+    #[test]
+    fn run_commit_matches_equivalent_singles() {
+        let stride = SimDuration::from_us(20.0);
+        let base = SimTime::from_nanos(5_000);
+
+        // Literal path: five singles, 20 µs apart.
+        let mut literal = Interconnect::new(4, LinkParams::default());
+        for i in 0..5u64 {
+            literal.send(pkt(0, 1, 256, i), base + stride * i);
+        }
+        // Competing traffic from node 2 lands between members 1 and 2.
+        literal.send(pkt(2, 1, 64, 900), base + stride * 2);
+        let lit = drain(&mut literal);
+
+        // Run path: one descriptor plus the same competing single.
+        let mut batched = Interconnect::new(4, LinkParams::default());
+        let run = PacketRun {
+            template: pkt(0, 1, 256, 0),
+            count: 5,
+            stride_ns: stride.as_nanos() as u32,
+        };
+        batched.shard_mut().send_run(run, base);
+        batched.send(pkt(2, 1, 64, 900), base + stride * 2);
+        let bat = drain(&mut batched);
+
+        let lit_times: Vec<SimTime> = lit.iter().map(|&(at, _)| at).collect();
+        let bat_times: Vec<SimTime> = bat.iter().map(|&(at, _)| at).collect();
+        assert_eq!(bat_times, lit_times, "run split must reproduce the single-packet timeline");
+        assert_eq!(batched.stats().get("packets"), literal.stats().get("packets"));
+        assert_eq!(batched.stats().get("payload_bytes"), literal.stats().get("payload_bytes"));
+    }
+
+    /// The horizon splits a run: only members due at or before it commit,
+    /// the tail re-stages with shifted keys, and a later commit finishes
+    /// the run.
+    #[test]
+    fn run_commit_respects_horizon() {
+        let stride = SimDuration::from_us(10.0);
+        let mut net = Interconnect::new(2, LinkParams::default());
+        let run =
+            PacketRun { template: pkt(0, 1, 64, 0), count: 4, stride_ns: stride.as_nanos() as u32 };
+        let base = net.shard_mut().send_run(run, SimTime::ZERO);
+
+        // Horizon covers members 0 and 1 only.
+        let horizon = base + stride;
+        let first = commit_flat(net.shard_mut(), Some(horizon));
+        assert_eq!(first.len(), 2, "two members due at the horizon");
+        assert_eq!(first[0].1, XferId::new(0, 0));
+        assert_eq!(first[1].1, XferId::new(0, 1));
+        assert_eq!(net.shard_mut().next_staged(), Some(base + stride * 2));
+        assert!(net.shard_mut().commit_next(Some(horizon)).is_none());
+
+        let rest = commit_flat(net.shard_mut(), None);
+        assert_eq!(rest.len(), 2, "the restaged tail commits as one run");
+        assert_eq!(rest[0].1, XferId::new(0, 2));
+        assert_eq!(rest[1].1, XferId::new(0, 3));
+        assert_eq!(net.in_flight_count(), 0);
     }
 
     #[test]
@@ -459,10 +724,17 @@ mod tests {
         for (i, &(s, d, bytes, at)) in sequence.iter().enumerate() {
             serial.send(pkt(s, d, bytes, i as u64), SimTime::from_nanos(at));
         }
-        let serial_times: Vec<SimTime> =
-            std::iter::from_fn(|| serial.shard_mut().commit_next(None))
-                .map(|(_, at, _)| at)
-                .collect();
+        let serial_times: Vec<SimTime> = std::iter::from_fn(|| {
+            let batch = commit_flat(serial.shard_mut(), None);
+            if batch.is_empty() {
+                None
+            } else {
+                Some(batch)
+            }
+        })
+        .flatten()
+        .map(|(at, _, _)| at)
+        .collect();
 
         let mut net = Interconnect::new(4, LinkParams::default());
         // Nodes 0..2 on shard 0, nodes 2..4 on shard 1.
@@ -472,12 +744,16 @@ mod tests {
             let mut p = pkt(s, d, bytes, i as u64);
             let ready = shards[owner[s as usize]].inject(&mut p, SimTime::from_nanos(at));
             let tag = p.meta.id.raw();
-            shards[owner[d as usize]].stage(ready, tag, p);
+            shards[owner[d as usize]].stage(ready, tag, Staged::One(p));
         }
         let mut shard_times = Vec::new();
         for shard in &mut shards {
-            while let Some((_, at, _)) = shard.commit_next(None) {
-                shard_times.push(at);
+            loop {
+                let batch = commit_flat(shard, None);
+                if batch.is_empty() {
+                    break;
+                }
+                shard_times.extend(batch.into_iter().map(|(at, _, _)| at));
             }
         }
         shard_times.sort_unstable();
@@ -491,8 +767,8 @@ mod tests {
         // Follow-up traffic sees identical link occupancy.
         serial.send(pkt(0, 1, 64, 10), SimTime::from_nanos(300));
         net.send(pkt(0, 1, 64, 10), SimTime::from_nanos(300));
-        let a = serial.shard_mut().commit_next(None).map(|(_, at, _)| at);
-        let b = net.shard_mut().commit_next(None).map(|(_, at, _)| at);
+        let a = commit_flat(serial.shard_mut(), None).first().map(|&(at, _, _)| at);
+        let b = commit_flat(net.shard_mut(), None).first().map(|&(at, _, _)| at);
         assert_eq!(a, b, "merged link state must match the one-shard fabric");
     }
 

@@ -18,11 +18,14 @@
 //! let mut net = Interconnect::new(4, LinkParams::default());
 //! let p = Packet::new(NodeId::new(0), NodeId::new(3), PhysAddr::new(0x1000), vec![1, 2, 3]);
 //! let link_ready = net.send(p, SimTime::ZERO);
-//! let (ready, arrives, delivered) =
-//!     net.shard_mut().commit_next(None).expect("one packet staged");
+//! let Some(shrimp_net::Commit::One { link_ready: ready, arrival, packet }) =
+//!     net.shard_mut().commit_next(None)
+//! else {
+//!     panic!("one packet staged");
+//! };
 //! assert_eq!(ready, link_ready);
-//! assert!(arrives > link_ready, "wire time follows routing");
-//! assert_eq!(delivered.payload, [1, 2, 3]);
+//! assert!(arrival > link_ready, "wire time follows routing");
+//! assert_eq!(packet.payload, [1, 2, 3]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -31,5 +34,5 @@
 mod fabric;
 mod packet;
 
-pub use fabric::{FabricShard, Interconnect, LinkParams};
+pub use fabric::{Commit, FabricShard, Interconnect, LinkParams, PacketRun, Staged};
 pub use packet::{NodeId, Packet};

@@ -20,10 +20,26 @@
 //! [`Multicomputer::propagate`]: crate::Multicomputer::propagate
 //! [`Multicomputer::run`]: crate::Multicomputer::run
 
-use shrimp_net::{FabricShard, Packet};
-use shrimp_sim::{FlightRecorder, SimTime, SpanRecord};
+use shrimp_net::{Commit, FabricShard, Packet, PacketRun};
+use shrimp_sim::{CostModel, FlightRecorder, SimDuration, SimTime, SpanRecord};
 
 use crate::ShrimpNode;
+
+/// The model's steady-state per-message clock stride for a warm
+/// single-chunk send of `nbytes`: per-message library software, the user
+/// check, the initiation STORE, the initiating and final status LOADs
+/// (the mid-transfer busy LOAD is absorbed by the wait for DMA
+/// completion), DMA start, and the bus burst. A measured message pair
+/// whose stride equals this is in the replayable steady state — both
+/// engine instantiations calibrate bursts against it.
+pub(crate) fn steady_stride(cost: &CostModel, nbytes: u64) -> SimDuration {
+    cost.udma_per_message_sw
+        + cost.udma_user_check
+        + cost.proxy_store
+        + cost.proxy_load * 2
+        + cost.dma_start
+        + cost.bus_transfer(nbytes)
+}
 
 /// Receive-side per-node state: it must be owned by whichever engine
 /// currently applies deliveries to the node, so it travels with the node
@@ -93,10 +109,12 @@ impl DeliveryCore {
         DeliveryCore { passive, dropped: 0, recorder }
     }
 
-    /// Commits every staged packet with `link_ready` at or before
+    /// Commits every staged entry with `link_ready` at or before
     /// `horizon` (`None` = drain everything), in the fabric's
     /// deterministic `(link_ready, id)` order: **the** delivery drain
-    /// loop. One packet at a time, allocation-free.
+    /// loop. A single packet delivers one at a time; a run's committed
+    /// prefix delivers under one dispatch — one horizon check and one
+    /// lane lookup cover the whole prefix. Allocation-free.
     // lint:hot_path
     pub fn commit_due<L: LaneMap + ?Sized>(
         &mut self,
@@ -104,10 +122,49 @@ impl DeliveryCore {
         lanes: &mut L,
         horizon: Option<SimTime>,
     ) {
-        while let Some((link_ready, arrival, packet)) = fabric.commit_next(horizon) {
-            let dst = packet.dst.raw() as usize;
-            self.deliver(lanes.lane_mut(dst), link_ready, arrival, &packet);
+        while let Some(commit) = fabric.commit_next(horizon) {
+            match commit {
+                Commit::One { link_ready, arrival, packet } => {
+                    let dst = packet.dst.raw() as usize;
+                    self.deliver(lanes.lane_mut(dst), link_ready, arrival, &packet);
+                }
+                Commit::Run { link_ready: _, run, take } => {
+                    self.deliver_run(fabric, lanes, run, take);
+                }
+            }
         }
+    }
+
+    /// Applies the committed prefix of a run: the lane is looked up once,
+    /// each member is admitted on the inbound link and delivered through
+    /// the same [`DeliveryCore::deliver`] as the single-packet path (the
+    /// template walks forward by one stride per member, so every span and
+    /// timestamp is bit-identical to the unbatched drain), and any
+    /// remainder re-stages into the fabric without cloning the payload.
+    // lint:hot_path
+    fn deliver_run<L: LaneMap + ?Sized>(
+        &mut self,
+        fabric: &mut FabricShard,
+        lanes: &mut L,
+        mut run: PacketRun,
+        take: u32,
+    ) {
+        let lane = lanes.lane_mut(run.template.dst.raw() as usize);
+        let mut left = take;
+        loop {
+            let link_ready = run.template.meta.link_ready;
+            let arrival = fabric.admit(&run.template, link_ready);
+            self.deliver(lane, link_ready, arrival, &run.template);
+            left -= 1;
+            if left == 0 {
+                break;
+            }
+            run.advance(1);
+        }
+        // The template now sits at the last delivered member; one more
+        // step puts the first undelivered member at the head (or drops
+        // the run, recycling its payload, when none remain).
+        fabric.restage_run_tail(run, 1);
     }
 
     /// Applies one packet to its destination lane: one receive-side EISA

@@ -54,8 +54,10 @@ mod node;
 mod parallel;
 
 pub use api::{Channel, ChannelMessage};
-pub use multicomputer::{Multicomputer, MulticomputerConfig, ShrimpError};
-pub use nic::{Nic, OutgoingPacket, PioError, NIC_MMIO};
+pub use multicomputer::{
+    trace_bin_to_json, Multicomputer, MulticomputerConfig, ShrimpError, TRACE_BIN_MAGIC,
+};
+pub use nic::{Nic, OutgoingPacket, OutgoingRun, PioError, NIC_MMIO};
 pub use nipt::{Nipt, NiptEntry};
 pub use node::ShrimpNode;
 pub use parallel::{NodePlan, ParallelReport, SendOp};

@@ -6,9 +6,11 @@ use std::fmt;
 
 use shrimp_machine::MachineConfig;
 use shrimp_mem::{VirtAddr, PAGE_SIZE};
-use shrimp_net::{Interconnect, LinkParams, NodeId};
+use shrimp_net::{Interconnect, LinkParams, NodeId, PacketRun};
 use shrimp_os::{NodeConfig, Pid, Trap, UdmaXferResult};
-use shrimp_sim::{FlightRecorder, SimTime, SpanRecord, Stage, StatSet};
+use shrimp_sim::{
+    FlightRecorder, SimDuration, SimTime, SpanRecord, Stage, StatSet, XferId, STAGE_COUNT,
+};
 
 use crate::engine::{DeliveryCore, Lane};
 use crate::{Nic, Nipt, ShrimpNode};
@@ -68,6 +70,146 @@ impl From<Trap> for ShrimpError {
     }
 }
 
+/// Magic prefix of the compact binary trace format
+/// ([`Multicomputer::export_trace_bin`]).
+pub const TRACE_BIN_MAGIC: &[u8; 8] = b"SHRTRC01";
+
+/// Span totals plus per-stage histogram figures (in [`Stage::ALL`]
+/// order: count, mean ns, min ns, max ns) — the summary block shared by
+/// the JSON and binary trace exports.
+#[derive(Clone, Copy, Debug)]
+struct TraceSummary {
+    spans: u64,
+    dropped: u64,
+    stages: [(u64, f64, u64, u64); STAGE_COUNT],
+}
+
+/// Renders spans + summary as the Chrome/Perfetto trace-event JSON of
+/// [`Multicomputer::export_trace`]. `spans` must already be in merge-key
+/// order; the output is a pure function of the arguments, so the JSON
+/// and binary export paths cannot drift apart.
+fn render_trace_json(nodes: usize, spans: &[SpanRecord], summary: &TraceSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(512 + spans.len() * 5 * 160);
+    out.push_str("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
+    let mut first = true;
+    for i in 0..nodes {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{i},\"tid\":0,\
+             \"args\":{{\"name\":\"node{i}\"}}}}"
+        );
+    }
+    for span in spans {
+        for stage in Stage::ALL {
+            let (start, end) = span.stage_bounds(stage);
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\":\"{}\",\"cat\":\"udma\",\"ph\":\"X\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"xfer\":\"{}\",\"bytes\":{}}}}}",
+                stage.name(),
+                start.as_micros_f64(),
+                end.saturating_duration_since(start).as_micros_f64(),
+                span.src,
+                span.dst,
+                span.id,
+                span.bytes,
+            );
+        }
+    }
+    out.push_str("\n  ],\n");
+    let _ = write!(
+        out,
+        "  \"stats\": {{\"spans\":{},\"dropped\":{},\"stages\":{{",
+        summary.spans, summary.dropped,
+    );
+    for (i, stage) in Stage::ALL.into_iter().enumerate() {
+        let (count, mean, min, max) = summary.stages[i];
+        let _ = write!(
+            out,
+            "{}\n    \"{}\":{{\"count\":{count},\"mean_ns\":{mean:.1},\"min_ns\":{min},\
+             \"max_ns\":{max}}}",
+            if i == 0 { "" } else { "," },
+            stage.name(),
+        );
+    }
+    out.push_str("\n  }}\n}\n");
+    out
+}
+
+/// Decodes a [`Multicomputer::export_trace_bin`] buffer and renders the
+/// **byte-identical** Perfetto JSON [`Multicomputer::export_trace`] would
+/// have produced for the same spans (mean bits round-trip exactly).
+/// Returns `None` for a buffer that is truncated, carries the wrong
+/// magic, or disagrees with its own span count.
+pub fn trace_bin_to_json(bytes: &[u8]) -> Option<String> {
+    struct Reader<'a> {
+        b: &'a [u8],
+    }
+    impl<'a> Reader<'a> {
+        fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+            let (head, rest) = self.b.split_at_checked(N)?;
+            self.b = rest;
+            head.try_into().ok()
+        }
+        fn u16(&mut self) -> Option<u16> {
+            self.take().map(u16::from_le_bytes)
+        }
+        fn u32(&mut self) -> Option<u32> {
+            self.take().map(u32::from_le_bytes)
+        }
+        fn u64(&mut self) -> Option<u64> {
+            self.take().map(u64::from_le_bytes)
+        }
+        fn time(&mut self) -> Option<SimTime> {
+            self.u64().map(SimTime::from_nanos)
+        }
+    }
+
+    let mut r = Reader { b: bytes };
+    if &r.take::<8>()? != TRACE_BIN_MAGIC {
+        return None;
+    }
+    let nodes = r.u16()?;
+    let _reserved = r.u16()?;
+    let count = r.u32()? as usize;
+    let total = r.u64()?;
+    let dropped = r.u64()?;
+    let mut stages = [(0u64, 0.0f64, 0u64, 0u64); STAGE_COUNT];
+    for s in &mut stages {
+        let (count, min, max) = (r.u64()?, r.u64()?, r.u64()?);
+        *s = (count, f64::from_bits(r.u64()?), min, max);
+    }
+    let mut spans = Vec::with_capacity(count);
+    for _ in 0..count {
+        let raw = r.u64()?;
+        spans.push(SpanRecord {
+            id: XferId::new((raw >> 48) as u16, raw & ((1 << 48) - 1)),
+            src: r.u16()?,
+            dst: r.u16()?,
+            bytes: r.u32()?,
+            initiated_at: r.time()?,
+            queued_at: r.time()?,
+            link_ready: r.time()?,
+            wire_done: r.time()?,
+            delivered_at: r.time()?,
+            status_at: r.time()?,
+        });
+    }
+    if !r.b.is_empty() {
+        return None;
+    }
+    let summary = TraceSummary { spans: total, dropped, stages };
+    Some(render_trace_json(usize::from(nodes), &spans, &summary))
+}
+
 /// The SHRIMP multicomputer.
 ///
 /// Owns every node plus the interconnect, and models the receive path: a
@@ -94,6 +236,14 @@ pub struct Multicomputer {
     /// Persistent scratch for the inject loop: NICs drain into it so the
     /// steady state reuses one allocation instead of taking each queue.
     outbox: Vec<crate::OutgoingPacket>,
+    /// Persistent scratch for burst descriptors (the run analogue of
+    /// `outbox`; a handful per propagate at most).
+    run_outbox: Vec<crate::OutgoingRun>,
+    /// Whether [`Multicomputer::send_burst`] may fold steady-state message
+    /// trains into replayed runs (`true` by default). Disable to force the
+    /// literal packet-at-a-time path — the digest-equality tests compare
+    /// both modes.
+    burst: bool,
 }
 
 impl Multicomputer {
@@ -118,6 +268,8 @@ impl Multicomputer {
                 FlightRecorder::new(Self::TRACE_SPANS),
             ),
             outbox: Vec::new(),
+            run_outbox: Vec::with_capacity(8),
+            burst: true,
         }
     }
 
@@ -261,66 +413,78 @@ impl Multicomputer {
     /// the parallel engine (whose shard rings merge pre-sorted) produce
     /// the same bytes. Export is off the hot path; the sort may allocate.
     pub fn export_trace(&self) -> String {
-        use std::fmt::Write as _;
+        let (spans, summary) = self.trace_parts();
+        render_trace_json(self.lanes.len(), &spans, &summary)
+    }
+
+    /// Exports the recorded transfer spans in the compact binary trace
+    /// format (`SHRTRC01`): a fixed little-endian header carrying the
+    /// node count, span count and per-stage latency summary, followed by
+    /// one 64-byte record per span in merge-key order. About 13× smaller
+    /// than the Perfetto JSON for the same spans, and convertible to the
+    /// *byte-identical* JSON with [`trace_bin_to_json`].
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// | offset | bytes | field |
+    /// |--------|-------|-------|
+    /// | 0      | 8     | magic `"SHRTRC01"` |
+    /// | 8      | 2     | node count |
+    /// | 10     | 2     | reserved (0) |
+    /// | 12     | 4     | span count `N` |
+    /// | 16     | 8     | total spans recorded (≥ `N`; ring may drop) |
+    /// | 24     | 8     | spans dropped |
+    /// | 32     | 5×32  | per stage: `u64` count, min ns, max ns, `f64` mean bits |
+    /// | 192    | N×64  | spans: `u64` id, `u16` src, `u16` dst, `u32` bytes, 6×`u64` stage-boundary ns |
+    pub fn export_trace_bin(&self) -> Vec<u8> {
+        let (spans, summary) = self.trace_parts();
+        let mut out = Vec::with_capacity(192 + spans.len() * 64);
+        out.extend_from_slice(TRACE_BIN_MAGIC);
+        out.extend_from_slice(&(self.lanes.len() as u16).to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+        out.extend_from_slice(&summary.spans.to_le_bytes());
+        out.extend_from_slice(&summary.dropped.to_le_bytes());
+        for (count, mean, min, max) in summary.stages {
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&min.to_le_bytes());
+            out.extend_from_slice(&max.to_le_bytes());
+            out.extend_from_slice(&mean.to_bits().to_le_bytes());
+        }
+        for s in &spans {
+            out.extend_from_slice(&s.id.raw().to_le_bytes());
+            out.extend_from_slice(&s.src.to_le_bytes());
+            out.extend_from_slice(&s.dst.to_le_bytes());
+            out.extend_from_slice(&s.bytes.to_le_bytes());
+            for t in [
+                s.initiated_at,
+                s.queued_at,
+                s.link_ready,
+                s.wire_done,
+                s.delivered_at,
+                s.status_at,
+            ] {
+                out.extend_from_slice(&t.as_nanos().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// The recorded spans in merge-key order plus the stage summary —
+    /// the one source both trace export formats render from.
+    fn trace_parts(&self) -> (Vec<SpanRecord>, TraceSummary) {
         let recorder = &self.core.recorder;
-        let mut spans: Vec<&SpanRecord> = recorder.iter().collect();
+        let mut spans: Vec<SpanRecord> = recorder.iter().copied().collect();
         spans.sort_unstable_by_key(|s| s.merge_key());
-        let mut out = String::with_capacity(512 + spans.len() * 5 * 160);
-        out.push_str("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
-        let mut first = true;
-        for i in 0..self.lanes.len() {
-            if !std::mem::take(&mut first) {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "\n    {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{i},\"tid\":0,\
-                 \"args\":{{\"name\":\"node{i}\"}}}}"
-            );
-        }
-        for span in spans {
-            for stage in Stage::ALL {
-                let (start, end) = span.stage_bounds(stage);
-                if !std::mem::take(&mut first) {
-                    out.push(',');
-                }
-                let _ = write!(
-                    out,
-                    "\n    {{\"name\":\"{}\",\"cat\":\"udma\",\"ph\":\"X\",\"ts\":{:.3},\
-                     \"dur\":{:.3},\"pid\":{},\"tid\":{},\
-                     \"args\":{{\"xfer\":\"{}\",\"bytes\":{}}}}}",
-                    stage.name(),
-                    start.as_micros_f64(),
-                    end.saturating_duration_since(start).as_micros_f64(),
-                    span.src,
-                    span.dst,
-                    span.id,
-                    span.bytes,
-                );
-            }
-        }
-        out.push_str("\n  ],\n");
-        let _ = write!(
-            out,
-            "  \"stats\": {{\"spans\":{},\"dropped\":{},\"stages\":{{",
-            recorder.total_recorded(),
-            recorder.dropped(),
-        );
+        let mut stages = [(0u64, 0.0f64, 0u64, 0u64); STAGE_COUNT];
         for (i, stage) in Stage::ALL.into_iter().enumerate() {
             let h = recorder.stage_histogram(stage);
-            let _ = write!(
-                out,
-                "{}\n    \"{}\":{{\"count\":{},\"mean_ns\":{:.1},\"min_ns\":{},\"max_ns\":{}}}",
-                if i == 0 { "" } else { "," },
-                stage.name(),
-                h.count(),
-                h.mean().unwrap_or(0.0),
-                h.min().unwrap_or(0),
-                h.max().unwrap_or(0),
-            );
+            stages[i] =
+                (h.count(), h.mean().unwrap_or(0.0), h.min().unwrap_or(0), h.max().unwrap_or(0));
         }
-        out.push_str("\n  }}\n}\n");
-        out
+        let summary =
+            TraceSummary { spans: recorder.total_recorded(), dropped: recorder.dropped(), stages };
+        (spans, summary)
     }
 
     /// Spawns a process on node `i`.
@@ -499,6 +663,94 @@ impl Multicomputer {
         Ok(())
     }
 
+    /// Enables or disables run batching for [`Multicomputer::send_burst`].
+    /// Disabled, every burst member goes through the literal per-message
+    /// path; the timeline (and `state_digest`, and exported traces) must
+    /// be identical either way.
+    pub fn set_burst(&mut self, enabled: bool) {
+        self.burst = enabled;
+    }
+
+    /// Whether run batching is enabled.
+    pub fn burst(&self) -> bool {
+        self.burst
+    }
+
+    /// The model's steady-state per-message clock stride for a warm
+    /// single-chunk send of `nbytes` on node `i` (see
+    /// `engine::steady_stride`).
+    fn steady_stride(&self, i: usize, nbytes: u64) -> SimDuration {
+        crate::engine::steady_stride(self.lanes[i].node.os().machine().cost(), nbytes)
+    }
+
+    /// Sends the same message `count` times back to back — the §7 message
+    /// train — batching the steady-state tail into one replayed *run*.
+    ///
+    /// The first two messages always run the literal per-message machinery
+    /// and calibrate the train: if both complete in one transfer with no
+    /// retries and their clock stride matches the model's steady-state
+    /// stride, the remaining `count - 2` messages are *replayed* — the
+    /// machine books their counters and events wholesale, the NIC builds
+    /// one §7-style gather descriptor (`OutgoingRun`) minting consecutive
+    /// transfer IDs, and the fabric stages the whole run as one entry.
+    /// Any ineligible train (cold TLB, multi-chunk, retries, burst
+    /// disabled) falls back to the literal loop. Either way the timeline
+    /// is identical — `state_digest` and exported traces cannot tell the
+    /// paths apart.
+    ///
+    /// Returns the last calibrated message's result (steady-state members
+    /// are replicas of it).
+    ///
+    /// # Errors
+    ///
+    /// Node bounds or kernel traps, as [`Multicomputer::send`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_burst(
+        &mut self,
+        i: usize,
+        pid: Pid,
+        src_va: VirtAddr,
+        dev_page: u64,
+        dev_off: u64,
+        nbytes: u64,
+        count: u64,
+    ) -> Result<UdmaXferResult, ShrimpError> {
+        self.check_node(i)?;
+        if count == 0 {
+            return Ok(UdmaXferResult::default());
+        }
+        if !self.burst || count < 3 {
+            let mut last = UdmaXferResult::default();
+            for _ in 0..count {
+                last = self.send(i, pid, src_va, dev_page, dev_off, nbytes)?;
+            }
+            return Ok(last);
+        }
+        let r0 = self.send(i, pid, src_va, dev_page, dev_off, nbytes)?;
+        let e0 = self.lanes[i].node.os().machine().now();
+        let r1 = self.send(i, pid, src_va, dev_page, dev_off, nbytes)?;
+        let e1 = self.lanes[i].node.os().machine().now();
+        let mut remaining = count - 2;
+        let stride = e1.saturating_duration_since(e0);
+        let eligible = r0.transfers == 1
+            && r0.retries == 0
+            && r1 == r0
+            && stride == self.steady_stride(i, nbytes)
+            && stride.as_nanos() <= u64::from(u32::MAX);
+        if eligible
+            && self.lanes[i].node.os_mut().machine_mut().udma_replay_messages(remaining, stride)
+        {
+            self.propagate();
+            return Ok(r1);
+        }
+        let mut last = r1;
+        while remaining > 0 {
+            last = self.send(i, pid, src_va, dev_page, dev_off, nbytes)?;
+            remaining -= 1;
+        }
+        Ok(last)
+    }
+
     /// A user-level deliberate-update send: `nbytes` from `src_va` on node
     /// `i` through device proxy page `dev_page` + `dev_off`, then packet
     /// propagation.
@@ -585,15 +837,24 @@ impl Multicomputer {
     /// deliveries: receive-side EISA DMA into physical memory.
     pub fn propagate(&mut self) {
         let tracing = self.core.tracing();
-        // Inject, draining every NIC into the persistent scratch queue.
+        // Inject, draining every NIC into the persistent scratch queues.
         let mut outbox = std::mem::take(&mut self.outbox);
+        let mut run_outbox = std::mem::take(&mut self.run_outbox);
         for lane in &mut self.lanes {
             lane.node.drain_nic(tracing, &mut outbox);
+            lane.node.drain_nic_runs(&mut run_outbox);
         }
         for out in outbox.drain(..) {
             self.fabric.send(out.packet, out.ready_at);
         }
+        for run in run_outbox.drain(..) {
+            let ready_at = run.ready_at;
+            let run =
+                PacketRun { template: run.packet, count: run.count, stride_ns: run.stride_ns };
+            self.fabric.shard_mut().send_run(run, ready_at);
+        }
         self.outbox = outbox;
+        self.run_outbox = run_outbox;
         // Deliver everything currently in flight (new sends only happen
         // from CPU activity, which happens between propagate calls). The
         // drain itself is the shared `DeliveryCore`, run with an unbounded
@@ -825,6 +1086,25 @@ mod tests {
         assert_eq!(mc.read_user(1, r, VirtAddr::new(0x40000), 8).unwrap(), b"explicit");
         let got = mc.read_user(1, r, VirtAddr::new(0x90000), 8).unwrap();
         assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn binary_trace_roundtrips_to_the_json_export() {
+        let (mut mc, s, _r, dev_page) = two_nodes();
+        mc.set_tracing(true);
+        mc.write_user(0, s, VirtAddr::new(0x10000), &[0xab; 256]).unwrap();
+        for _ in 0..4 {
+            mc.send(0, s, VirtAddr::new(0x10000), dev_page, 0, 256).unwrap();
+        }
+        let json = mc.export_trace();
+        let bin = mc.export_trace_bin();
+        assert_eq!(&bin[..8], TRACE_BIN_MAGIC);
+        assert_eq!(bin.len(), 192 + 4 * 64, "4 spans at 64 bytes after the 192-byte header");
+        let converted = trace_bin_to_json(&bin).expect("well-formed buffer");
+        assert_eq!(converted, json, "converter must reproduce the JSON export byte-for-byte");
+        // Malformed buffers are rejected, not misparsed.
+        assert!(trace_bin_to_json(&bin[..bin.len() - 1]).is_none(), "truncated");
+        assert!(trace_bin_to_json(b"NOTATRACE").is_none(), "bad magic");
     }
 
     #[test]

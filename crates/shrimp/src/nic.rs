@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 
 use shrimp_devices::Device;
-use shrimp_dma::DevicePort;
+use shrimp_dma::{DevicePort, RunTiming};
 use shrimp_mem::{Pfn, PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 use shrimp_net::{NodeId, Packet};
 use shrimp_sim::{BufPool, Counter, SimDuration, SimTime, StatSet, XferId, XferMeta};
@@ -28,6 +28,25 @@ pub struct OutgoingPacket {
     pub packet: Packet,
     /// When the packetizer finished the header and the packet may enter
     /// the network.
+    pub ready_at: SimTime,
+}
+
+/// A *run* the NIC has built from a replayed message train: one template
+/// packet (member 0, holding the shared payload) plus a member count and
+/// a constant stride — the §7 gather-descriptor idea applied to the
+/// steady-state send path. Member `k` is the template with every
+/// timestamp shifted by `stride × k` and the transfer sequence number
+/// advanced by `k`.
+#[derive(Debug)]
+pub struct OutgoingRun {
+    /// Member 0 of the run.
+    pub packet: Packet,
+    /// Number of members (≥ 1).
+    pub count: u32,
+    /// Inter-member stride, nanoseconds.
+    pub stride_ns: u32,
+    /// When member 0 may enter the network (member `k` follows at
+    /// `ready_at + stride × k`).
     pub ready_at: SimTime,
 }
 
@@ -62,6 +81,10 @@ pub struct Nic {
     nipt: Nipt,
     header_cost: SimDuration,
     outgoing: Vec<OutgoingPacket>,
+    /// Burst descriptors awaiting injection; a handful at most (one per
+    /// replayed train between drains), so a small fixed reserve keeps the
+    /// steady state allocation-free.
+    outgoing_runs: Vec<OutgoingRun>,
     // Programmed-I/O window state.
     pio_dest_page: u64,
     pio_dest_offset: u64,
@@ -94,6 +117,7 @@ impl Nic {
             nipt: Nipt::new(nipt_entries),
             header_cost,
             outgoing: Vec::new(),
+            outgoing_runs: Vec::with_capacity(4),
             pio_dest_page: 0,
             pio_dest_offset: 0,
             pio_fifo: Vec::new(),
@@ -182,14 +206,22 @@ impl Nic {
         out.append(&mut self.outgoing);
     }
 
+    /// Appends all ready burst descriptors to `out`, keeping the NIC's
+    /// queue capacity for reuse (the run analogue of
+    /// [`Nic::drain_outgoing_into`]).
+    pub fn drain_runs_into(&mut self, out: &mut Vec<OutgoingRun>) {
+        out.append(&mut self.outgoing_runs);
+    }
+
     /// The NIC's payload-buffer pool (test observability).
     pub fn buf_pool(&self) -> &BufPool {
         &self.pool
     }
 
-    /// Packets built but not yet injected.
+    /// Queued send work not yet injected (single packets plus burst
+    /// descriptors; a run counts once regardless of its member count).
     pub fn outgoing_len(&self) -> usize {
-        self.outgoing.len()
+        self.outgoing.len() + self.outgoing_runs.len()
     }
 
     /// NIC statistics.
@@ -236,6 +268,39 @@ impl Nic {
         self.bytes_sent.add(data.len() as u64);
         Ok(())
     }
+
+    /// Packetize a whole replayed message train as **one** burst
+    /// descriptor: one NIPT lookup, one pool buffer, `count` consecutive
+    /// transfer IDs. Member `k`'s packet is the template shifted by
+    /// `stride × k`; `timing.status_base` is member 0's sender-side status
+    /// observation instant (pre-stamped here, since the replay bypasses
+    /// the per-message drain that normally stamps it). The caller
+    /// guarantees `timing.stride` fits in `u32` nanoseconds.
+    // lint:hot_path
+    fn packetize_burst(&mut self, dev_addr: u64, data: &[u8], count: u32, timing: RunTiming) {
+        let stride_ns = timing.stride.as_nanos() as u32;
+        let index = dev_addr >> PAGE_SHIFT;
+        let offset = dev_addr & PAGE_MASK;
+        // INVARIANT: a burst replays a transfer that already packetized
+        // once with this dev_addr; no kernel ran since, so the NIPT
+        // entry cannot have vanished mid-replay.
+        let NiptEntry { node, pfn } = self.nipt.get(index).expect("replayed NIPT entry exists");
+        let dst_paddr = PhysAddr::new(pfn.base().raw() + offset);
+        let mut packet = Packet::new(self.node, node, dst_paddr, self.pool.filled_from(data));
+        let ready_at = timing.completes_at + self.header_cost;
+        let mut meta = self.stamp(timing.started_at, ready_at);
+        meta.status_observed = timing.status_base;
+        packet.meta = meta;
+        // `stamp` consumed one sequence number; the remaining members own
+        // the next `count - 1` so the run's merge tags stay consecutive.
+        self.next_xfer += u64::from(count) - 1;
+        // lint:allow(A1) -- `outgoing_runs` keeps its capacity across
+        // drains (see drain_runs_into); steady-state pushes never
+        // reallocate, pinned by the zero_alloc bench at 0.00 allocs/msg.
+        self.outgoing_runs.push(OutgoingRun { packet, count, stride_ns, ready_at });
+        self.packets_built.add(u64::from(count));
+        self.bytes_sent.add(u64::from(count) * data.len() as u64);
+    }
 }
 
 impl DevicePort for Nic {
@@ -253,6 +318,27 @@ impl DevicePort for Nic {
         // and length; a failure here is a hardware bug.
         self.packetize(dev_addr, data, started_at, now)
             .expect("DMA to NIC passed validate but failed packetize");
+    }
+
+    fn dma_write_run(&mut self, dev_addr: u64, data: &[u8], count: u64, timing: RunTiming) {
+        if count == 0 {
+            return;
+        }
+        let ns = timing.stride.as_nanos();
+        if count > u64::from(u32::MAX) || ns > u64::from(u32::MAX) {
+            // Degenerate strides fall back to the packet-at-a-time path
+            // (the default trait behavior); runs only carry u32 deltas.
+            for k in 0..count {
+                self.dma_write_traced(
+                    dev_addr,
+                    data,
+                    timing.started_at + timing.stride * k,
+                    timing.completes_at + timing.stride * k,
+                );
+            }
+            return;
+        }
+        self.packetize_burst(dev_addr, data, count as u32, timing);
     }
 
     fn dma_read(&mut self, _dev_addr: u64, buf: &mut [u8], _now: SimTime) {
@@ -416,6 +502,32 @@ mod tests {
         n.dma_write(2 * PAGE_SIZE, &[5, 6, 7, 8], SimTime::ZERO);
         assert_eq!(n.buf_pool().free_buffers(), 0, "recycled, not reallocated");
         assert_eq!(n.take_outgoing()[0].packet.payload, [5u8, 6, 7, 8]);
+    }
+
+    #[test]
+    fn dma_write_run_builds_one_descriptor_with_consecutive_ids() {
+        let mut n = nic();
+        let stride = SimDuration::from_us(17.0);
+        let t0 = SimTime::from_nanos(1_000);
+        let status = SimTime::from_nanos(9_000);
+        let timing =
+            RunTiming { started_at: t0, completes_at: t0 + stride, stride, status_base: status };
+        n.dma_write_run(2 * PAGE_SIZE + 0x40, b"abcd", 5, timing);
+        let mut runs = Vec::new();
+        n.drain_runs_into(&mut runs);
+        assert_eq!(runs.len(), 1, "one descriptor for the whole train");
+        let run = &runs[0];
+        assert_eq!(run.count, 5);
+        assert_eq!(run.stride_ns, stride.as_nanos() as u32);
+        assert_eq!(run.packet.payload, b"abcd");
+        assert_eq!(run.packet.meta.id, XferId::new(0, 0));
+        assert_eq!(run.packet.meta.status_observed, status);
+        assert_eq!(run.ready_at, t0 + stride + SimDuration::from_us(1.2));
+        assert_eq!(n.stats().get("packets_built"), 5);
+        assert_eq!(n.stats().get("bytes_sent"), 20);
+        // The next single packet's ID follows the whole run.
+        n.dma_write(2 * PAGE_SIZE, b"next", SimTime::ZERO);
+        assert_eq!(n.take_outgoing()[0].packet.meta.id, XferId::new(0, 5));
     }
 
     #[test]

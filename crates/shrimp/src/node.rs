@@ -53,6 +53,13 @@ impl ShrimpNode {
         }
     }
 
+    /// Drains this node's NIC burst descriptors into `run_outbox`. Runs
+    /// are pre-stamped at packetize time (the replay knows each member's
+    /// status instant), so no per-packet stamping happens here.
+    pub(crate) fn drain_nic_runs(&mut self, run_outbox: &mut Vec<crate::OutgoingRun>) {
+        self.os.machine_mut().device_mut().drain_runs_into(run_outbox);
+    }
+
     /// Export: wires down `pages` pages of `pid`'s buffer at `va` so
     /// incoming deliberate updates can land in them, returning the physical
     /// frames a remote NIPT entry should name.

@@ -41,8 +41,8 @@
 //! `(link_ready, id)` key (see `DESIGN.md` §6b).
 
 use shrimp_mem::VirtAddr;
-use shrimp_net::{FabricShard, Packet};
-use shrimp_os::Pid;
+use shrimp_net::{FabricShard, PacketRun, Staged};
+use shrimp_os::{Pid, UdmaXferResult};
 use shrimp_sim::{ExchangeGrid, FlightRecorder, SimTime, SpinBarrier, TimeFrontier};
 
 use crate::engine::{DeliveryCore, Lane, LaneMap};
@@ -59,8 +59,10 @@ use crate::{Multicomputer, ShrimpError};
 const CHUNK: usize = 16;
 
 /// One user-level DMA send in a [`NodePlan`]: the arguments of
-/// [`Multicomputer::send`] minus the node index.
-#[derive(Clone, Copy, Debug)]
+/// [`Multicomputer::send`] minus the node index. `PartialEq` lets the
+/// engine spot message trains — maximal runs of identical consecutive
+/// ops — which are the burst-replay candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SendOp {
     /// Sending process.
     pub pid: Pid,
@@ -94,11 +96,12 @@ pub struct ParallelReport {
     pub packets: u64,
 }
 
-/// A cross-shard packet: `(link_ready, merge tag, packet)`. `link_ready`
-/// is the instant the packet reaches its destination's inbound link,
-/// before serialization; the tag is the packet's own transfer id
-/// (`source node ‖ per-source sequence`, minted by the sending NIC).
-type Flit = (SimTime, u64, Packet);
+/// A cross-shard staged entry: `(link_ready, merge tag, entry)`.
+/// `link_ready` is the instant the (first) packet reaches its
+/// destination's inbound link, before serialization; the tag is the
+/// packet's own transfer id (`source node ‖ per-source sequence`, minted
+/// by the sending NIC — a run's first member for [`Staged::Run`]).
+type Flit = (SimTime, u64, Staged);
 
 /// A node owned by a shard: its [`Lane`] (node + receive-side state)
 /// plus this run's send plan.
@@ -145,6 +148,11 @@ struct Shard {
     core: DeliveryCore,
     /// Scratch: NIC drain target, reused across ops.
     outbox: Vec<crate::OutgoingPacket>,
+    /// Scratch: NIC burst-descriptor drain target.
+    run_outbox: Vec<crate::OutgoingRun>,
+    /// Whether steady-state message trains may replay as runs (copied
+    /// from [`Multicomputer::burst`] at split time).
+    burst: bool,
     /// Staged outgoing flits, one batch per destination shard, posted
     /// once per epoch so mailbox locks are taken O(shards) times.
     staging: Vec<Vec<Flit>>,
@@ -205,34 +213,114 @@ impl Shard {
     }
 
     /// Runs up to [`CHUNK`] sends of node `ni`, staging its packets.
+    /// Maximal runs of identical consecutive ops (length ≥ 3) are burst
+    /// candidates: two literal sends calibrate, the rest replays as one
+    /// [`Staged::Run`]. Runs never cross the chunk window, so epoch
+    /// boundaries — and hence the timeline — are the same whether or not
+    /// batching engages.
     fn execute_chunk(&mut self, ni: usize) {
+        let end = (self.nodes[ni].next + CHUNK).min(self.nodes[ni].ops.len());
+        while self.nodes[ni].next < end {
+            let sn = &self.nodes[ni];
+            let op = sn.ops[sn.next];
+            let mut runlen = 1;
+            while sn.next + runlen < end && sn.ops[sn.next + runlen] == op {
+                runlen += 1;
+            }
+            if self.burst && runlen >= 3 {
+                // Replayed or not, the calibration sends made progress;
+                // re-detect from the new position either way.
+                self.try_execute_run(ni, op, runlen);
+                if self.nodes[ni].exhausted() {
+                    return;
+                }
+            } else if self.execute_one(ni, op).is_none() {
+                return;
+            }
+        }
+    }
+
+    /// Runs one literal send of `op` on node `ni`, staging its packets.
+    /// Returns `None` after a kernel trap (which finishes the node's
+    /// plan).
+    // lint:hot_path
+    fn execute_one(&mut self, ni: usize, op: SendOp) -> Option<UdmaXferResult> {
         let tracing = self.core.tracing();
         let sn = &mut self.nodes[ni];
-        let end = (sn.next + CHUNK).min(sn.ops.len());
-        while sn.next < end {
-            let op = sn.ops[sn.next];
-            sn.next += 1;
-            if let Err(trap) = sn.lane.node.os_mut().udma_send(
-                op.pid,
-                op.src_va,
-                op.dev_page,
-                op.dev_off,
-                op.nbytes,
-            ) {
+        sn.next += 1;
+        let result = match sn.lane.node.os_mut().udma_send(
+            op.pid,
+            op.src_va,
+            op.dev_page,
+            op.dev_off,
+            op.nbytes,
+        ) {
+            Ok(result) => result,
+            Err(trap) => {
+                // lint:allow(A1) -- a trap is terminal for the node's
+                // plan: the cold error path, never the steady state.
                 self.errors.push((sn.index, trap.into()));
                 sn.next = sn.ops.len();
-                break;
+                return None;
             }
-            self.messages += 1;
-            sn.lane.node.drain_nic(tracing, &mut self.outbox);
-            for out in self.outbox.drain(..) {
-                let mut pkt = out.packet;
-                let link_ready = self.fabric.inject(&mut pkt, out.ready_at);
-                let tag = pkt.meta.id.raw();
-                self.packets += 1;
-                let dst_shard = pkt.dst.raw() as usize % self.threads;
-                self.staging[dst_shard].push((link_ready, tag, pkt));
-            }
+        };
+        self.messages += 1;
+        sn.lane.node.drain_nic(tracing, &mut self.outbox);
+        for out in self.outbox.drain(..) {
+            let mut pkt = out.packet;
+            let link_ready = self.fabric.inject(&mut pkt, out.ready_at);
+            let tag = pkt.meta.id.raw();
+            self.packets += 1;
+            let dst_shard = pkt.dst.raw() as usize % self.threads;
+            // lint:allow(A1) -- staging batches keep their capacity across
+            // epochs (post_batch drains them in place), so steady-state
+            // pushes never reallocate.
+            self.staging[dst_shard].push((link_ready, tag, Staged::One(pkt)));
+        }
+        Some(result)
+    }
+
+    /// Calibrates a train of `runlen` identical ops on node `ni` with two
+    /// literal sends; if they hit the model's steady-state stride, the
+    /// remaining `runlen - 2` replay wholesale and stage as one run.
+    /// Always consumes at least the two calibration ops.
+    // lint:hot_path
+    fn try_execute_run(&mut self, ni: usize, op: SendOp, runlen: usize) {
+        let Some(r0) = self.execute_one(ni, op) else { return };
+        let e0 = self.nodes[ni].lane.node.os().machine().now();
+        let Some(r1) = self.execute_one(ni, op) else { return };
+        let e1 = self.nodes[ni].lane.node.os().machine().now();
+        let stride = e1.saturating_duration_since(e0);
+        let model =
+            crate::engine::steady_stride(self.nodes[ni].lane.node.os().machine().cost(), op.nbytes);
+        let eligible = r0.transfers == 1
+            && r0.retries == 0
+            && r1 == r0
+            && stride == model
+            && stride.as_nanos() <= u64::from(u32::MAX);
+        if !eligible {
+            return;
+        }
+        let count = (runlen - 2) as u64;
+        let sn = &mut self.nodes[ni];
+        if !sn.lane.node.os_mut().machine_mut().udma_replay_messages(count, stride) {
+            return;
+        }
+        sn.next += runlen - 2;
+        self.messages += count;
+        sn.lane.node.drain_nic_runs(&mut self.run_outbox);
+        for out in self.run_outbox.drain(..) {
+            let ready_at = out.ready_at;
+            let mut run =
+                PacketRun { template: out.packet, count: out.count, stride_ns: out.stride_ns };
+            let link_ready = self.fabric.inject_run(&mut run, ready_at);
+            let tag = run.template.meta.id.raw();
+            self.packets += u64::from(run.count);
+            let dst_shard = run.template.dst.raw() as usize % self.threads;
+            // lint:allow(A1) -- staging batches keep their capacity across
+            // epochs (post_batch drains them in place), so steady-state
+            // pushes never reallocate.
+            self.staging[dst_shard].push((link_ready, tag, Staged::Run(run)));
         }
     }
 }
@@ -273,7 +361,10 @@ impl Multicomputer {
         // Disassemble: lanes (nodes + receive-side state) move to their
         // shards (round-robin: shard `s` owns nodes `s, s+threads, …`),
         // the fabric splits into per-shard link state, and each shard
-        // gets its own instance of the delivery core.
+        // gets its own instance of the delivery core. Scratch queues are
+        // sized for a full epoch up front so the epoch loop never grows
+        // them.
+        let per_shard = n.div_ceil(threads);
         let mut shards: Vec<Shard> = self
             .fabric
             .split(threads)
@@ -293,9 +384,11 @@ impl Multicomputer {
                     r.set_enabled(self.core.recorder.is_enabled());
                     r
                 }),
-                outbox: Vec::new(),
-                staging: (0..threads).map(|_| Vec::new()).collect(),
-                incoming: Vec::new(),
+                outbox: Vec::with_capacity(8),
+                run_outbox: Vec::with_capacity(4),
+                burst: self.burst(),
+                staging: (0..threads).map(|_| Vec::with_capacity(CHUNK * per_shard)).collect(),
+                incoming: Vec::with_capacity(CHUNK * n),
                 epochs: 0,
                 messages: 0,
                 packets: 0,

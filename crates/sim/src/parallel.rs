@@ -246,6 +246,13 @@ impl<T> MergeQueue<T> {
         self.heap.peek().map(|e| e.0.at)
     }
 
+    /// Earliest full `(time, tag)` key, if any. Run-commit uses this to
+    /// decide how many members of a contiguous run stay ahead of every
+    /// other staged entry.
+    pub fn next_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|e| e.0.key())
+    }
+
     /// Entries currently queued.
     pub fn len(&self) -> usize {
         self.heap.len()
