@@ -16,6 +16,7 @@
 //! not depend on the thread count.
 
 use std::process::Command;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use shrimp::{Multicomputer, NodePlan, SendOp};
@@ -23,6 +24,60 @@ use shrimp_machine::MachineConfig;
 use shrimp_mem::{VirtAddr, PAGE_SIZE};
 
 use crate::alloc_count;
+
+/// Node count above which streams use small per-node memory: the
+/// data plane only touches the mapped buffers, and whole-memory state
+/// digests over hundreds of default-sized (8 MB) nodes would measure
+/// the digest, not the engine.
+const SMALL_NODE_THRESHOLD: u16 = 16;
+
+/// Monotonic host nanoseconds since the first call, for injection as the
+/// engine's phase clock ([`Multicomputer::set_phase_clock`]). The
+/// simulator core never reads host time itself; this lives in the bench
+/// layer and is handed in as a plain `fn` pointer.
+pub fn host_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Host-time epoch-phase totals of a parallel run, summed across shards
+/// (`None` on serial rows). `barrier_ns` is the straggler wait; a large
+/// share there means shard imbalance, not engine cost.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseNs {
+    /// Barrier crossings sampled (execute-phase samples, all shards).
+    pub crossings: u64,
+    /// Plan execution: sends, NIC drains, staging posts.
+    pub execute_ns: u64,
+    /// Barrier waits (both per-crossing barriers).
+    pub barrier_ns: u64,
+    /// Mailbox drain plus staged-queue merge.
+    pub merge_ns: u64,
+    /// Horizon-bounded delivery commit.
+    pub commit_ns: u64,
+}
+
+impl PhaseNs {
+    fn from_breakdown(phases: &shrimp::PhaseBreakdown) -> Self {
+        PhaseNs {
+            crossings: phases.execute.count(),
+            execute_ns: phases.execute.sum(),
+            barrier_ns: phases.barrier.sum(),
+            merge_ns: phases.merge.sum(),
+            commit_ns: phases.commit.sum(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            concat!(
+                "{{\"crossings\":{},\"execute_ns\":{},\"barrier_ns\":{},",
+                "\"merge_ns\":{},\"commit_ns\":{}}}"
+            ),
+            self.crossings, self.execute_ns, self.barrier_ns, self.merge_ns, self.commit_ns,
+        )
+    }
+}
 
 /// One measured workload.
 #[derive(Clone, Debug)]
@@ -55,6 +110,8 @@ pub struct ThroughputResult {
     /// counting allocator is registered — build with `count-allocs` and
     /// the `host_throughput` binary registers it).
     pub allocs_per_msg: Option<f64>,
+    /// Epoch-phase breakdown in host nanoseconds (parallel rows only).
+    pub phases: Option<PhaseNs>,
 }
 
 impl ThroughputResult {
@@ -64,12 +121,16 @@ impl ThroughputResult {
             Some(a) => format!("{a:.3}"),
             None => "null".to_string(),
         };
+        let phases = match self.phases {
+            Some(p) => p.to_json(),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"nodes\":{},\"msg_bytes\":{},\"messages\":{},",
                 "\"threads\":{},\"wall_s\":{:.4},\"msgs_per_sec\":{:.1},\"mb_per_sec\":{:.2},",
                 "\"digest\":\"{:#018x}\",\"commit\":\"{}\",\"host_cores\":{},",
-                "\"allocs_per_msg\":{}}}"
+                "\"allocs_per_msg\":{},\"phases\":{}}}"
             ),
             self.name,
             self.nodes,
@@ -83,6 +144,7 @@ impl ThroughputResult {
             self.commit,
             self.host_cores,
             allocs,
+            phases,
         )
     }
 }
@@ -180,7 +242,12 @@ fn stream_pairs_impl(
     traced: bool,
 ) -> (ThroughputResult, Option<(String, Vec<u8>)>) {
     assert!(nodes >= 2 && nodes.is_multiple_of(2), "need sender/receiver pairs");
-    let mut mc = Multicomputer::with_machine_config(nodes, MachineConfig::default());
+    let machine = if nodes > SMALL_NODE_THRESHOLD {
+        MachineConfig { mem_bytes: 64 * PAGE_SIZE, ..MachineConfig::default() }
+    } else {
+        MachineConfig::default()
+    };
+    let mut mc = Multicomputer::with_machine_config(nodes, machine);
     let pairs = usize::from(nodes) / 2;
     let pages = msg_bytes.div_ceil(PAGE_SIZE).max(1) + 1;
 
@@ -234,6 +301,12 @@ fn stream_pairs_impl(
             })
             .collect()
     };
+    if threads > 0 {
+        // Warm the clock's epoch outside the measured region, then hand
+        // it to the engine so parallel rows report a phase breakdown.
+        let _ = host_nanos();
+        mc.set_phase_clock(Some(host_nanos));
+    }
     let alloc_mark = alloc_count::allocation_count();
     let wall_s = if threads == 0 {
         // Each flow is a §7 message train: the serial driver batches its
@@ -284,6 +357,7 @@ fn stream_pairs_impl(
         } else {
             None
         },
+        phases: (threads > 0).then(|| PhaseNs::from_breakdown(mc.phase_breakdown())),
     };
     (result, trace)
 }

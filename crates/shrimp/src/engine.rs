@@ -111,8 +111,8 @@ impl DeliveryCore {
 
     /// Commits every staged entry with `link_ready` at or before
     /// `horizon` (`None` = drain everything), in the fabric's
-    /// deterministic `(link_ready, id)` order: **the** delivery drain
-    /// loop. A single packet delivers one at a time; a run's committed
+    /// deterministic per-destination `(link_ready, id)` order (see
+    /// [`FabricShard::commit_next`]): **the** delivery drain loop. A single packet delivers one at a time; a run's committed
     /// prefix delivers under one dispatch — one horizon check and one
     /// lane lookup cover the whole prefix. Allocation-free.
     // lint:hot_path

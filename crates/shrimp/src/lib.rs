@@ -60,4 +60,4 @@ pub use multicomputer::{
 pub use nic::{Nic, OutgoingPacket, OutgoingRun, PioError, NIC_MMIO};
 pub use nipt::{Nipt, NiptEntry};
 pub use node::ShrimpNode;
-pub use parallel::{NodePlan, ParallelReport, SendOp};
+pub use parallel::{NodePlan, ParallelReport, PhaseBreakdown, SendOp, MAX_EPOCH_WINDOWS};

@@ -244,6 +244,14 @@ pub struct Multicomputer {
     /// literal packet-at-a-time path — the digest-equality tests compare
     /// both modes.
     burst: bool,
+    /// Forced windows-per-barrier count for parallel runs (`None` =
+    /// adaptive from plan depth; see [`Multicomputer::set_epoch_windows`]).
+    pub(crate) epoch_windows: Option<usize>,
+    /// Host phase clock for epoch-phase breakdowns (`None` = timing off;
+    /// see [`Multicomputer::set_phase_clock`]).
+    pub(crate) phase_clock: Option<fn() -> u64>,
+    /// Merged epoch-phase breakdown of the most recent parallel run.
+    pub(crate) phases: crate::parallel::PhaseBreakdown,
 }
 
 impl Multicomputer {
@@ -270,6 +278,9 @@ impl Multicomputer {
             outbox: Vec::new(),
             run_outbox: Vec::with_capacity(8),
             burst: true,
+            epoch_windows: None,
+            phase_clock: None,
+            phases: crate::parallel::PhaseBreakdown::default(),
         }
     }
 
@@ -674,6 +685,37 @@ impl Multicomputer {
     /// Whether run batching is enabled.
     pub fn burst(&self) -> bool {
         self.burst
+    }
+
+    /// Forces the windows-per-barrier count for [`Multicomputer::run`]
+    /// (clamped to `[1, MAX_EPOCH_WINDOWS]`), or restores the default
+    /// adaptive selection with `None`. The count only sets how much work
+    /// each shard executes between barrier crossings; the simulated
+    /// timeline, digests and traces are identical at every value — the
+    /// K-sweep determinism tests pin exactly that.
+    pub fn set_epoch_windows(&mut self, windows: Option<usize>) {
+        self.epoch_windows = windows;
+    }
+
+    /// The forced windows-per-barrier count, if any.
+    pub fn epoch_windows(&self) -> Option<usize> {
+        self.epoch_windows
+    }
+
+    /// Installs (or removes) a host phase clock: a monotonic nanosecond
+    /// counter sampled by every shard around each epoch phase of
+    /// [`Multicomputer::run`]. The simulator itself never reads host
+    /// time — the clock is injected by the benchmark layer, keeping the
+    /// core deterministic — and the samples land in
+    /// [`Multicomputer::phase_breakdown`].
+    pub fn set_phase_clock(&mut self, clock: Option<fn() -> u64>) {
+        self.phase_clock = clock;
+    }
+
+    /// Host-time epoch-phase breakdown of the most recent
+    /// [`Multicomputer::run`]. Empty unless a phase clock was installed.
+    pub fn phase_breakdown(&self) -> &crate::parallel::PhaseBreakdown {
+        &self.phases
     }
 
     /// The model's steady-state per-message clock stride for a warm

@@ -17,10 +17,13 @@
 //! Each epoch has two barrier-separated phases:
 //!
 //! 1. **Execute** — every shard runs each of its unfinished nodes for up
-//!    to [`CHUNK`] sends. Outgoing packets are injected into the shard's
-//!    [`FabricShard`] (routing latency only) and posted to the receiving
-//!    shard's mailbox keyed `(link_ready, transfer id)`. The shard then
-//!    publishes a bound: the minimum clock of its unfinished nodes.
+//!    to `K ·` [`CHUNK`] sends, where `K` is the crossing's
+//!    windows-per-barrier count: `K` lookahead windows' worth of work
+//!    paid for with *one* barrier crossing (see [`WindowSchedule`]).
+//!    Outgoing packets are injected into the shard's [`FabricShard`]
+//!    (routing latency only) and posted to the receiving shard's mailbox
+//!    keyed `(link_ready, transfer id)`. The shard then publishes a
+//!    bound: the minimum clock of its unfinished nodes.
 //! 2. **Commit** — after the barrier, every shard reads the global
 //!    horizon (minimum published bound), drains its mailboxes into its
 //!    fabric's staged queue, and lets its `DeliveryCore` commit every
@@ -31,10 +34,11 @@
 //!
 //! **Determinism.** The horizon is the minimum over *all* unfinished
 //! node clocks — independent of how nodes are assigned to shards — and
-//! per-epoch node progress is a fixed chunk, so the sequence of horizons
-//! is a pure function of the plan. Each destination's packets are
-//! committed in `(link_ready, id)` order with per-destination receive
-//! state, so the simulated timeline and receiver memory are
+//! per-epoch node progress is a fixed span (`K · CHUNK` sends, with `K`
+//! itself a pure function of the plan shape), so the sequence of
+//! horizons is a pure function of the plan. Each destination's packets
+//! are committed in `(link_ready, id)` order with per-destination
+//! receive state, so the simulated timeline and receiver memory are
 //! **bit-identical at any thread count**, including `threads = 1`.
 //! Equivalence with the *serial* [`Multicomputer::send`] driver holds
 //! because both now stage and commit through the same code with the same
@@ -43,7 +47,7 @@
 use shrimp_mem::VirtAddr;
 use shrimp_net::{FabricShard, PacketRun, Staged};
 use shrimp_os::{Pid, UdmaXferResult};
-use shrimp_sim::{ExchangeGrid, FlightRecorder, SimTime, SpinBarrier, TimeFrontier};
+use shrimp_sim::{ExchangeGrid, FlightRecorder, Histogram, SimTime, SpinBarrier, TimeFrontier};
 
 use crate::engine::{DeliveryCore, Lane, LaneMap};
 use crate::{Multicomputer, ShrimpError};
@@ -57,6 +61,100 @@ use crate::{Multicomputer, ShrimpError};
 /// aged out of cache, then re-read at commit), large enough to amortize
 /// the two barriers. 16 measured best on the `host_throughput` sweep.
 const CHUNK: usize = 16;
+
+/// Upper bound on windows executed per barrier crossing. Deep plans run
+/// `MAX_EPOCH_WINDOWS · CHUNK` sends between barriers, cutting
+/// barrier/frontier traffic (and run-calibration overhead — longer
+/// windows mean longer replayed trains) by up to this factor. On a
+/// big mesh the execute phase sweeps every owned node's machine state
+/// once per crossing, so the span bound directly sets how often that
+/// sweep re-fills the cache: 64 windows (1024 sends per node between
+/// barriers) measured best on the 64–1024-node `host_throughput` rows.
+/// Payload footprint no longer argues for a small span — steady-state
+/// trains stage as [`PacketRun`]s, one payload per train regardless of
+/// the window count.
+pub const MAX_EPOCH_WINDOWS: usize = 64;
+
+/// Deterministic windows-per-crossing schedule.
+///
+/// Every shard carries a clone and calls [`WindowSchedule::next`]
+/// exactly once per barrier crossing, so all shards agree on the span
+/// without communicating. The schedule is a pure function of the
+/// *initial plan shape* (per-node op counts) and the optional forced
+/// override — never of execution outcomes or the thread count — so the
+/// epoch boundaries, and with them the whole timeline, are identical at
+/// any parallelism. The prediction deliberately ignores traps: a trapped
+/// node finishes its plan early, which only makes a predicted window
+/// partially idle, never incorrect.
+#[derive(Clone, Debug)]
+struct WindowSchedule {
+    /// Predicted sends remaining per node.
+    pred: Vec<usize>,
+    /// Forced window count ([`Multicomputer::set_epoch_windows`]);
+    /// `None` selects adaptively from the deepest remaining plan.
+    forced: Option<usize>,
+}
+
+impl WindowSchedule {
+    fn new(ops: &[Vec<SendOp>], forced: Option<usize>) -> Self {
+        WindowSchedule { pred: ops.iter().map(Vec::len).collect(), forced }
+    }
+
+    /// Window count for the next barrier crossing; advances the plan
+    /// prediction.
+    fn next(&mut self) -> usize {
+        let k = match self.forced {
+            Some(k) => k.clamp(1, MAX_EPOCH_WINDOWS),
+            None => {
+                let deepest = self.pred.iter().copied().max().unwrap_or(0);
+                deepest.div_ceil(CHUNK).clamp(1, MAX_EPOCH_WINDOWS)
+            }
+        };
+        for rem in &mut self.pred {
+            *rem = rem.saturating_sub(k * CHUNK);
+        }
+        k
+    }
+}
+
+/// Host wall-clock nanoseconds per epoch phase, recorded when a phase
+/// clock is installed ([`Multicomputer::set_phase_clock`]) and merged
+/// across shards after a run. Pure observation of *host* time — the
+/// simulated timeline cannot see it. One `execute` sample is recorded
+/// per shard per barrier crossing; `barrier` gets two samples per
+/// crossing (both waits).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Plan execution: sends, NIC drains, staging posts, bound publish.
+    pub execute: Histogram,
+    /// Barrier waits (the straggler penalty of the crossing).
+    pub barrier: Histogram,
+    /// Mailbox drain plus staged-queue merge.
+    pub merge: Histogram,
+    /// Horizon-bounded delivery commit.
+    pub commit: Histogram,
+}
+
+impl PhaseBreakdown {
+    /// Folds another shard's samples into this breakdown.
+    pub fn merge_from(&mut self, other: &PhaseBreakdown) {
+        self.execute.merge(&other.execute);
+        self.barrier.merge(&other.barrier);
+        self.merge.merge(&other.merge);
+        self.commit.merge(&other.commit);
+    }
+}
+
+/// Records the nanoseconds since `*mark` into `hist` and re-marks.
+/// Cost-free when no phase clock is installed.
+#[inline]
+fn lap(clock: Option<fn() -> u64>, mark: &mut u64, hist: &mut Histogram) {
+    if let Some(c) = clock {
+        let now = c();
+        hist.record(now.saturating_sub(*mark));
+        *mark = now;
+    }
+}
 
 /// One user-level DMA send in a [`NodePlan`]: the arguments of
 /// [`Multicomputer::send`] minus the node index. `PartialEq` lets the
@@ -158,6 +256,12 @@ struct Shard {
     staging: Vec<Vec<Flit>>,
     /// Scratch: mailbox drain target.
     incoming: Vec<Flit>,
+    /// This shard's clone of the global windows-per-crossing schedule.
+    schedule: WindowSchedule,
+    /// Host phase clock (`None` = phase timing off).
+    clock: Option<fn() -> u64>,
+    /// Host-time samples per epoch phase (empty when `clock` is `None`).
+    phases: PhaseBreakdown,
     epochs: u64,
     messages: u64,
     packets: u64,
@@ -168,11 +272,15 @@ struct Shard {
 
 impl Shard {
     fn run(&mut self, barrier: &SpinBarrier, frontier: &TimeFrontier, grid: &ExchangeGrid<Flit>) {
+        let clock = self.clock;
+        let mut mark = clock.map_or(0, |c| c());
         loop {
             self.epochs += 1;
-            // Execute phase.
+            // Execute phase: K lookahead windows' worth of sends per
+            // node, all paid for with the one barrier crossing below.
+            let span = self.schedule.next() * CHUNK;
             for ni in 0..self.nodes.len() {
-                self.execute_chunk(ni);
+                self.execute_chunk(ni, span);
             }
             for dst in 0..self.threads {
                 grid.post_batch(self.id, dst, &mut self.staging[dst]);
@@ -184,7 +292,9 @@ impl Shard {
                 .map(|n| n.lane.node.os().machine().now())
                 .min();
             frontier.publish(self.id, bound);
+            lap(clock, &mut mark, &mut self.phases.execute);
             barrier.wait();
+            lap(clock, &mut mark, &mut self.phases.barrier);
 
             // Commit phase. The horizon is only meaningful between the
             // two barriers: every shard has published, none has moved on.
@@ -193,12 +303,15 @@ impl Shard {
             for (at, tag, pkt) in self.incoming.drain(..) {
                 self.fabric.stage(at, tag, pkt);
             }
+            lap(clock, &mut mark, &mut self.phases.merge);
             self.core.commit_due(
                 &mut self.fabric,
                 &mut RoundRobin { nodes: &mut self.nodes, threads: self.threads, id: self.id },
                 horizon,
             );
+            lap(clock, &mut mark, &mut self.phases.commit);
             barrier.wait();
+            lap(clock, &mut mark, &mut self.phases.barrier);
 
             // A `None` horizon means every shard was exhausted when it
             // published, so this commit drained everything in flight.
@@ -212,14 +325,14 @@ impl Shard {
         }
     }
 
-    /// Runs up to [`CHUNK`] sends of node `ni`, staging its packets.
-    /// Maximal runs of identical consecutive ops (length ≥ 3) are burst
-    /// candidates: two literal sends calibrate, the rest replays as one
-    /// [`Staged::Run`]. Runs never cross the chunk window, so epoch
-    /// boundaries — and hence the timeline — are the same whether or not
-    /// batching engages.
-    fn execute_chunk(&mut self, ni: usize) {
-        let end = (self.nodes[ni].next + CHUNK).min(self.nodes[ni].ops.len());
+    /// Runs up to `span` sends of node `ni` (the crossing's
+    /// `K ·` [`CHUNK`] window), staging its packets. Maximal runs of
+    /// identical consecutive ops (length ≥ 3) are burst candidates: two
+    /// literal sends calibrate, the rest replays as one [`Staged::Run`].
+    /// Runs never cross the window, so epoch boundaries — and hence the
+    /// timeline — are the same whether or not batching engages.
+    fn execute_chunk(&mut self, ni: usize, span: usize) {
+        let end = (self.nodes[ni].next + span).min(self.nodes[ni].ops.len());
         while self.nodes[ni].next < end {
             let sn = &self.nodes[ni];
             let op = sn.ops[sn.next];
@@ -357,6 +470,9 @@ impl Multicomputer {
         }
         self.run_until_quiet();
         let threads = threads.clamp(1, n);
+        // The windows-per-crossing schedule is fixed by the plan shape
+        // before the machine disassembles; every shard gets a clone.
+        let schedule = WindowSchedule::new(&ops, self.epoch_windows);
 
         // Disassemble: lanes (nodes + receive-side state) move to their
         // shards (round-robin: shard `s` owns nodes `s, s+threads, …`),
@@ -389,6 +505,9 @@ impl Multicomputer {
                 burst: self.burst(),
                 staging: (0..threads).map(|_| Vec::with_capacity(CHUNK * per_shard)).collect(),
                 incoming: Vec::with_capacity(CHUNK * n),
+                schedule: schedule.clone(),
+                clock: self.phase_clock,
+                phases: PhaseBreakdown::default(),
                 epochs: 0,
                 messages: 0,
                 packets: 0,
@@ -406,7 +525,10 @@ impl Multicomputer {
 
         let barrier = SpinBarrier::new(threads);
         let frontier = TimeFrontier::new(threads);
-        let grid: ExchangeGrid<Flit> = ExchangeGrid::new(threads);
+        // Lanes pre-reserve one window's worth of literal sends per
+        // owned node; batch posts then reuse capacity in steady state
+        // (runs cross as single entries, so burst mode needs far less).
+        let grid: ExchangeGrid<Flit> = ExchangeGrid::with_lane_capacity(threads, CHUNK * per_shard);
         if threads == 1 {
             // The degenerate serial case: run the one shard inline — the
             // barriers and frontier are trivially uncontended and no
@@ -434,7 +556,9 @@ impl Multicomputer {
         let mut fabric_shards = Vec::with_capacity(threads);
         let mut recorders = Vec::with_capacity(threads);
         let mut first_error: Option<(usize, ShrimpError)> = None;
+        self.phases = PhaseBreakdown::default();
         for shard in shards {
+            self.phases.merge_from(&shard.phases);
             recorders.push(shard.core.recorder);
             report.epochs = report.epochs.max(shard.epochs);
             report.messages += shard.messages;

@@ -28,8 +28,6 @@
 //! sequences. The simulated timeline therefore cannot observe the
 //! thread count.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -95,59 +93,72 @@ impl SpinBarrier {
 /// the epoch, not of thread scheduling.
 #[derive(Debug)]
 pub struct ExchangeGrid<T> {
-    /// `slots[dst][src]`.
-    slots: Vec<Vec<Mutex<Vec<T>>>>,
+    shards: usize,
+    /// Flat `(dst, src)` lanes: lane `(src, dst)` lives at
+    /// `dst * shards + src`, so a destination's inbound lanes are
+    /// contiguous and a drain walks one cache-linear stripe.
+    lanes: Vec<Mutex<Vec<T>>>,
 }
 
 impl<T> ExchangeGrid<T> {
-    /// A grid for `shards` shards.
+    /// A grid for `shards` shards with empty (lazily growing) lanes.
     pub fn new(shards: usize) -> Self {
-        let slots =
-            (0..shards).map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect()).collect();
-        ExchangeGrid { slots }
+        Self::with_lane_capacity(shards, 0)
+    }
+
+    /// A grid for `shards` shards whose every lane pre-reserves room for
+    /// `capacity` items, so steady-state batch posts never grow a lane.
+    pub fn with_lane_capacity(shards: usize, capacity: usize) -> Self {
+        let lanes =
+            (0..shards * shards).map(|_| Mutex::new(Vec::with_capacity(capacity))).collect();
+        ExchangeGrid { shards, lanes }
     }
 
     /// Number of shards the grid connects.
     pub fn shards(&self) -> usize {
-        self.slots.len()
+        self.shards
+    }
+
+    fn lane(&self, src: usize, dst: usize) -> &Mutex<Vec<T>> {
+        &self.lanes[dst * self.shards + src]
     }
 
     /// Posts one item from shard `src` to shard `dst`.
     pub fn post(&self, src: usize, dst: usize, item: T) {
         // INVARIANT: mailbox-lock holders never panic while holding the
         // lock, so the mutex cannot be poisoned.
-        self.slots[dst][src].lock().expect("mailbox poisoned").push(item);
+        self.lane(src, dst).lock().expect("mailbox poisoned").push(item);
     }
 
-    /// Moves every item out of `batch` into the `(src, dst)` mailbox,
+    /// Moves every item out of `batch` into the `(src, dst)` lane,
     /// keeping `batch`'s capacity — one lock per batch instead of one
     /// per item.
+    // lint:hot_path
     pub fn post_batch(&self, src: usize, dst: usize, batch: &mut Vec<T>) {
         if batch.is_empty() {
             return;
         }
         // INVARIANT: mailbox-lock holders never panic while holding the
         // lock, so the mutex cannot be poisoned.
-        self.slots[dst][src].lock().expect("mailbox poisoned").append(batch);
+        self.lane(src, dst).lock().expect("mailbox poisoned").append(batch);
     }
 
-    /// Drains every mailbox addressed to `dst` (in source-shard order)
+    /// Drains every lane addressed to `dst` (in source-shard order)
     /// into `out`.
+    // lint:hot_path
     pub fn drain_to(&self, dst: usize, out: &mut Vec<T>) {
-        for slot in &self.slots[dst] {
+        for lane in &self.lanes[dst * self.shards..(dst + 1) * self.shards] {
             // INVARIANT: mailbox-lock holders never panic while holding
             // the lock, so the mutex cannot be poisoned.
-            out.append(&mut slot.lock().expect("mailbox poisoned"));
+            out.append(&mut lane.lock().expect("mailbox poisoned"));
         }
     }
 
-    /// Whether every mailbox in the grid is empty.
+    /// Whether every lane in the grid is empty.
     pub fn is_empty(&self) -> bool {
-        self.slots
-            .iter()
-            // INVARIANT: mailbox-lock holders never panic while holding
-            // the lock, so the mutex cannot be poisoned.
-            .all(|row| row.iter().all(|s| s.lock().expect("mailbox poisoned").is_empty()))
+        // INVARIANT: mailbox-lock holders never panic while holding
+        // the lock, so the mutex cannot be poisoned.
+        self.lanes.iter().all(|lane| lane.lock().expect("mailbox poisoned").is_empty())
     }
 }
 
@@ -177,27 +188,21 @@ impl<T> MergeEntry<T> {
     fn key(&self) -> (SimTime, u64) {
         (self.at, self.tag)
     }
-}
 
-impl<T> PartialEq for MergeEntry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
+    fn raw_at(&self) -> u64 {
+        self.at.as_nanos()
     }
 }
 
-impl<T> Eq for MergeEntry<T> {}
-
-impl<T> PartialOrd for MergeEntry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for MergeEntry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
-    }
-}
+/// Buckets in one calendar rung.
+const WHEEL_BUCKETS: usize = 64;
+/// Fixed per-bucket slab capacity; a bucket's excess spills to the
+/// sorted spill lane.
+const BUCKET_CAP: usize = 32;
+/// Minimum bucket width in nanoseconds (power of two). One rung then
+/// spans at least 64 µs — several fabric lookaheads — so steady-state
+/// pushes land inside the rung.
+const MIN_BUCKET_WIDTH: u64 = 1024;
 
 /// A deterministic min-queue keyed `(SimTime, tag)`.
 ///
@@ -205,15 +210,69 @@ impl<T> Ord for MergeEntry<T> {
 /// *insertion* order (correct for a single-threaded scheduler, undefined
 /// across threads), `MergeQueue` orders purely by the caller-supplied
 /// key, so its pop sequence is a function of the inserted set alone.
-#[derive(Debug, Default)]
+///
+/// Layout: a calendar wheel instead of a binary heap. Keys below
+/// `cur_end` live in `cur`, sorted descending so the minimum pops from
+/// the back in O(1). Keys inside the current rung `[base, base +
+/// 64·width)` drop into one of 64 fixed-capacity slab buckets by
+/// `(time - base) / width` — an O(1), cache-linear append; a full
+/// bucket spills to the sorted `spill` lane. Keys beyond the rung go to
+/// the unsorted `overflow` lane. When `cur` drains, the next non-empty
+/// bucket (plus any spill due in its range) is sorted into `cur`; when
+/// the whole rung drains, the rung re-seeds from `overflow`, re-basing
+/// at the overflow minimum and re-widening so the span fits 64 buckets.
+/// Steady-state stride-encoded keys (PR 6's run batching) walk the rung
+/// bucket by bucket, so pushes and pops never touch heap-churn paths,
+/// and all storage is retained across rungs.
+#[derive(Debug)]
 pub struct MergeQueue<T> {
-    heap: BinaryHeap<Reverse<MergeEntry<T>>>,
+    /// Entries with keys below `cur_end`, sorted descending by
+    /// `(time, tag)`; the global minimum is `cur.last()`.
+    cur: Vec<MergeEntry<T>>,
+    /// Slab of `WHEEL_BUCKETS * BUCKET_CAP` slots; bucket `k` owns
+    /// `slab[k*BUCKET_CAP..][..counts[k]]`.
+    slab: Vec<Option<MergeEntry<T>>>,
+    /// Live entries per bucket.
+    counts: [usize; WHEEL_BUCKETS],
+    /// In-rung entries whose bucket was full, sorted descending by key.
+    spill: Vec<MergeEntry<T>>,
+    /// Entries at or beyond the rung end, unsorted.
+    overflow: Vec<MergeEntry<T>>,
+    /// First instant covered by the rung.
+    base: u64,
+    /// Bucket span in nanoseconds (power of two, ≥ `MIN_BUCKET_WIDTH`).
+    width: u64,
+    /// Exclusive upper bound of the consumed region: always
+    /// `base + k·width` for the next unconsumed bucket `k`.
+    cur_end: u64,
+    len: usize,
+}
+
+impl<T> Default for MergeQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<T> MergeQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        MergeQueue { heap: BinaryHeap::new() }
+        MergeQueue {
+            cur: Vec::with_capacity(BUCKET_CAP * 2),
+            slab: (0..WHEEL_BUCKETS * BUCKET_CAP).map(|_| None).collect(),
+            counts: [0; WHEEL_BUCKETS],
+            spill: Vec::with_capacity(BUCKET_CAP),
+            overflow: Vec::with_capacity(BUCKET_CAP),
+            base: 0,
+            width: MIN_BUCKET_WIDTH,
+            cur_end: 0,
+            len: 0,
+        }
+    }
+
+    /// Exclusive upper bound of the current rung.
+    fn rung_end(&self) -> u64 {
+        self.base.saturating_add(self.width.saturating_mul(WHEEL_BUCKETS as u64))
     }
 
     /// Inserts `item` keyed `(at, tag)`. Tags must be unique per queue
@@ -221,46 +280,196 @@ impl<T> MergeQueue<T> {
     /// duplicate keys would pop in unspecified relative order.
     // lint:hot_path
     pub fn push(&mut self, at: SimTime, tag: u64, item: T) {
-        // lint:allow(A1) -- the heap's backing storage is retained across
-        // pops; steady-state pushes reuse capacity and never allocate.
-        self.heap.push(Reverse(MergeEntry { at, tag, item }));
+        let entry = MergeEntry { at, tag, item };
+        self.len += 1;
+        if entry.raw_at() < self.cur_end {
+            // Already-consumed region (restaged run tails land here):
+            // keep `cur` sorted descending so the minimum stays at the
+            // back. Near-past keys insert near the back — a short move.
+            let idx = self.cur.partition_point(|e| e.key() > entry.key());
+            self.cur.insert(idx, entry);
+        } else if entry.raw_at() < self.rung_end() {
+            self.place_in_rung(entry);
+        } else {
+            // lint:allow(A1) -- the overflow lane retains its capacity
+            // across rung re-seeds; steady-state pushes reuse it.
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Files an in-rung entry into its slab bucket, or into the sorted
+    /// spill lane when the bucket is full.
+    // lint:hot_path
+    fn place_in_rung(&mut self, entry: MergeEntry<T>) {
+        let bucket = ((entry.raw_at() - self.base) / self.width) as usize;
+        debug_assert!(bucket < WHEEL_BUCKETS);
+        let count = self.counts[bucket];
+        if count < BUCKET_CAP {
+            self.slab[bucket * BUCKET_CAP + count] = Some(entry);
+            self.counts[bucket] = count + 1;
+        } else {
+            let idx = self.spill.partition_point(|e| e.key() > entry.key());
+            self.spill.insert(idx, entry);
+        }
+    }
+
+    /// Refills `cur` from the wheel: steps bucket by bucket (taking each
+    /// bucket's slab slots plus the spill entries due in its range) until
+    /// `cur` is non-empty, re-seeding the rung from `overflow` when the
+    /// current rung is exhausted.
+    fn advance(&mut self) {
+        while self.cur.is_empty() {
+            let bucket = ((self.cur_end - self.base) / self.width) as usize;
+            if bucket >= WHEEL_BUCKETS {
+                if self.overflow.is_empty() {
+                    return;
+                }
+                self.reseed();
+                continue;
+            }
+            let next_end = self.cur_end.saturating_add(self.width);
+            let count = self.counts[bucket];
+            for slot in bucket * BUCKET_CAP..bucket * BUCKET_CAP + count {
+                // INVARIANT: `counts[bucket]` slots are always filled
+                // contiguously from the bucket's start, so each indexed
+                // slot holds an entry.
+                let entry = self.slab[slot].take().expect("bucket slot must be filled");
+                // lint:allow(A1) -- `cur`'s storage is retained across
+                // refills; steady-state refills reuse its capacity.
+                self.cur.push(entry);
+            }
+            self.counts[bucket] = 0;
+            // Spill is sorted descending, so due entries sit at the back.
+            while self.spill.last().is_some_and(|e| e.raw_at() < next_end) {
+                // INVARIANT: the loop condition just observed a last
+                // element, and nothing was removed since.
+                let entry = self.spill.pop().expect("checked spill entry must pop");
+                // lint:allow(A1) -- `cur`'s storage is retained across
+                // refills; steady-state refills reuse its capacity.
+                self.cur.push(entry);
+            }
+            self.cur_end = next_end;
+            if !self.cur.is_empty() {
+                // Descending: the minimum key pops from the back.
+                self.cur.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            }
+        }
+    }
+
+    /// Re-bases the rung at the overflow minimum and re-widens so the
+    /// whole overflow span fits one rung, then redistributes overflow
+    /// into the wheel. Only called with the rung fully consumed, so
+    /// every resident overflow key is at or past the old rung end and
+    /// `cur_end` stays monotone.
+    fn reseed(&mut self) {
+        debug_assert!(!self.overflow.is_empty());
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for entry in &self.overflow {
+            lo = lo.min(entry.raw_at());
+            hi = hi.max(entry.raw_at());
+        }
+        self.base = lo;
+        self.cur_end = lo;
+        self.width =
+            ((hi - lo) / WHEEL_BUCKETS as u64 + 1).next_power_of_two().max(MIN_BUCKET_WIDTH);
+        while let Some(entry) = self.overflow.pop() {
+            // The new rung covers `hi`, so every entry lands in a bucket
+            // (or the spill lane) — never back in overflow.
+            self.place_in_rung(entry);
+        }
+    }
+
+    /// Earliest `(raw time, tag)` over the wheel lanes (everything not
+    /// yet in `cur`): first non-empty bucket min, its spill companion,
+    /// else the overflow min.
+    fn wheel_min(&self) -> Option<(u64, u64)> {
+        let first = ((self.cur_end.max(self.base) - self.base) / self.width) as usize;
+        for bucket in first..WHEEL_BUCKETS {
+            let count = self.counts[bucket];
+            if count == 0 {
+                continue;
+            }
+            let slots = &self.slab[bucket * BUCKET_CAP..bucket * BUCKET_CAP + count];
+            let mut min: Option<(u64, u64)> = None;
+            for slot in slots {
+                // INVARIANT: `counts[bucket]` slots are always filled
+                // contiguously from the bucket's start.
+                let e = slot.as_ref().expect("bucket slot must be filled");
+                let key = (e.raw_at(), e.tag);
+                if min.is_none_or(|m| key < m) {
+                    min = Some(key);
+                }
+            }
+            // A spill entry can undercut the bucket minimum only if it
+            // spilled from this same (still-full) bucket.
+            if let Some(s) = self.spill.last() {
+                let key = (s.raw_at(), s.tag);
+                if min.is_none_or(|m| key < m) {
+                    min = Some(key);
+                }
+            }
+            return min;
+        }
+        if let Some(s) = self.spill.last() {
+            return Some((s.raw_at(), s.tag));
+        }
+        let mut min: Option<(u64, u64)> = None;
+        for e in &self.overflow {
+            let key = (e.raw_at(), e.tag);
+            if min.is_none_or(|m| key < m) {
+                min = Some(key);
+            }
+        }
+        min
     }
 
     /// Removes and returns the earliest entry with `at <= horizon`
     /// (`None` horizon = no bound).
+    // lint:hot_path
     pub fn pop_within(&mut self, horizon: Option<SimTime>) -> Option<(SimTime, T)> {
-        let head = self.heap.peek()?;
+        if self.cur.is_empty() {
+            self.advance();
+        }
+        let head = self.cur.last()?;
         if let Some(h) = horizon {
-            if head.0.at > h {
+            if head.at > h {
                 return None;
             }
         }
-        // INVARIANT: `peek` above returned `Some`, and no entry was
-        // removed since, so the heap is non-empty here.
-        let Reverse(entry) = self.heap.pop().expect("peeked entry must pop");
+        // INVARIANT: `last` above returned `Some`, and no entry was
+        // removed since, so `cur` is non-empty here.
+        let entry = self.cur.pop().expect("peeked entry must pop");
+        self.len -= 1;
         Some((entry.at, entry.item))
     }
 
     /// Earliest key time, if any.
     pub fn next_at(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.0.at)
+        self.next_key().map(|(at, _)| at)
     }
 
     /// Earliest full `(time, tag)` key, if any. Run-commit uses this to
     /// decide how many members of a contiguous run stay ahead of every
     /// other staged entry.
+    // lint:hot_path
     pub fn next_key(&self) -> Option<(SimTime, u64)> {
-        self.heap.peek().map(|e| e.0.key())
+        // `cur` holds the minimum whenever it is non-empty: every wheel
+        // lane only stores keys at or past `cur_end`.
+        if let Some(e) = self.cur.last() {
+            return Some(e.key());
+        }
+        self.wheel_min().map(|(raw, tag)| (SimTime::from_nanos(raw), tag))
     }
 
     /// Entries currently queued.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -415,6 +624,78 @@ mod tests {
         assert_eq!(q.next_at(), Some(SimTime::from_nanos(15)));
         assert_eq!(q.pop_within(None).map(|(_, i)| i), Some("late"));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn merge_queue_handles_far_future_keys_across_rungs() {
+        // Keys spanning many rungs (the initial rung covers 64 µs) force
+        // the wheel through bucket refills and overflow re-seeds; pops
+        // must still come out in strict key order.
+        let mut q = MergeQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..200u64 {
+            // Deterministic scatter over ~13 ms: far past the first rung.
+            let at = (i * 7919) % 13_000_000;
+            q.push(SimTime::from_nanos(at), merge_tag(0, i), i);
+            expect.push((at, i));
+        }
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((at, item)) = q.pop_within(None) {
+            got.push((at.as_nanos(), item));
+        }
+        assert_eq!(got, expect);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn merge_queue_bucket_overflow_spills_in_order() {
+        // More same-bucket entries than a slab bucket holds: the excess
+        // takes the spill lane and must interleave back by key.
+        let mut q = MergeQueue::new();
+        let n = 3 * super::BUCKET_CAP as u64;
+        for i in (0..n).rev() {
+            q.push(SimTime::from_nanos(100 + i), merge_tag(1, i), i);
+        }
+        for i in 0..n {
+            let (at, item) = q.pop_within(None).expect("entry present");
+            assert_eq!((at.as_nanos(), item), (100 + i, i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn merge_queue_accepts_keys_below_the_consumed_region() {
+        // Restaged run tails re-enter with keys near (or below) already
+        // popped times; they must sort into the current lane, not get
+        // lost behind it.
+        let mut q = MergeQueue::new();
+        q.push(SimTime::from_nanos(10_000), merge_tag(0, 0), "first");
+        q.push(SimTime::from_nanos(90_000), merge_tag(0, 1), "far");
+        assert_eq!(q.pop_within(None).map(|(_, i)| i), Some("first"));
+        // The consumed region has moved past 10 µs; push below it.
+        q.push(SimTime::from_nanos(9_500), merge_tag(0, 2), "late-arrival");
+        q.push(SimTime::from_nanos(40_000), merge_tag(0, 3), "mid");
+        assert_eq!(q.next_at(), Some(SimTime::from_nanos(9_500)));
+        assert_eq!(q.pop_within(None).map(|(_, i)| i), Some("late-arrival"));
+        assert_eq!(q.pop_within(None).map(|(_, i)| i), Some("mid"));
+        assert_eq!(q.pop_within(None).map(|(_, i)| i), Some("far"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn merge_queue_next_key_sees_every_lane() {
+        let mut q = MergeQueue::new();
+        // Overflow only (beyond the initial 64 µs rung).
+        q.push(SimTime::from_nanos(1_000_000), merge_tag(2, 0), ());
+        assert_eq!(q.next_key(), Some((SimTime::from_nanos(1_000_000), merge_tag(2, 0))));
+        // A rung entry undercuts it.
+        q.push(SimTime::from_nanos(5_000), merge_tag(2, 1), ());
+        assert_eq!(q.next_key(), Some((SimTime::from_nanos(5_000), merge_tag(2, 1))));
+        // After a pop fills `cur`, the peek is O(1) off its back.
+        assert!(q.pop_within(None).is_some());
+        assert_eq!(q.next_key(), Some((SimTime::from_nanos(1_000_000), merge_tag(2, 0))));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -205,6 +205,46 @@ fn digests_distinguish_different_workloads() {
 }
 
 #[test]
+fn big_mesh_digest_and_trace_are_invariant_across_windows_and_threads() {
+    // Big-machine satellite: on a 256-node mesh, every combination of
+    // epoch window count (K = 1, 2, 8 lookahead windows per barrier
+    // crossing) and worker count must reproduce the serial driver's
+    // digest AND trace bytes exactly. Window count only changes how much
+    // work runs between barriers — never the commit order — so nine
+    // schedules collapse onto one timeline.
+    let (mut serial, plans) = paired_stream(256, 10, 512);
+    serial.set_tracing(true);
+    for plan in &plans {
+        for op in &plan.ops {
+            serial.send(plan.node, op.pid, op.src_va, op.dev_page, op.dev_off, op.nbytes).unwrap();
+        }
+    }
+    serial.run_until_quiet();
+    let serial_digest = serial.state_digest();
+    let serial_trace = serial.export_trace();
+    assert!(serial_trace.contains("\"ph\":\"X\""), "serial trace must contain spans");
+
+    for windows in [1usize, 2, 8] {
+        for threads in [1usize, 2, 4] {
+            let (mut mc, plans) = paired_stream(256, 10, 512);
+            mc.set_epoch_windows(Some(windows));
+            mc.set_tracing(true);
+            mc.run(&plans, threads).unwrap();
+            assert_eq!(
+                mc.state_digest(),
+                serial_digest,
+                "K={windows} t={threads}: digest diverged from the serial driver"
+            );
+            assert_eq!(
+                mc.export_trace(),
+                serial_trace,
+                "K={windows} t={threads}: trace bytes diverged from the serial driver"
+            );
+        }
+    }
+}
+
+#[test]
 fn merge_queue_ties_break_by_source_then_sequence() {
     let mut q = MergeQueue::new();
     let t = SimTime::from_nanos(100);
@@ -266,5 +306,67 @@ proptest! {
             std::iter::from_fn(|| mq.pop_within(None)).collect();
 
         prop_assert_eq!(merged, serial);
+    }
+
+    /// The calendar wheel against a binary heap, under *interleaved*
+    /// pushes and horizon-bounded pops — the access pattern the epoch
+    /// loop actually drives. Times span several rungs, so the stream
+    /// exercises the consumed-region (`cur`) insert path, slab buckets,
+    /// the sorted spill lane, the overflow lane and rung re-seeding; at
+    /// every step the wheel must pop exactly what the heap pops.
+    #[test]
+    fn wheel_pops_match_a_binary_heap_under_interleaved_horizons(
+        script in proptest::collection::vec(
+            (0u8..4, 0u64..200_000, 0u64..200_000),
+            1..200,
+        ),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut wheel: MergeQueue<usize> = MergeQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut next_tag = 0u64;
+
+        // Reference semantics of `pop_within`: pop the minimum
+        // `(time, tag)` entry iff its time is at or before the horizon.
+        let heap_pop = |heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                            horizon: Option<u64>| {
+            match (heap.peek(), horizon) {
+                (Some(&Reverse((at, _, _))), Some(h)) if at > h => None,
+                _ => heap.pop().map(|Reverse((at, _, item))| (at, item)),
+            }
+        };
+
+        for (i, &(kind, at, h)) in script.iter().enumerate() {
+            if kind < 3 {
+                // Push-heavy mix (3:1) so pops see a populated wheel.
+                wheel.push(SimTime::from_nanos(at), next_tag, i);
+                heap.push(Reverse((at, next_tag, i)));
+                next_tag += 1;
+            } else {
+                let horizon = (h % 2 == 0).then_some(h);
+                let got = wheel.pop_within(horizon.map(SimTime::from_nanos));
+                let want = heap_pop(&mut heap, horizon);
+                prop_assert_eq!(
+                    got.map(|(t, item)| (t.as_nanos(), item)),
+                    want,
+                    "pop under horizon {:?} diverged at step {}",
+                    horizon,
+                    i
+                );
+            }
+        }
+
+        // Drain both to empty: the full residual orders must agree too.
+        loop {
+            let got = wheel.pop_within(None);
+            let want = heap_pop(&mut heap, None);
+            prop_assert_eq!(got.map(|(t, item)| (t.as_nanos(), item)), want, "drain diverged");
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
     }
 }
