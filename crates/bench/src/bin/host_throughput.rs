@@ -31,6 +31,17 @@
 //!   --trace-bin <path> like --trace but writes the compact `SHRTRC01`
 //!                      binary span format (convertible to the identical
 //!                      JSON with `shrimp::trace_bin_to_json`)
+//!   --metrics <path>   also run a traced + metered 64-node mesh smoke
+//!                      (t=2) and a traced 2-node stream, write the
+//!                      machine-wide metrics snapshot (stable text form)
+//!                      to <path>, and record both runs — the 2-node row
+//!                      then carries per-stage p50/p99 latencies in the
+//!                      output JSON
+//!   --sample-trace <path>
+//!                      write the small fixed 2-node workload's SHRTRC01
+//!                      binary trace to <path> and exit — regenerates the
+//!                      committed `traces/sample_2node.shrtrc`
+//!                      byte-identically (the workload is deterministic)
 //!
 //! The default (no `--threads`) suite covers the serial baselines, a
 //! thread sweep on the 8-node stream, 8→16-node scaling, and big-machine
@@ -102,21 +113,35 @@ fn extract_runs_array(json: &str) -> Option<&str> {
     None
 }
 
-/// Extracts workload `name`'s whole `{...}` row from a runs array (row
-/// objects are flat — no nested braces).
+/// Extracts workload `name`'s whole `{...}` row from a runs array by
+/// brace matching (rows nest sub-objects: `"phases"`, per-stage
+/// percentiles — taking the first `}` would truncate the row).
 fn extract_run_object<'a>(array: &'a str, name: &str) -> Option<&'a str> {
     let key = format!("\"name\":\"{name}\"");
     let pos = array.find(&key)?;
     let start = array[..pos].rfind('{')?;
-    let end = array[pos..].find('}')? + pos;
-    Some(&array[start..=end])
+    let mut depth = 0usize;
+    for (i, c) in array[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&array[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Interleaved A/B passes (per side) for `--baseline-bin`.
 const AB_ROUNDS: usize = 2;
 
 const USAGE: &str = "usage: host_throughput [--quick] [--threads <n>] [--out <path>] \
-     [--compare <path>] [--baseline-bin <path>] [--trace <path>] [--trace-bin <path>]";
+     [--compare <path>] [--baseline-bin <path>] [--trace <path>] [--trace-bin <path>] \
+     [--metrics <path>] [--sample-trace <path>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -127,11 +152,13 @@ fn main() {
     let mut baseline_bin: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut trace_bin_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" | "--compare" | "--baseline-bin" | "--threads" | "--trace" | "--trace-bin" => {
+            "--out" | "--compare" | "--baseline-bin" | "--threads" | "--trace" | "--trace-bin"
+            | "--metrics" | "--sample-trace" => {
                 let Some(v) = it.next() else {
                     eprintln!("error: {a} requires a value\n{USAGE}");
                     std::process::exit(2);
@@ -142,6 +169,20 @@ fn main() {
                     "--baseline-bin" => baseline_bin = Some(v.clone()),
                     "--trace" => trace_path = Some(v.clone()),
                     "--trace-bin" => trace_bin_path = Some(v.clone()),
+                    "--metrics" => metrics_path = Some(v.clone()),
+                    "--sample-trace" => {
+                        // Fixed small deterministic workload: same bytes
+                        // on every host, safe to commit as a sample.
+                        let (r, _, bin) = host_perf::stream_pairs_traced_bin(2, 4096, 200, 1);
+                        fs::write(v, &bin).expect("write sample trace");
+                        println!(
+                            "wrote {}-byte sample trace ({} msgs, digest {:016x}) to {v}",
+                            bin.len(),
+                            r.messages,
+                            r.digest
+                        );
+                        return;
+                    }
                     _ => match v.parse::<usize>() {
                         Ok(n) if n >= 1 => smoke_threads = Some(n),
                         _ => {
@@ -324,6 +365,25 @@ fn main() {
         runs.push(result);
     }
 
+    // Metrics smoke: a traced + metered 64-node mesh (t=2) whose pinned
+    // snapshot goes to disk for CI to validate, plus a traced 2-node
+    // stream so the output JSON carries per-stage p50/p99 latencies for
+    // the paper's canonical two-node transfer.
+    if let Some(path) = &metrics_path {
+        // Same per-pair count as the suite's 64-node rows (full even under
+        // --quick): the metered digest then joins the equality check
+        // against the untraced rows, and one-time shard setup amortizes
+        // below the 0.002 allocs/msg contract.
+        let (result, _, _, metrics) =
+            host_perf::stream_pairs_traced_metered_bin(64, 4096, 6_000, 2);
+        fs::write(path, &metrics).expect("write metrics snapshot");
+        println!("wrote {}-line metrics snapshot to {path}", metrics.lines().count());
+        runs.push(result);
+        let msgs = if quick { 10_000 } else { 200_000 };
+        let (two_node, _) = host_perf::stream_pairs_traced(2, 4096, msgs, 0);
+        runs.push(two_node);
+    }
+
     // "before": the baseline binary's best rows (interleaved mode), or
     // the *most recent* runs in the --compare file (its "after" array).
     let baseline_rows: Vec<String> =
@@ -369,16 +429,17 @@ fn main() {
     if !phased.is_empty() {
         println!("\nepoch phases (host time, all shards): crossings exec/barrier/merge/commit");
         for r in phased {
-            let p = r.phases.expect("filtered on phases");
-            let total = (p.execute_ns + p.barrier_ns + p.merge_ns + p.commit_ns).max(1) as f64;
+            let [crossings, execute_ns, barrier_ns, merge_ns, commit_ns] =
+                r.phases.expect("filtered on phases");
+            let total = (execute_ns + barrier_ns + merge_ns + commit_ns).max(1) as f64;
             println!(
                 "  {:>24} {:>7}  {:>3.0}% / {:>3.0}% / {:>3.0}% / {:>3.0}%",
                 r.name,
-                p.crossings,
-                100.0 * p.execute_ns as f64 / total,
-                100.0 * p.barrier_ns as f64 / total,
-                100.0 * p.merge_ns as f64 / total,
-                100.0 * p.commit_ns as f64 / total,
+                crossings,
+                100.0 * execute_ns as f64 / total,
+                100.0 * barrier_ns as f64 / total,
+                100.0 * merge_ns as f64 / total,
+                100.0 * commit_ns as f64 / total,
             );
         }
     }
@@ -434,8 +495,12 @@ fn main() {
     }
 
     let after = host_perf::runs_to_json(&runs);
+    let metrics_head = metrics_path
+        .as_deref()
+        .map(|p| format!("\n  \"metrics_snapshot\": \"{p}\","))
+        .unwrap_or_default();
     let head = format!(
-        "{{\n  \"bench\": \"host_throughput\",\n  \"host_cores\": {},\n  \"mode\": \"{mode}\",{traced_overhead}",
+        "{{\n  \"bench\": \"host_throughput\",\n  \"host_cores\": {},\n  \"mode\": \"{mode}\",{traced_overhead}{metrics_head}",
         host_perf::host_logical_cores()
     );
     let json = match before {

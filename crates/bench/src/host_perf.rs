@@ -22,6 +22,7 @@ use std::time::Instant;
 use shrimp::{Multicomputer, NodePlan, SendOp};
 use shrimp_machine::MachineConfig;
 use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_sim::{Stage, STAGE_COUNT};
 
 use crate::alloc_count;
 
@@ -40,43 +41,35 @@ pub fn host_nanos() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
-/// Host-time epoch-phase totals of a parallel run, summed across shards
-/// (`None` on serial rows). `barrier_ns` is the straggler wait; a large
-/// share there means shard imbalance, not engine cost.
-#[derive(Clone, Copy, Debug)]
-pub struct PhaseNs {
-    /// Barrier crossings sampled (execute-phase samples, all shards).
-    pub crossings: u64,
-    /// Plan execution: sends, NIC drains, staging posts.
-    pub execute_ns: u64,
-    /// Barrier waits (both per-crossing barriers).
-    pub barrier_ns: u64,
-    /// Mailbox drain plus staged-queue merge.
-    pub merge_ns: u64,
-    /// Horizon-bounded delivery commit.
-    pub commit_ns: u64,
+/// Host-time epoch-phase totals of a parallel run as read back from the
+/// engine-metrics plane (`None` on serial rows), in fixed order:
+/// `[crossings, execute_ns, barrier_ns, merge_ns, commit_ns]`. A large
+/// `barrier_ns` share means shard imbalance, not engine cost.
+pub type PhaseTotals = [u64; 5];
+
+/// Per-stage simulated-time latency percentiles `[p50, p99]` in
+/// nanoseconds, indexed by [`Stage::ALL`] order (`None` on untraced
+/// rows — the flight recorder is the source).
+pub type StageLatencies = [[u64; 2]; STAGE_COUNT];
+
+fn phases_to_json(p: PhaseTotals) -> String {
+    let [crossings, execute_ns, barrier_ns, merge_ns, commit_ns] = p;
+    format!(
+        concat!(
+            "{{\"crossings\":{},\"execute_ns\":{},\"barrier_ns\":{},",
+            "\"merge_ns\":{},\"commit_ns\":{}}}"
+        ),
+        crossings, execute_ns, barrier_ns, merge_ns, commit_ns,
+    )
 }
 
-impl PhaseNs {
-    fn from_breakdown(phases: &shrimp::PhaseBreakdown) -> Self {
-        PhaseNs {
-            crossings: phases.execute.count(),
-            execute_ns: phases.execute.sum(),
-            barrier_ns: phases.barrier.sum(),
-            merge_ns: phases.merge.sum(),
-            commit_ns: phases.commit.sum(),
-        }
-    }
-
-    fn to_json(self) -> String {
-        format!(
-            concat!(
-                "{{\"crossings\":{},\"execute_ns\":{},\"barrier_ns\":{},",
-                "\"merge_ns\":{},\"commit_ns\":{}}}"
-            ),
-            self.crossings, self.execute_ns, self.barrier_ns, self.merge_ns, self.commit_ns,
-        )
-    }
+fn stages_to_json(s: &StageLatencies) -> String {
+    let body: Vec<String> = Stage::ALL
+        .iter()
+        .zip(s.iter())
+        .map(|(stage, pq)| format!("\"{}\":[{},{}]", stage.name(), pq[0], pq[1]))
+        .collect();
+    format!("{{{}}}", body.join(","))
 }
 
 /// One measured workload.
@@ -110,8 +103,12 @@ pub struct ThroughputResult {
     /// counting allocator is registered — build with `count-allocs` and
     /// the `host_throughput` binary registers it).
     pub allocs_per_msg: Option<f64>,
-    /// Epoch-phase breakdown in host nanoseconds (parallel rows only).
-    pub phases: Option<PhaseNs>,
+    /// Epoch-phase breakdown in host nanoseconds (parallel rows only),
+    /// harvested from [`Multicomputer::engine_metrics`].
+    pub phases: Option<PhaseTotals>,
+    /// Per-stage `[p50, p99]` simulated latency in nanoseconds (traced
+    /// rows only), from the flight recorder's stage histograms.
+    pub stage_ns: Option<StageLatencies>,
 }
 
 impl ThroughputResult {
@@ -122,7 +119,11 @@ impl ThroughputResult {
             None => "null".to_string(),
         };
         let phases = match self.phases {
-            Some(p) => p.to_json(),
+            Some(p) => phases_to_json(p),
+            None => "null".to_string(),
+        };
+        let stage_ns = match &self.stage_ns {
+            Some(s) => stages_to_json(s),
             None => "null".to_string(),
         };
         format!(
@@ -130,7 +131,7 @@ impl ThroughputResult {
                 "{{\"name\":\"{}\",\"nodes\":{},\"msg_bytes\":{},\"messages\":{},",
                 "\"threads\":{},\"wall_s\":{:.4},\"msgs_per_sec\":{:.1},\"mb_per_sec\":{:.2},",
                 "\"digest\":\"{:#018x}\",\"commit\":\"{}\",\"host_cores\":{},",
-                "\"allocs_per_msg\":{},\"phases\":{}}}"
+                "\"allocs_per_msg\":{},\"phases\":{},\"stage_p50_p99_ns\":{}}}"
             ),
             self.name,
             self.nodes,
@@ -145,6 +146,7 @@ impl ThroughputResult {
             self.host_cores,
             allocs,
             phases,
+            stage_ns,
         )
     }
 }
@@ -193,7 +195,7 @@ pub fn stream_pairs(
     messages_per_pair: u32,
     threads: usize,
 ) -> ThroughputResult {
-    stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, false).0
+    stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, false, false).0
 }
 
 /// [`stream_pairs`] with the flight recorder enabled: tracing is switched
@@ -211,7 +213,8 @@ pub fn stream_pairs_traced(
     messages_per_pair: u32,
     threads: usize,
 ) -> (ThroughputResult, String) {
-    let (result, trace) = stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, true);
+    let (result, trace, _) =
+        stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, true, false);
     let (json, _) = trace.expect("tracing was enabled");
     (result, json)
 }
@@ -229,10 +232,54 @@ pub fn stream_pairs_traced_bin(
     messages_per_pair: u32,
     threads: usize,
 ) -> (ThroughputResult, String, Vec<u8>) {
-    let (result, trace) = stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, true);
+    let (result, trace, _) =
+        stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, true, false);
     let (json, bin) = trace.expect("tracing was enabled");
     (result, json, bin)
 }
+
+/// [`stream_pairs`] with metrics harvesting: after the measured window
+/// the machine-wide snapshot ([`Multicomputer::metrics_snapshot`]) is
+/// rendered to its stable text form and returned alongside the result.
+/// Harvesting happens outside the timed region and must not disturb the
+/// digest or the steady-state allocation count.
+///
+/// # Panics
+///
+/// Panics on kernel traps during setup (the workload is statically valid).
+pub fn stream_pairs_metered(
+    nodes: u16,
+    msg_bytes: u64,
+    messages_per_pair: u32,
+    threads: usize,
+) -> (ThroughputResult, String) {
+    let (result, _, metrics) =
+        stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, false, true);
+    (result, metrics.expect("metering was enabled"))
+}
+
+/// Traced *and* metered stream: returns the result, the Perfetto JSON
+/// trace, the `SHRTRC01` binary trace, and the rendered metrics
+/// snapshot — the full observability surface of one run, for the CI
+/// smoke job and `host_throughput --metrics`.
+///
+/// # Panics
+///
+/// Panics on kernel traps during setup (the workload is statically valid).
+pub fn stream_pairs_traced_metered_bin(
+    nodes: u16,
+    msg_bytes: u64,
+    messages_per_pair: u32,
+    threads: usize,
+) -> (ThroughputResult, String, Vec<u8>, String) {
+    let (result, trace, metrics) =
+        stream_pairs_impl(nodes, msg_bytes, messages_per_pair, threads, true, true);
+    let (json, bin) = trace.expect("tracing was enabled");
+    (result, json, bin, metrics.expect("metering was enabled"))
+}
+
+/// Trace exports of one run: `(perfetto_json, shrtrc01_bytes)`.
+type TraceExports = (String, Vec<u8>);
 
 fn stream_pairs_impl(
     nodes: u16,
@@ -240,7 +287,8 @@ fn stream_pairs_impl(
     messages_per_pair: u32,
     threads: usize,
     traced: bool,
-) -> (ThroughputResult, Option<(String, Vec<u8>)>) {
+    metered: bool,
+) -> (ThroughputResult, Option<TraceExports>, Option<String>) {
     assert!(nodes >= 2 && nodes.is_multiple_of(2), "need sender/receiver pairs");
     let machine = if nodes > SMALL_NODE_THRESHOLD {
         MachineConfig { mem_bytes: 64 * PAGE_SIZE, ..MachineConfig::default() }
@@ -337,6 +385,23 @@ fn stream_pairs_impl(
 
     assert_eq!(mc.dropped_packets(), 0, "workload must not drop packets");
     let trace = traced.then(|| (mc.export_trace(), mc.export_trace_bin()));
+    let metrics = metered.then(|| mc.metrics_snapshot().render_text());
+    let phases = (threads > 0).then(|| {
+        let em = mc.engine_metrics();
+        let ns =
+            |name: &str| em.get_hist("phase", name, None).map_or(0, shrimp_sim::Histogram::sum);
+        let crossings =
+            em.get_hist("phase", "execute_ns", None).map_or(0, shrimp_sim::Histogram::count);
+        [crossings, ns("execute_ns"), ns("barrier_ns"), ns("merge_ns"), ns("commit_ns")]
+    });
+    let stage_ns = traced.then(|| {
+        let mut out = [[0u64; 2]; STAGE_COUNT];
+        for (slot, stage) in out.iter_mut().zip(Stage::ALL) {
+            let h = mc.recorder().stage_histogram(stage);
+            *slot = [h.quantile(0.50).unwrap_or(0), h.quantile(0.99).unwrap_or(0)];
+        }
+        out
+    });
 
     let threads_suffix = if threads == 0 { String::new() } else { format!("_t{threads}") };
     let traced_suffix = if traced { "_traced" } else { "" };
@@ -357,9 +422,10 @@ fn stream_pairs_impl(
         } else {
             None
         },
-        phases: (threads > 0).then(|| PhaseNs::from_breakdown(mc.phase_breakdown())),
+        phases,
+        stage_ns,
     };
-    (result, trace)
+    (result, trace, metrics)
 }
 
 #[cfg(test)]
@@ -398,5 +464,44 @@ mod tests {
         assert!(j.contains("\"commit\":"), "{j}");
         assert!(j.contains("\"host_cores\":"), "{j}");
         assert!(j.contains("\"allocs_per_msg\":"), "{j}");
+        assert!(j.contains("\"phases\":null"), "serial row has no phases: {j}");
+        assert!(j.contains("\"stage_p50_p99_ns\":null"), "untraced row has no stages: {j}");
+    }
+
+    #[test]
+    fn parallel_phases_come_from_engine_metrics() {
+        let r = stream_pairs(4, 512, 8, 2);
+        let [crossings, execute_ns, ..] = r.phases.expect("parallel row has phases");
+        assert!(crossings > 0, "phase clock sampled at least one crossing");
+        assert!(execute_ns > 0, "execute phase accumulated host time");
+        let j = r.to_json();
+        assert!(j.contains("\"crossings\":"), "{j}");
+        assert!(j.contains("\"commit_ns\":"), "{j}");
+    }
+
+    #[test]
+    fn traced_rows_report_stage_percentiles() {
+        let (r, _json) = stream_pairs_traced(2, 4096, 16, 1);
+        let stages = r.stage_ns.expect("traced row has stage latencies");
+        let wire = stages[Stage::Wire.index()];
+        assert!(wire[0] > 0, "wire p50 nonzero for 4 KB payloads");
+        assert!(wire[1] >= wire[0], "p99 >= p50");
+        let j = r.to_json();
+        assert!(j.contains("\"stage_p50_p99_ns\":{\"initiation\":["), "{j}");
+        assert!(j.contains("\"status-observed\":["), "{j}");
+    }
+
+    #[test]
+    fn metered_run_renders_snapshot_with_live_counters() {
+        let (r, metrics) = stream_pairs_metered(2, 256, 8, 1);
+        assert_ne!(r.digest, 0);
+        assert!(metrics.starts_with("# shrimp-metrics v1"), "{metrics}");
+        let delivered = metrics
+            .lines()
+            .find(|l| l.starts_with("delivery/delivered"))
+            .expect("snapshot has delivery.delivered");
+        let count: u64 = delivered.split_whitespace().last().unwrap().parse().unwrap();
+        // 8 steady-state messages + 1 warm-up send on the single pair.
+        assert_eq!(count, 9, "{metrics}");
     }
 }

@@ -33,6 +33,36 @@ fn four_kb_stream_is_allocation_free_with_and_without_tracing() {
 }
 
 #[test]
+fn metered_stream_is_allocation_free_with_metrics_updating() {
+    assert!(alloc_count::is_active(), "counting allocator not registered");
+
+    // The metrics plane's hot-path updates are plain indexed stores on
+    // pre-registered counters — the metered steady state must stay at
+    // exactly 0.00 allocations per message (snapshot rendering happens
+    // after the measured window). The snapshot must also prove the
+    // counters were live during the run, not registered-but-dead.
+    let (metered, metrics) = host_perf::stream_pairs_metered(8, 4096, 2_000, 0);
+    assert_eq!(
+        metered.allocs_per_msg,
+        Some(0.0),
+        "metered steady state allocated: {:?}/msg",
+        metered.allocs_per_msg
+    );
+    let counter = |sub: &str, name: &str| {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(&format!("{sub}/{name}")))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("snapshot missing {sub}/{name}:\n{metrics}"))
+    };
+    // 4 pairs × (2000 steady + 1 warm-up) messages.
+    assert_eq!(counter("delivery", "delivered"), 4 * 2_001);
+    assert_eq!(counter("fabric", "packets"), 4 * 2_001);
+    assert!(counter("tlb", "hits[0]") > 0, "TLB counters updated during the stream");
+}
+
+#[test]
 fn parallel_stream_amortizes_to_zero_allocs_per_message() {
     assert!(alloc_count::is_active(), "counting allocator not registered");
 

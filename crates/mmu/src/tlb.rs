@@ -25,6 +25,9 @@ pub struct Tlb {
     last: usize,
     hits: Counter,
     misses: Counter,
+    /// Hits answered by the `last` shortcut without an associative scan —
+    /// how often the page-local-burst assumption actually pays.
+    last_hits: Counter,
 }
 
 impl Tlb {
@@ -41,6 +44,7 @@ impl Tlb {
             last: 0,
             hits: Counter::new(),
             misses: Counter::new(),
+            last_hits: Counter::new(),
         }
     }
 
@@ -49,6 +53,7 @@ impl Tlb {
         if let Some(&(v, pte)) = self.entries.get(self.last) {
             if v == vpn {
                 self.hits.incr();
+                self.last_hits.incr();
                 return Some(pte);
             }
         }
@@ -106,6 +111,12 @@ impl Tlb {
         self.misses.get()
     }
 
+    /// Hits served by the last-hit index shortcut, without the
+    /// associative scan. Always `<= hits()`.
+    pub fn last_hits(&self) -> u64 {
+        self.last_hits.get()
+    }
+
     /// Resident entry count.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -135,6 +146,13 @@ mod tests {
         assert_eq!(tlb.lookup(Vpn::new(1)).unwrap().pfn, Pfn::new(5));
         assert_eq!(tlb.hits(), 1);
         assert_eq!(tlb.misses(), 1);
+        // Slot 0 is where the shortcut already points, so both hits are
+        // shortcut hits; a hit on a different slot goes through the scan.
+        assert_eq!(tlb.last_hits(), 1);
+        tlb.insert(Vpn::new(2), pte(6));
+        assert!(tlb.lookup(Vpn::new(2)).is_some());
+        assert_eq!(tlb.hits(), 2);
+        assert_eq!(tlb.last_hits(), 1, "scan hit must not count as a shortcut hit");
     }
 
     #[test]

@@ -168,11 +168,12 @@ impl Interconnect {
                 nodes,
                 cols,
                 params,
-                link_busy_until: vec![SimTime::ZERO; nodes as usize],
+                links: vec![LinkState::IDLE; nodes as usize],
                 staged: MergeQueue::new(),
                 dst_keys: DstIndex::new(nodes),
                 packets: Counter::new(),
                 payload_bytes: Counter::new(),
+                drops: Counter::new(),
             },
         }
     }
@@ -217,6 +218,29 @@ impl Interconnect {
         self.shard.stats()
     }
 
+    /// Wire bytes serialized on each node's inbound link, indexed by
+    /// destination node (payload plus header, counted at admit).
+    pub fn wire_bytes_per_link(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
+        self.shard.wire_bytes_per_link()
+    }
+
+    /// Packets the fabric itself discarded (distinct from delivery-level
+    /// bad-address drops); 0 on any run whose packets stay well-formed.
+    pub fn fabric_drops(&self) -> u64 {
+        self.shard.fabric_drops()
+    }
+
+    /// Per-destination index inserts that overflowed a full lane.
+    pub fn dst_lane_spills(&self) -> u64 {
+        self.shard.dst_lane_spills()
+    }
+
+    /// Staged-queue wheel metrics `(spills, reseeds, peak depth)`,
+    /// including totals absorbed from merged shards.
+    pub fn staged_wheel_metrics(&self) -> (u64, u64, u64) {
+        self.shard.staged_wheel_metrics()
+    }
+
     /// Splits the fabric into `shards` independent shards for conservative
     /// parallel execution. Each shard can compute routes for any pair (the
     /// topology is immutable) and carries a copy of the per-destination
@@ -236,11 +260,19 @@ impl Interconnect {
                 nodes: self.shard.nodes,
                 cols: self.shard.cols,
                 params: self.shard.params,
-                link_busy_until: self.shard.link_busy_until.clone(),
+                // Shards inherit link occupancy but start their byte
+                // tallies at zero: merge() sums the per-shard columns.
+                links: self
+                    .shard
+                    .links
+                    .iter()
+                    .map(|l| LinkState { busy_until: l.busy_until, wire_bytes: 0 })
+                    .collect(),
                 staged: MergeQueue::new(),
                 dst_keys: DstIndex::new(self.shard.nodes),
                 packets: Counter::new(),
                 payload_bytes: Counter::new(),
+                drops: Counter::new(),
             })
             .collect()
     }
@@ -258,12 +290,21 @@ impl Interconnect {
     pub fn merge(&mut self, shards: Vec<FabricShard>, owner: &[usize]) {
         assert_eq!(owner.len(), self.shard.nodes as usize, "one owner per node");
         for (node, &shard) in owner.iter().enumerate() {
-            self.shard.link_busy_until[node] = shards[shard].link_busy_until[node];
+            self.shard.links[node].busy_until = shards[shard].links[node].busy_until;
         }
         for shard in shards {
             assert!(shard.staged.is_empty(), "cannot merge a shard with staged packets");
             self.shard.packets.add(shard.packets.get());
             self.shard.payload_bytes.add(shard.payload_bytes.get());
+            self.shard.drops.add(shard.drops.get());
+            self.shard.dst_keys.spills += shard.dst_keys.spills;
+            self.shard.staged.absorb_metrics(&shard.staged);
+            // Each node's inbound link is driven by exactly one shard, so
+            // summing every shard's per-link column folds in the owner's
+            // traffic and zeros from everyone else.
+            for (total, part) in self.shard.links.iter_mut().zip(&shard.links) {
+                total.wire_bytes += part.wire_bytes;
+            }
         }
     }
 }
@@ -296,6 +337,9 @@ struct DstIndex {
     counts: Vec<u32>,
     /// `(dst, key)` overflow for full lanes; almost always empty.
     spill: Vec<(u16, (SimTime, u64))>,
+    /// Inserts that overflowed a full lane (metrics plane: fan-in
+    /// pressure; each costs O(spill) maintenance instead of O(1)).
+    spills: u64,
 }
 
 impl DstIndex {
@@ -304,6 +348,7 @@ impl DstIndex {
             keys: vec![(SimTime::ZERO, 0); usize::from(nodes) * DST_LANE_CAP],
             counts: vec![0; usize::from(nodes)],
             spill: Vec::new(),
+            spills: 0,
         }
     }
 
@@ -315,6 +360,7 @@ impl DstIndex {
             self.keys[d * DST_LANE_CAP + n] = key;
             self.counts[d] = (n + 1) as u32;
         } else {
+            self.spills += 1;
             // lint:allow(A1) -- overflow beyond DST_LANE_CAP same-dst keys
             // is pathological fan-in; the spill keeps it correct.
             self.spill.push((dst, key));
@@ -364,6 +410,21 @@ impl DstIndex {
     }
 }
 
+/// One destination's inbound-link state: when the link frees up, plus
+/// the wire bytes (payload + header) it has serialized. Counted at
+/// [`FabricShard::admit`] — exactly once per delivered member — so the
+/// per-link byte totals are a pure function of the delivery timeline and
+/// identical at any shard count.
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    busy_until: SimTime,
+    wire_bytes: u64,
+}
+
+impl LinkState {
+    const IDLE: LinkState = LinkState { busy_until: SimTime::ZERO, wire_bytes: 0 };
+}
+
 /// One shard's slice of the fabric — **the** delivery source of the
 /// machine. The serial [`Interconnect`] is one shard covering every node;
 /// the parallel engine runs N of them, one per worker.
@@ -379,7 +440,7 @@ impl DstIndex {
 ///   destination's inbound link and returns its arrival.
 ///
 /// Splitting the fabric this way moves every mutable per-destination
-/// structure (`link_busy_until`, the staged queue) to the shard that
+/// structure (the link states, the staged queue) to the shard that
 /// owns the destination node, which is what lets shards run on separate
 /// threads with packets exchanged only at epoch boundaries.
 #[derive(Debug)]
@@ -387,8 +448,11 @@ pub struct FabricShard {
     nodes: u16,
     cols: u16,
     params: LinkParams,
-    /// Inbound-link occupancy; only indices this shard owns are meaningful.
-    link_busy_until: Vec<SimTime>,
+    /// Per-destination inbound-link state; only indices this shard owns
+    /// are meaningful. Occupancy and the wire-byte tally live in one
+    /// struct so `admit` pays a single bounds check and touches a single
+    /// cache line per member.
+    links: Vec<LinkState>,
     /// Entries awaiting commit, keyed `(link_ready, XferId raw)`: the pop
     /// order is a pure function of the staged set, never of insertion
     /// order, so serial and parallel drains are the same sequence. An
@@ -401,6 +465,12 @@ pub struct FabricShard {
     dst_keys: DstIndex,
     packets: Counter,
     payload_bytes: Counter,
+    /// Packets the fabric itself discarded (an out-of-fabric destination
+    /// reaching the ejection router). [`FabricShard::inject`] asserts both
+    /// endpoints, so this stays 0 unless a header is corrupted in flight;
+    /// it is a distinct counter from the delivery layer's bad-address
+    /// drops so conservation can attribute every undelivered packet.
+    drops: Counter,
 }
 
 impl FabricShard {
@@ -566,11 +636,22 @@ impl FabricShard {
     /// wait for earlier traffic on the same link).
     // lint:hot_path
     pub fn admit(&mut self, packet: &Packet, link_ready: SimTime) -> SimTime {
-        let wire = SimDuration::from_bytes_at_rate(packet.wire_bytes(), self.params.mb_per_s);
-        let link = &mut self.link_busy_until[packet.dst.raw() as usize];
-        let start = link_ready.max(*link);
+        let bytes = packet.wire_bytes();
+        let wire = SimDuration::from_bytes_at_rate(bytes, self.params.mb_per_s);
+        let d = packet.dst.raw() as usize;
+        let Some(link) = self.links.get_mut(d) else {
+            // Defensive: inject() asserts both endpoints, so only a header
+            // corrupted after injection can land here. Count the discard
+            // (the conservation check attributes it) instead of panicking
+            // mid-drain; the bogus instant is never observed because the
+            // packet is gone.
+            self.drops.incr();
+            return link_ready;
+        };
+        let start = link_ready.max(link.busy_until);
         let arrives = start + wire;
-        *link = arrives;
+        link.busy_until = arrives;
+        link.wire_bytes += bytes;
         arrives
     }
 
@@ -598,6 +679,30 @@ impl FabricShard {
     /// `t` as long as this is positive.
     pub fn lookahead(&self) -> SimDuration {
         self.params.hop_latency
+    }
+
+    /// Wire bytes serialized on each node's inbound link, indexed by
+    /// destination node (payload plus header, counted at admit).
+    pub fn wire_bytes_per_link(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
+        self.links.iter().map(|l| l.wire_bytes)
+    }
+
+    /// Packets the fabric itself discarded (see the `drops` field docs);
+    /// 0 on any run whose packets stay well-formed.
+    pub fn fabric_drops(&self) -> u64 {
+        self.drops.get()
+    }
+
+    /// Per-destination index inserts that overflowed a full lane into the
+    /// shared spill vector.
+    pub fn dst_lane_spills(&self) -> u64 {
+        self.dst_keys.spills
+    }
+
+    /// Staged-queue wheel metrics `(spills, reseeds, peak depth)` — see
+    /// [`MergeQueue::spill_count`] and friends.
+    pub fn staged_wheel_metrics(&self) -> (u64, u64, u64) {
+        (self.staged.spill_count(), self.staged.reseed_count(), self.staged.len_high_water())
     }
 }
 
@@ -846,6 +951,44 @@ mod tests {
         net.send(pkt(1, 0, 20, 0), SimTime::ZERO);
         assert_eq!(net.stats().get("packets"), 2);
         assert_eq!(net.stats().get("payload_bytes"), 30);
+    }
+
+    #[test]
+    fn wire_bytes_counted_per_destination_link() {
+        let mut net = Interconnect::new(4, LinkParams::default());
+        net.send(pkt(0, 1, 100, 0), SimTime::ZERO);
+        net.send(pkt(2, 1, 50, 0), SimTime::ZERO);
+        net.send(pkt(0, 3, 10, 1), SimTime::ZERO);
+        drain(&mut net);
+        let per_link: Vec<u64> = net.wire_bytes_per_link().collect();
+        let hdr = pkt(0, 1, 0, 0).wire_bytes();
+        assert_eq!(per_link[0], 0, "node 0 received nothing");
+        assert_eq!(per_link[1], 150 + 2 * hdr);
+        assert_eq!(per_link[3], 10 + hdr);
+        assert_eq!(net.fabric_drops(), 0);
+    }
+
+    #[test]
+    fn corrupted_destination_is_dropped_not_panicked() {
+        // `inject` asserts endpoints, so only a header corrupted after
+        // injection can reach `admit` out of range; the fabric counts the
+        // discard instead of unwinding mid-drain.
+        let mut net = Interconnect::new(2, LinkParams::default());
+        let shard = net.shard_mut();
+        shard.admit(&pkt(0, 7, 16, 0), SimTime::ZERO);
+        assert_eq!(shard.fabric_drops(), 1);
+        assert_eq!(shard.wire_bytes_per_link().collect::<Vec<u64>>(), [0, 0]);
+    }
+
+    #[test]
+    fn dst_lane_overflow_is_counted() {
+        let mut net = Interconnect::new(2, LinkParams::default());
+        let n = (DST_LANE_CAP + 4) as u64;
+        for i in 0..n {
+            net.send(pkt(0, 1, 16, i), SimTime::from_nanos(i * 10));
+        }
+        assert_eq!(net.dst_lane_spills(), 4);
+        drain(&mut net);
     }
 
     #[test]

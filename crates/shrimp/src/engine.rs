@@ -100,13 +100,28 @@ pub(crate) struct DeliveryCore {
     /// Packets dropped for naming physical addresses outside the
     /// receiver's memory.
     pub dropped: u64,
+    /// Packets successfully deposited into receiver memory.
+    pub delivered: u64,
+    /// Run prefixes committed as one dispatch (each covers ≥ 1 member;
+    /// `delivered / runs_committed` is the mean batch the drain achieved).
+    pub runs_committed: u64,
+    /// Runs that could not commit whole: an interleaving same-destination
+    /// key or the epoch horizon forced the tail back into the queue.
+    pub run_splits: u64,
     /// The transfer-level flight recorder this core stamps spans into.
     pub recorder: FlightRecorder,
 }
 
 impl DeliveryCore {
     pub fn new(passive: bool, recorder: FlightRecorder) -> Self {
-        DeliveryCore { passive, dropped: 0, recorder }
+        DeliveryCore {
+            passive,
+            dropped: 0,
+            delivered: 0,
+            runs_committed: 0,
+            run_splits: 0,
+            recorder,
+        }
     }
 
     /// Commits every staged entry with `link_ready` at or before
@@ -150,6 +165,10 @@ impl DeliveryCore {
         take: u32,
     ) {
         let lane = lanes.lane_mut(run.template.dst.raw() as usize);
+        self.runs_committed += 1;
+        if take < run.count {
+            self.run_splits += 1;
+        }
         let mut left = take;
         loop {
             let link_ready = run.template.meta.link_ready;
@@ -184,6 +203,7 @@ impl DeliveryCore {
             self.dropped += 1;
             return;
         }
+        self.delivered += 1;
         lane.rx.last_delivery = lane.rx.last_delivery.max(done);
         if self.recorder.is_enabled() {
             let m = packet.meta;

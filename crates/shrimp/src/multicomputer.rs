@@ -9,7 +9,8 @@ use shrimp_mem::{VirtAddr, PAGE_SIZE};
 use shrimp_net::{Interconnect, LinkParams, NodeId, PacketRun};
 use shrimp_os::{NodeConfig, Pid, Trap, UdmaXferResult};
 use shrimp_sim::{
-    FlightRecorder, SimDuration, SimTime, SpanRecord, Stage, StatSet, XferId, STAGE_COUNT,
+    FlightRecorder, MetricId, MetricSet, SampleRing, SimDuration, SimTime, SpanRecord, Stage,
+    StatSet, XferId, STAGE_COUNT,
 };
 
 use crate::engine::{DeliveryCore, Lane};
@@ -252,6 +253,14 @@ pub struct Multicomputer {
     pub(crate) phase_clock: Option<fn() -> u64>,
     /// Merged epoch-phase breakdown of the most recent parallel run.
     pub(crate) phases: crate::parallel::PhaseBreakdown,
+    /// Ring capacity for per-epoch staged-depth sampling (`None` = off;
+    /// see [`Multicomputer::set_epoch_sampling`]).
+    pub(crate) epoch_sample_capacity: Option<usize>,
+    /// Per-shard staged-depth timeseries from the most recent parallel
+    /// run, in shard order (empty when sampling is off).
+    pub(crate) epoch_samples: Vec<SampleRing>,
+    /// Epoch count of the most recent parallel run.
+    pub(crate) last_epochs: u64,
 }
 
 impl Multicomputer {
@@ -281,6 +290,9 @@ impl Multicomputer {
             epoch_windows: None,
             phase_clock: None,
             phases: crate::parallel::PhaseBreakdown::default(),
+            epoch_sample_capacity: None,
+            epoch_samples: Vec::new(),
+            last_epochs: 0,
         }
     }
 
@@ -407,6 +419,85 @@ impl Multicomputer {
             all.merge(node.os().stats());
         }
         all
+    }
+
+    /// Deterministic machine-wide metrics snapshot.
+    ///
+    /// Every metric registered here is a pure function of the simulated
+    /// timeline — per-node NIPT occupancy/evictions/refaults, per-node
+    /// TLB hit/miss/shortcut counts, per-link wire bytes, fabric traffic
+    /// totals and drops, and the delivery core's counters — registered in
+    /// a fixed order (node by node, then link by link, then scalars) and
+    /// rendered sorted by [`MetricId`]. The same workload therefore
+    /// produces **byte-identical** [`MetricSet::render_text`] /
+    /// [`MetricSet::render_json`] output at any thread count; the metrics
+    /// suite pins this on a 256-node mesh.
+    ///
+    /// Host- and schedule-variant observability (wheel spills, buffer-pool
+    /// high water, phase timings) deliberately lives in the separate
+    /// [`Multicomputer::engine_metrics`] set, outside this guarantee.
+    pub fn metrics_snapshot(&self) -> MetricSet {
+        let n = self.lanes.len();
+        let mut set = MetricSet::with_capacity(7 * n + 8);
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let i = i as u32;
+            let machine = lane.node.os().machine();
+            let nipt = machine.device().nipt();
+            set.gauge(MetricId::indexed("nipt", "occupancy", i), nipt.occupancy_gauge());
+            set.counter(MetricId::indexed("nipt", "evictions", i), nipt.evictions());
+            set.counter(MetricId::indexed("nipt", "refaults", i), nipt.refaults());
+            let tlb = machine.mmu().tlb();
+            set.counter(MetricId::indexed("tlb", "hits", i), tlb.hits());
+            set.counter(MetricId::indexed("tlb", "misses", i), tlb.misses());
+            set.counter(MetricId::indexed("tlb", "last_hits", i), tlb.last_hits());
+        }
+        for (i, bytes) in self.fabric.wire_bytes_per_link().enumerate() {
+            set.counter(MetricId::indexed("link", "wire_bytes", i as u32), bytes);
+        }
+        let net = self.fabric.stats();
+        set.counter(MetricId::scalar("fabric", "packets"), net.get("packets"));
+        set.counter(MetricId::scalar("fabric", "payload_bytes"), net.get("payload_bytes"));
+        set.counter(MetricId::scalar("fabric", "drops"), self.fabric.fabric_drops());
+        set.counter(MetricId::scalar("delivery", "delivered"), self.core.delivered);
+        set.counter(MetricId::scalar("delivery", "drops"), self.core.dropped);
+        set.counter(MetricId::scalar("delivery", "runs_committed"), self.core.runs_committed);
+        set.counter(MetricId::scalar("delivery", "run_splits"), self.core.run_splits);
+        set
+    }
+
+    /// The change in the deterministic snapshot since `base` (counters
+    /// subtract; gauges and histograms report current state) — interval
+    /// reporting for long workloads.
+    pub fn snapshot_delta(&self, base: &MetricSet) -> MetricSet {
+        self.metrics_snapshot().delta(base)
+    }
+
+    /// Host- and schedule-variant engine observability, separate from the
+    /// pinned [`Multicomputer::metrics_snapshot`]: staged-wheel pressure,
+    /// per-destination index spills, per-node buffer-pool demand, the
+    /// last run's epoch count, and (when a phase clock is installed) the
+    /// host-time epoch-phase histograms. Values here may legitimately
+    /// differ across thread counts and hosts.
+    pub fn engine_metrics(&self) -> MetricSet {
+        let mut set = MetricSet::with_capacity(2 * self.lanes.len() + 12);
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let i = i as u32;
+            let pool = lane.node.os().machine().device().buf_pool();
+            set.gauge(MetricId::indexed("buf_pool", "in_use", i), pool.in_use_gauge());
+            set.counter(MetricId::indexed("buf_pool", "exhaustion", i), pool.exhaustion_stalls());
+        }
+        let (spills, reseeds, depth_high) = self.fabric.staged_wheel_metrics();
+        set.counter(MetricId::scalar("wheel", "spills"), spills);
+        set.counter(MetricId::scalar("wheel", "reseeds"), reseeds);
+        set.counter(MetricId::scalar("wheel", "depth_high"), depth_high);
+        set.counter(MetricId::scalar("dst_index", "lane_spills"), self.fabric.dst_lane_spills());
+        set.counter(MetricId::scalar("engine", "epochs"), self.last_epochs);
+        let p = &self.phases;
+        set.hist(MetricId::scalar("phase", "execute_ns"), p.execute.clone());
+        set.hist(MetricId::scalar("phase", "barrier_ns"), p.barrier.clone());
+        set.hist(MetricId::scalar("phase", "merge_ns"), p.merge.clone());
+        set.hist(MetricId::scalar("phase", "commit_ns"), p.commit.clone());
+        set
     }
 
     /// Exports the recorded transfer spans as Chrome/Perfetto trace-event
@@ -716,6 +807,22 @@ impl Multicomputer {
     /// [`Multicomputer::run`]. Empty unless a phase clock was installed.
     pub fn phase_breakdown(&self) -> &crate::parallel::PhaseBreakdown {
         &self.phases
+    }
+
+    /// Enables per-epoch gauge sampling for [`Multicomputer::run`]: each
+    /// shard records its staged-queue depth once per epoch into a fixed
+    /// ring of `capacity` samples (the newest epochs win when a run
+    /// outlasts the ring). `None` turns sampling off. Pure observation —
+    /// the simulated timeline is unchanged.
+    pub fn set_epoch_sampling(&mut self, capacity: Option<usize>) {
+        self.epoch_sample_capacity = capacity;
+    }
+
+    /// Per-shard staged-depth timeseries of the most recent
+    /// [`Multicomputer::run`], in shard order. Empty unless
+    /// [`Multicomputer::set_epoch_sampling`] enabled sampling.
+    pub fn epoch_samples(&self) -> &[SampleRing] {
+        &self.epoch_samples
     }
 
     /// The model's steady-state per-message clock stride for a warm

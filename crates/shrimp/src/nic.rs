@@ -249,7 +249,7 @@ impl Nic {
     ) -> Result<(), PioError> {
         let index = dev_addr >> PAGE_SHIFT;
         let offset = dev_addr & PAGE_MASK;
-        let Some(NiptEntry { node, pfn }) = self.nipt.get(index) else {
+        let Some(NiptEntry { node, pfn }) = self.nipt.lookup(index) else {
             return Err(PioError::BadDestination);
         };
         // "The destination page number is concatenated with the offset to
@@ -284,7 +284,7 @@ impl Nic {
         // INVARIANT: a burst replays a transfer that already packetized
         // once with this dev_addr; no kernel ran since, so the NIPT
         // entry cannot have vanished mid-replay.
-        let NiptEntry { node, pfn } = self.nipt.get(index).expect("replayed NIPT entry exists");
+        let NiptEntry { node, pfn } = self.nipt.lookup(index).expect("replayed NIPT entry exists");
         let dst_paddr = PhysAddr::new(pfn.base().raw() + offset);
         let mut packet = Packet::new(self.node, node, dst_paddr, self.pool.filled_from(data));
         let ready_at = timing.completes_at + self.header_cost;

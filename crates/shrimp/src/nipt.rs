@@ -7,6 +7,7 @@
 
 use shrimp_mem::Pfn;
 use shrimp_net::NodeId;
+use shrimp_sim::{Counter, Gauge};
 
 /// One NIPT entry: a remote destination page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,6 +34,15 @@ pub struct NiptEntry {
 #[derive(Clone, Debug)]
 pub struct Nipt {
     entries: Vec<Option<NiptEntry>>,
+    /// Valid-entry count with a high-water mark (metrics plane: how close
+    /// the workload gets to the 32K board capacity).
+    occupancy: Gauge,
+    /// `set` calls that overwrote a still-valid entry — the kernel
+    /// recycled a live destination slot.
+    evictions: Counter,
+    /// Data-path [`Nipt::lookup`]s that missed — a send named an index
+    /// with no installed destination.
+    refaults: Counter,
 }
 
 impl Nipt {
@@ -46,7 +56,12 @@ impl Nipt {
     /// Panics on zero capacity.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "NIPT needs at least one entry");
-        Nipt { entries: vec![None; capacity] }
+        Nipt {
+            entries: vec![None; capacity],
+            occupancy: Gauge::new(),
+            evictions: Counter::new(),
+            refaults: Counter::new(),
+        }
     }
 
     /// Number of entries (valid or not).
@@ -64,19 +79,40 @@ impl Nipt {
             .entries
             .get_mut(index as usize)
             .unwrap_or_else(|| panic!("NIPT index {index} out of range"));
+        if slot.is_some() {
+            self.evictions.incr();
+        } else {
+            self.occupancy.incr();
+        }
         *slot = Some(entry);
     }
 
     /// Invalidates an entry.
     pub fn clear(&mut self, index: u64) {
         if let Some(slot) = self.entries.get_mut(index as usize) {
+            if slot.is_some() {
+                self.occupancy.decr();
+            }
             *slot = None;
         }
     }
 
     /// Looks up an entry; `None` for invalid or out-of-range indices.
+    /// Pure — allocation scans and eligibility probes use this.
     pub fn get(&self, index: u64) -> Option<NiptEntry> {
         self.entries.get(index as usize).copied().flatten()
+    }
+
+    /// Data-path lookup: like [`Nipt::get`], but a miss counts as a
+    /// refault (a send named an index with no installed destination).
+    // lint:hot_path
+    #[inline]
+    pub fn lookup(&mut self, index: u64) -> Option<NiptEntry> {
+        let hit = self.entries.get(index as usize).copied().flatten();
+        if hit.is_none() {
+            self.refaults.incr();
+        }
+        hit
     }
 
     /// First invalid index at or after `from`, for allocation.
@@ -87,6 +123,32 @@ impl Nipt {
     /// Number of valid entries.
     pub fn valid_count(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Current valid-entry count as tracked by the occupancy gauge.
+    pub fn occupancy(&self) -> u64 {
+        self.occupancy.get()
+    }
+
+    /// The occupancy gauge itself (level + high water), for registering
+    /// in a metrics snapshot.
+    pub fn occupancy_gauge(&self) -> Gauge {
+        self.occupancy
+    }
+
+    /// Highest valid-entry count ever reached.
+    pub fn occupancy_high_water(&self) -> u64 {
+        self.occupancy.high_water()
+    }
+
+    /// `set` calls that overwrote a still-valid entry.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Data-path lookups that missed.
+    pub fn refaults(&self) -> u64 {
+        self.refaults.get()
     }
 }
 
@@ -121,6 +183,31 @@ mod tests {
         n.set(3, NiptEntry { node: NodeId::new(0), pfn: Pfn::new(3) });
         assert_eq!(n.first_free(0), None);
         assert_eq!(n.valid_count(), 4);
+    }
+
+    #[test]
+    fn metrics_track_occupancy_evictions_refaults() {
+        let mut n = Nipt::new(4);
+        n.set(0, NiptEntry { node: NodeId::new(0), pfn: Pfn::new(0) });
+        n.set(1, NiptEntry { node: NodeId::new(0), pfn: Pfn::new(1) });
+        assert_eq!(n.occupancy(), 2);
+        assert_eq!(n.occupancy_high_water(), 2);
+        // Overwriting a live slot is an eviction, not new occupancy.
+        n.set(1, NiptEntry { node: NodeId::new(2), pfn: Pfn::new(9) });
+        assert_eq!(n.occupancy(), 2);
+        assert_eq!(n.evictions(), 1);
+        n.clear(0);
+        assert_eq!(n.occupancy(), 1);
+        assert_eq!(n.occupancy_high_water(), 2, "high water survives clears");
+        // Clearing an already-empty slot changes nothing.
+        n.clear(0);
+        assert_eq!(n.occupancy(), 1);
+        // Data-path lookups count misses; pure `get` never does.
+        assert!(n.lookup(1).is_some());
+        assert!(n.lookup(0).is_none());
+        assert!(n.lookup(100).is_none());
+        assert!(n.get(0).is_none());
+        assert_eq!(n.refaults(), 2);
     }
 
     #[test]

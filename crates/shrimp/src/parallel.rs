@@ -47,7 +47,9 @@
 use shrimp_mem::VirtAddr;
 use shrimp_net::{FabricShard, PacketRun, Staged};
 use shrimp_os::{Pid, UdmaXferResult};
-use shrimp_sim::{ExchangeGrid, FlightRecorder, Histogram, SimTime, SpinBarrier, TimeFrontier};
+use shrimp_sim::{
+    ExchangeGrid, FlightRecorder, Histogram, SampleRing, SimTime, SpinBarrier, TimeFrontier,
+};
 
 use crate::engine::{DeliveryCore, Lane, LaneMap};
 use crate::{Multicomputer, ShrimpError};
@@ -262,6 +264,9 @@ struct Shard {
     clock: Option<fn() -> u64>,
     /// Host-time samples per epoch phase (empty when `clock` is `None`).
     phases: PhaseBreakdown,
+    /// Per-epoch staged-queue depth timeseries (`None` = sampling off;
+    /// see [`Multicomputer::set_epoch_sampling`]).
+    sampler: Option<SampleRing>,
     epochs: u64,
     messages: u64,
     packets: u64,
@@ -304,6 +309,10 @@ impl Shard {
                 self.fabric.stage(at, tag, pkt);
             }
             lap(clock, &mut mark, &mut self.phases.merge);
+            if let Some(ring) = &mut self.sampler {
+                // Post-merge, pre-commit: the epoch's peak staged depth.
+                ring.record(self.epochs as u32, self.fabric.staged_len() as u64);
+            }
             self.core.commit_due(
                 &mut self.fabric,
                 &mut RoundRobin { nodes: &mut self.nodes, threads: self.threads, id: self.id },
@@ -508,6 +517,7 @@ impl Multicomputer {
                 schedule: schedule.clone(),
                 clock: self.phase_clock,
                 phases: PhaseBreakdown::default(),
+                sampler: self.epoch_sample_capacity.map(SampleRing::with_capacity),
                 epochs: 0,
                 messages: 0,
                 packets: 0,
@@ -557,13 +567,22 @@ impl Multicomputer {
         let mut recorders = Vec::with_capacity(threads);
         let mut first_error: Option<(usize, ShrimpError)> = None;
         self.phases = PhaseBreakdown::default();
+        self.epoch_samples.clear();
         for shard in shards {
             self.phases.merge_from(&shard.phases);
+            if let Some(ring) = shard.sampler {
+                // Shards are consumed in shard order, so the timeseries
+                // land in a stable per-shard sequence.
+                self.epoch_samples.push(ring);
+            }
             recorders.push(shard.core.recorder);
             report.epochs = report.epochs.max(shard.epochs);
             report.messages += shard.messages;
             report.packets += shard.packets;
             self.core.dropped += shard.core.dropped;
+            self.core.delivered += shard.core.delivered;
+            self.core.runs_committed += shard.core.runs_committed;
+            self.core.run_splits += shard.core.run_splits;
             for (index, error) in shard.errors {
                 if first_error.is_none_or(|(lowest, _)| index < lowest) {
                     first_error = Some((index, error));
@@ -581,6 +600,7 @@ impl Multicomputer {
         // `(link_ready, id)` order the commit loops applied them in, so
         // the merged recorder is bit-identical at any thread count.
         self.core.recorder.absorb(recorders);
+        self.last_epochs = report.epochs;
         match first_error {
             Some((_, error)) => Err(error),
             None => Ok(report),

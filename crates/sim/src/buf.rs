@@ -32,8 +32,25 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex};
 
-/// Shared free-list: cleared `Vec`s whose capacity is ready for reuse.
-type Shelf = Arc<Mutex<Vec<Vec<u8>>>>;
+use crate::metrics::Gauge;
+
+/// Shared pool state behind the shelf lock: the free-list plus the
+/// metrics that must stay transactional with it.
+#[derive(Debug, Default)]
+struct ShelfInner {
+    /// Cleared `Vec`s whose capacity is ready for reuse.
+    bufs: Vec<Vec<u8>>,
+    /// Live payloads checked out of this pool, with a high-water mark
+    /// (metrics plane: peak buffer demand of the workload).
+    in_use: Gauge,
+    /// `filled_from`/`clone` calls that found the shelf empty and had to
+    /// heap-allocate — includes cold-start fills, so a steady-state run
+    /// shows this settle at the warmup value.
+    exhaustion: u64,
+}
+
+/// Shared free-list handle.
+type Shelf = Arc<Mutex<ShelfInner>>;
 
 /// Maximum buffers the pool retains; beyond this, dropped payloads free
 /// their storage. Bounds worst-case memory for bursty workloads while
@@ -59,7 +76,17 @@ impl BufPool {
     pub fn filled_from(&self, bytes: &[u8]) -> Payload {
         // INVARIANT: shelf-lock holders never panic while holding the
         // lock, so the mutex cannot be poisoned.
-        let mut data = self.shelf.lock().expect("buffer shelf poisoned").pop().unwrap_or_default();
+        let mut data = {
+            let mut inner = self.shelf.lock().expect("buffer shelf poisoned");
+            inner.in_use.incr();
+            match inner.bufs.pop() {
+                Some(buf) => buf,
+                None => {
+                    inner.exhaustion += 1;
+                    Vec::default()
+                }
+            }
+        };
         data.clear();
         data.extend_from_slice(bytes);
         Payload { data, home: Some(self.shelf.clone()) }
@@ -69,7 +96,37 @@ impl BufPool {
     pub fn free_buffers(&self) -> usize {
         // INVARIANT: shelf-lock holders never panic while holding the
         // lock, so the mutex cannot be poisoned.
-        self.shelf.lock().expect("buffer shelf poisoned").len()
+        self.shelf.lock().expect("buffer shelf poisoned").bufs.len()
+    }
+
+    /// Payloads currently checked out of this pool.
+    pub fn in_use(&self) -> u64 {
+        // INVARIANT: shelf-lock holders never panic while holding the
+        // lock, so the mutex cannot be poisoned.
+        self.shelf.lock().expect("buffer shelf poisoned").in_use.get()
+    }
+
+    /// Peak simultaneous checked-out payloads over the pool's lifetime.
+    pub fn in_use_high_water(&self) -> u64 {
+        // INVARIANT: shelf-lock holders never panic while holding the
+        // lock, so the mutex cannot be poisoned.
+        self.shelf.lock().expect("buffer shelf poisoned").in_use.high_water()
+    }
+
+    /// The in-use gauge itself (level + high water), for registering in a
+    /// metrics snapshot.
+    pub fn in_use_gauge(&self) -> Gauge {
+        // INVARIANT: shelf-lock holders never panic while holding the
+        // lock, so the mutex cannot be poisoned.
+        self.shelf.lock().expect("buffer shelf poisoned").in_use
+    }
+
+    /// Requests that found the shelf empty and heap-allocated (includes
+    /// cold-start fills; steady state keeps this flat).
+    pub fn exhaustion_stalls(&self) -> u64 {
+        // INVARIANT: shelf-lock holders never panic while holding the
+        // lock, so the mutex cannot be poisoned.
+        self.shelf.lock().expect("buffer shelf poisoned").exhaustion
     }
 }
 
@@ -102,13 +159,14 @@ impl Drop for Payload {
             // INVARIANT: shelf-lock holders never panic while holding the
             // lock, so the mutex cannot be poisoned.
             let mut shelf = home.lock().expect("buffer shelf poisoned");
-            if shelf.len() < MAX_POOLED {
+            shelf.in_use.decr();
+            if shelf.bufs.len() < MAX_POOLED {
                 let mut data = std::mem::take(&mut self.data);
                 data.clear();
                 // lint:allow(A1) -- pushes an already-allocated buffer
                 // back onto the shelf; the shelf vector's own capacity is
                 // amortized over the pool's bounded size.
-                shelf.push(data);
+                shelf.bufs.push(data);
             }
         }
     }
@@ -122,8 +180,17 @@ impl Clone for Payload {
             Some(shelf) => {
                 // INVARIANT: shelf-lock holders never panic while holding
                 // the lock, so the mutex cannot be poisoned.
-                let mut data =
-                    shelf.lock().expect("buffer shelf poisoned").pop().unwrap_or_default();
+                let mut data = {
+                    let mut inner = shelf.lock().expect("buffer shelf poisoned");
+                    inner.in_use.incr();
+                    match inner.bufs.pop() {
+                        Some(buf) => buf,
+                        None => {
+                            inner.exhaustion += 1;
+                            Vec::default()
+                        }
+                    }
+                };
                 data.clear();
                 data.extend_from_slice(&self.data);
                 Payload { data, home: Some(shelf.clone()) }
@@ -280,6 +347,31 @@ mod tests {
         drop(a);
         drop(b);
         assert_eq!(pool.free_buffers(), 2, "clone shares the pool");
+    }
+
+    #[test]
+    fn pool_metrics_track_in_use_and_exhaustion() {
+        let pool = BufPool::new();
+        let a = pool.filled_from(&[1]); // cold start: exhaustion 1
+        let b = pool.filled_from(&[2]); // cold start: exhaustion 2
+        assert_eq!(pool.in_use(), 2);
+        assert_eq!(pool.in_use_high_water(), 2);
+        assert_eq!(pool.exhaustion_stalls(), 2);
+        drop(a);
+        assert_eq!(pool.in_use(), 1);
+        // Recycled fill: no new exhaustion, high water unchanged.
+        let c = pool.filled_from(&[3]);
+        assert_eq!(pool.exhaustion_stalls(), 2);
+        assert_eq!(pool.in_use(), 2);
+        assert_eq!(pool.in_use_high_water(), 2);
+        // A pooled clone checks out a third buffer (shelf empty again).
+        let d = c.clone();
+        assert_eq!(pool.in_use(), 3);
+        assert_eq!(pool.in_use_high_water(), 3);
+        assert_eq!(pool.exhaustion_stalls(), 3);
+        drop((b, c, d));
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.in_use_high_water(), 3);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   barrier, sharded exchange, deterministic merge, commit horizon),
 //! - [`SplitMix64`] — a tiny, dependency-free deterministic RNG,
 //! - [`Counter`] / [`Histogram`] / [`StatSet`] — measurement plumbing,
+//! - [`MetricSet`] / [`Gauge`] / [`SampleRing`] — the metrics plane:
+//!   typed-id registry with deterministic sorted rendering, high-water
+//!   gauges, and fixed-ring gauge timeseries (see `DESIGN.md` §10),
 //! - [`FlightRecorder`] / [`SpanRecord`] / [`XferId`] — the transfer-level
 //!   flight recorder: typed five-stage spans with cross-node correlation
 //!   IDs and a deterministic merge for the parallel engine,
@@ -42,6 +45,7 @@ mod buf;
 mod clock;
 mod cost;
 mod event;
+pub mod metrics;
 pub mod parallel;
 mod rng;
 mod span;
@@ -53,6 +57,7 @@ pub use buf::{BufPool, Payload};
 pub use clock::Clock;
 pub use cost::CostModel;
 pub use event::{Event, EventQueue, PopUntil};
+pub use metrics::{CounterId, Gauge, GaugeId, HistId, MetricId, MetricSet, SampleRing};
 pub use parallel::{merge_tag, ExchangeGrid, MergeQueue, SpinBarrier, TimeFrontier};
 pub use rng::SplitMix64;
 pub use span::{

@@ -246,6 +246,14 @@ pub struct MergeQueue<T> {
     /// `base + k·width` for the next unconsumed bucket `k`.
     cur_end: u64,
     len: usize,
+    /// Entries that missed their slab bucket and took the sorted spill
+    /// lane (metrics plane: wheel pressure; O(n) inserts instead of O(1)).
+    spills: u64,
+    /// Rung re-seeds from the overflow lane (metrics plane: how often the
+    /// wheel re-bases and re-widens).
+    reseeds: u64,
+    /// Peak entries resident at once (metrics plane: staged-queue depth).
+    len_high: u64,
 }
 
 impl<T> Default for MergeQueue<T> {
@@ -267,6 +275,9 @@ impl<T> MergeQueue<T> {
             width: MIN_BUCKET_WIDTH,
             cur_end: 0,
             len: 0,
+            spills: 0,
+            reseeds: 0,
+            len_high: 0,
         }
     }
 
@@ -282,6 +293,7 @@ impl<T> MergeQueue<T> {
     pub fn push(&mut self, at: SimTime, tag: u64, item: T) {
         let entry = MergeEntry { at, tag, item };
         self.len += 1;
+        self.len_high = self.len_high.max(self.len as u64);
         if entry.raw_at() < self.cur_end {
             // Already-consumed region (restaged run tails land here):
             // keep `cur` sorted descending so the minimum stays at the
@@ -308,6 +320,7 @@ impl<T> MergeQueue<T> {
             self.slab[bucket * BUCKET_CAP + count] = Some(entry);
             self.counts[bucket] = count + 1;
         } else {
+            self.spills += 1;
             let idx = self.spill.partition_point(|e| e.key() > entry.key());
             self.spill.insert(idx, entry);
         }
@@ -363,6 +376,7 @@ impl<T> MergeQueue<T> {
     /// `cur_end` stays monotone.
     fn reseed(&mut self) {
         debug_assert!(!self.overflow.is_empty());
+        self.reseeds += 1;
         let mut lo = u64::MAX;
         let mut hi = 0u64;
         for entry in &self.overflow {
@@ -470,6 +484,33 @@ impl<T> MergeQueue<T> {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Pushes that missed their slab bucket and took the sorted spill
+    /// lane (O(n) insert instead of an O(1) slab append).
+    pub fn spill_count(&self) -> u64 {
+        self.spills
+    }
+
+    /// Rung re-seeds from the overflow lane so far.
+    pub fn reseed_count(&self) -> u64 {
+        self.reseeds
+    }
+
+    /// Peak entries resident at once over the queue's lifetime.
+    pub fn len_high_water(&self) -> u64 {
+        self.len_high
+    }
+
+    /// Folds another queue's lifetime metrics into this one (spills and
+    /// reseeds sum; the high-water mark is the max over the queues, i.e.
+    /// the deepest any single queue ever got). A parallel engine calls
+    /// this when reassembling per-shard queues so machine-wide totals
+    /// survive the shards' destruction.
+    pub fn absorb_metrics<U>(&mut self, other: &MergeQueue<U>) {
+        self.spills += other.spills;
+        self.reseeds += other.reseeds;
+        self.len_high = self.len_high.max(other.len_high);
     }
 }
 
@@ -696,6 +737,25 @@ mod tests {
         assert!(q.pop_within(None).is_some());
         assert_eq!(q.next_key(), Some((SimTime::from_nanos(1_000_000), merge_tag(2, 0))));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn merge_queue_metrics_count_spills_reseeds_and_depth() {
+        let mut q = MergeQueue::new();
+        // Overfill one bucket: BUCKET_CAP slab slots, the rest spill.
+        for i in 0..(BUCKET_CAP as u64 + 5) {
+            q.push(SimTime::from_nanos(100), merge_tag(0, i), i);
+        }
+        assert_eq!(q.spill_count(), 5);
+        assert_eq!(q.len_high_water(), BUCKET_CAP as u64 + 5);
+        // Park one entry far beyond the rung, drain, and pop into it:
+        // the wheel must re-seed from overflow exactly once.
+        q.push(SimTime::from_nanos(100_000_000), merge_tag(0, 99), 99);
+        assert_eq!(q.reseed_count(), 0);
+        while q.pop_within(None).is_some() {}
+        assert_eq!(q.reseed_count(), 1);
+        assert_eq!(q.len_high_water(), BUCKET_CAP as u64 + 6);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -143,6 +143,48 @@ impl Histogram {
         self.max
     }
 
+    /// The value at quantile `q` (`0.0..=1.0`), resolved by walking the
+    /// log-scaled buckets: the reported value is the upper bound of the
+    /// bucket where the cumulative count first reaches `ceil(q·count)`,
+    /// clamped into the exact `[min, max]` range — so `quantile(0.0)` is
+    /// the true minimum and `quantile(1.0)` the true maximum, and every
+    /// other quantile is correct to within one power-of-two bucket.
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let (min, max) = (self.min?, self.max?);
+        // INVARIANT: count > 0 whenever min is Some.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = 1u64.checked_shl(b as u32).unwrap_or(u64::MAX);
+                return Some(bound.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    /// The bucketwise difference `self − base` (saturating), for interval
+    /// reports over two cumulative snapshots of the same metric: bucket
+    /// counts, total count and sum subtract; min/max keep `self`'s
+    /// lifetime extremes (exact interval extremes are not recoverable
+    /// from cumulative snapshots). Subtracting a snapshot from itself
+    /// yields an empty-count histogram.
+    pub fn subtract(&self, base: &Histogram) -> Histogram {
+        let mut out = self.clone();
+        for (mine, theirs) in out.buckets.iter_mut().zip(base.buckets.iter()) {
+            *mine = mine.saturating_sub(*theirs);
+        }
+        out.count = self.count.saturating_sub(base.count);
+        out.sum = self.sum.saturating_sub(base.sum);
+        if out.count == 0 {
+            out.min = None;
+            out.max = None;
+        }
+        out
+    }
+
     /// Iterates `(bucket_upper_bound, count)` over non-empty buckets.
     /// The last bucket's bound (`2^64`) is reported as `u64::MAX`.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -357,6 +399,28 @@ mod tests {
         let buckets: Vec<_> = h.iter().collect();
         // 0 and 1 in bucket <=1; 2 in <=2; 3,4 in <=4.
         assert_eq!(buckets, vec![(1, 2), (2, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_buckets_and_clamp_to_exact_extremes() {
+        let mut h = Histogram::new();
+        for v in 1u64..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1), "p0 is the exact minimum");
+        assert_eq!(h.quantile(1.0), Some(100), "p100 is the exact maximum");
+        // p50: rank 50 lands in the 33..=64 bucket, upper bound 64.
+        assert_eq!(h.quantile(0.5), Some(64));
+        // p99: rank 99 lands in the 65..=128 bucket, clamped to max=100.
+        assert_eq!(h.quantile(0.99), Some(100));
+
+        // One-sample histogram: every quantile is that sample.
+        let mut one = Histogram::new();
+        one.record(42);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(42));
+        }
+        assert_eq!(Histogram::new().quantile(0.5), None, "empty has no quantiles");
     }
 
     #[test]
