@@ -384,6 +384,25 @@ fn main() {
         runs.push(two_node);
     }
 
+    // Serving rows: the multi-tenant request/reply workload — tenant
+    // processes contending for a deliberately undersized NIPT, mixed §7
+    // priorities, closed-loop RPC latency. Run at one shard and two so
+    // the digest-equality check below covers the reactive-program path
+    // too. Sizing is identical in full and quick mode: the request
+    // percentiles are *simulated* figures (deterministic on any host),
+    // and CI gates on them against the committed row — the workload must
+    // therefore be the same workload in every invocation.
+    // The t=2 row runs traced so the committed JSON also carries the
+    // per-stage p50/p90/p99 split of the serving path (tracing is pure
+    // observation: its digest must still equal the t=1 row's).
+    let serving_t1 = shrimp_bench::serving::serving(64, 16, 4, 1);
+    let (serving_t2, _trace) = shrimp_bench::serving::serving_traced(64, 16, 4, 2);
+    for out in [serving_t1, serving_t2] {
+        assert!(out.nipt_evictions > 0, "serving must churn the NIPT");
+        assert!(out.nipt_refaults > 0, "serving must refault stale slots");
+        runs.push(out.result);
+    }
+
     // "before": the baseline binary's best rows (interleaved mode), or
     // the *most recent* runs in the --compare file (its "after" array).
     let baseline_rows: Vec<String> =

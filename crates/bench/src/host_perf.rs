@@ -19,7 +19,7 @@ use std::process::Command;
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use shrimp::{Multicomputer, NodePlan, SendOp};
+use shrimp::{Multicomputer, NodePlan, PacketClass, SendOp};
 use shrimp_machine::MachineConfig;
 use shrimp_mem::{VirtAddr, PAGE_SIZE};
 use shrimp_sim::{Stage, STAGE_COUNT};
@@ -47,10 +47,10 @@ pub fn host_nanos() -> u64 {
 /// `barrier_ns` share means shard imbalance, not engine cost.
 pub type PhaseTotals = [u64; 5];
 
-/// Per-stage simulated-time latency percentiles `[p50, p99]` in
+/// Per-stage simulated-time latency percentiles `[p50, p90, p99]` in
 /// nanoseconds, indexed by [`Stage::ALL`] order (`None` on untraced
 /// rows — the flight recorder is the source).
-pub type StageLatencies = [[u64; 2]; STAGE_COUNT];
+pub type StageLatencies = [[u64; 3]; STAGE_COUNT];
 
 fn phases_to_json(p: PhaseTotals) -> String {
     let [crossings, execute_ns, barrier_ns, merge_ns, commit_ns] = p;
@@ -67,7 +67,7 @@ fn stages_to_json(s: &StageLatencies) -> String {
     let body: Vec<String> = Stage::ALL
         .iter()
         .zip(s.iter())
-        .map(|(stage, pq)| format!("\"{}\":[{},{}]", stage.name(), pq[0], pq[1]))
+        .map(|(stage, pq)| format!("\"{}\":[{},{},{}]", stage.name(), pq[0], pq[1], pq[2]))
         .collect();
     format!("{{{}}}", body.join(","))
 }
@@ -106,9 +106,17 @@ pub struct ThroughputResult {
     /// Epoch-phase breakdown in host nanoseconds (parallel rows only),
     /// harvested from [`Multicomputer::engine_metrics`].
     pub phases: Option<PhaseTotals>,
-    /// Per-stage `[p50, p99]` simulated latency in nanoseconds (traced
-    /// rows only), from the flight recorder's stage histograms.
+    /// Per-stage `[p50, p90, p99]` simulated latency in nanoseconds
+    /// (traced rows only), from the flight recorder's stage histograms.
     pub stage_ns: Option<StageLatencies>,
+    /// Request-latency percentiles `[p50, p90, p99]` in simulated
+    /// nanoseconds (serving rows only) — deterministic at every thread
+    /// count, so CI can gate on them.
+    pub request_ns: Option<[u64; 3]>,
+    /// Machine-wide NIPT churn `[evictions, refaults]` (serving rows
+    /// only): slot runs recycled for another tenant, and sends that
+    /// found their slot recycled and reloaded it.
+    pub nipt_churn: Option<[u64; 2]>,
 }
 
 impl ThroughputResult {
@@ -126,12 +134,21 @@ impl ThroughputResult {
             Some(s) => stages_to_json(s),
             None => "null".to_string(),
         };
+        let request_ns = match self.request_ns {
+            Some([p50, p90, p99]) => format!("[{p50},{p90},{p99}]"),
+            None => "null".to_string(),
+        };
+        let nipt_churn = match self.nipt_churn {
+            Some([evictions, refaults]) => format!("[{evictions},{refaults}]"),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"nodes\":{},\"msg_bytes\":{},\"messages\":{},",
                 "\"threads\":{},\"wall_s\":{:.4},\"msgs_per_sec\":{:.1},\"mb_per_sec\":{:.2},",
                 "\"digest\":\"{:#018x}\",\"commit\":\"{}\",\"host_cores\":{},",
-                "\"allocs_per_msg\":{},\"phases\":{},\"stage_p50_p99_ns\":{}}}"
+                "\"allocs_per_msg\":{},\"phases\":{},\"stage_p50_p90_p99_ns\":{},",
+                "\"request_p50_p90_p99_ns\":{},\"nipt_evictions_refaults\":{}}}"
             ),
             self.name,
             self.nodes,
@@ -147,6 +164,8 @@ impl ThroughputResult {
             allocs,
             phases,
             stage_ns,
+            request_ns,
+            nipt_churn,
         )
     }
 }
@@ -343,6 +362,7 @@ fn stream_pairs_impl(
                         dev_page,
                         dev_off: 0,
                         nbytes: msg_bytes,
+                        class: PacketClass::User,
                     };
                     messages_per_pair as usize
                 ],
@@ -395,10 +415,11 @@ fn stream_pairs_impl(
         [crossings, ns("execute_ns"), ns("barrier_ns"), ns("merge_ns"), ns("commit_ns")]
     });
     let stage_ns = traced.then(|| {
-        let mut out = [[0u64; 2]; STAGE_COUNT];
+        let mut out = [[0u64; 3]; STAGE_COUNT];
         for (slot, stage) in out.iter_mut().zip(Stage::ALL) {
             let h = mc.recorder().stage_histogram(stage);
-            *slot = [h.quantile(0.50).unwrap_or(0), h.quantile(0.99).unwrap_or(0)];
+            let q = |p: f64| h.quantile(p).unwrap_or(0);
+            *slot = [q(0.50), q(0.90), q(0.99)];
         }
         out
     });
@@ -424,6 +445,8 @@ fn stream_pairs_impl(
         },
         phases,
         stage_ns,
+        request_ns: None,
+        nipt_churn: None,
     };
     (result, trace, metrics)
 }
@@ -465,7 +488,9 @@ mod tests {
         assert!(j.contains("\"host_cores\":"), "{j}");
         assert!(j.contains("\"allocs_per_msg\":"), "{j}");
         assert!(j.contains("\"phases\":null"), "serial row has no phases: {j}");
-        assert!(j.contains("\"stage_p50_p99_ns\":null"), "untraced row has no stages: {j}");
+        assert!(j.contains("\"stage_p50_p90_p99_ns\":null"), "untraced row has no stages: {j}");
+        assert!(j.contains("\"request_p50_p90_p99_ns\":null"), "stream row: {j}");
+        assert!(j.contains("\"nipt_evictions_refaults\":null"), "stream row: {j}");
     }
 
     #[test]
@@ -485,9 +510,9 @@ mod tests {
         let stages = r.stage_ns.expect("traced row has stage latencies");
         let wire = stages[Stage::Wire.index()];
         assert!(wire[0] > 0, "wire p50 nonzero for 4 KB payloads");
-        assert!(wire[1] >= wire[0], "p99 >= p50");
+        assert!(wire[1] >= wire[0] && wire[2] >= wire[1], "p50 <= p90 <= p99");
         let j = r.to_json();
-        assert!(j.contains("\"stage_p50_p99_ns\":{\"initiation\":["), "{j}");
+        assert!(j.contains("\"stage_p50_p90_p99_ns\":{\"initiation\":["), "{j}");
         assert!(j.contains("\"status-observed\":["), "{j}");
     }
 

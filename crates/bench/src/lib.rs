@@ -32,5 +32,6 @@ pub mod pinning;
 pub mod queueing;
 pub mod scaling;
 pub mod sensitivity;
+pub mod serving;
 pub mod table;
 pub mod workloads;

@@ -5,7 +5,8 @@
 //!
 //! 1. [`FabricShard::inject`] — routing latency; stamps `link_ready`,
 //! 2. staging ([`FabricShard::stage`]) — the packet waits in a
-//!    deterministic merge queue keyed `(link_ready, id)`,
+//!    deterministic merge queue keyed `(link_ready, tag)`, the tag being
+//!    the §7 priority class bit over the transfer ID,
 //! 3. [`FabricShard::commit_next`] — pops the earliest staged packet and
 //!    serializes it on the destination's inbound link, yielding its
 //!    arrival instant.
@@ -45,13 +46,14 @@ impl PacketRun {
         SimDuration::from_nanos(u64::from(self.stride_ns))
     }
 
-    /// The staged-queue key `(link_ready, id)` of member `i`: the delta
+    /// The staged-queue key `(link_ready, tag)` of member `i`, with the
+    /// template's [`crate::PacketClass`] encoded in the tag: the delta
     /// encoding means the whole run's ordering is two integer adds per
     /// member, never a re-derivation of routing latency.
     pub fn member_key(&self, i: u32) -> (SimTime, u64) {
         (
             self.template.meta.link_ready + self.stride() * u64::from(i),
-            self.template.meta.id.raw() + u64::from(i),
+            self.template.merge_tag() + u64::from(i),
         )
     }
 
@@ -453,7 +455,7 @@ pub struct FabricShard {
     /// struct so `admit` pays a single bounds check and touches a single
     /// cache line per member.
     links: Vec<LinkState>,
-    /// Entries awaiting commit, keyed `(link_ready, XferId raw)`: the pop
+    /// Entries awaiting commit, keyed `(link_ready, merge tag)`: the pop
     /// order is a pure function of the staged set, never of insertion
     /// order, so serial and parallel drains are the same sequence. An
     /// entry is a single packet or a whole [`PacketRun`] keyed by its
@@ -503,8 +505,10 @@ impl FabricShard {
 
     /// Stages an entry that reaches its destination's inbound link at
     /// `link_ready`, keyed for the deterministic commit order. `tag` must
-    /// be unique per staged member — the (first) packet's `XferId` raw
-    /// value; a run's later members own the consecutive tags above it.
+    /// be unique per staged member — the (first) packet's merge tag
+    /// ([`Packet::merge_tag`]: §7 priority class bit over the `XferId`
+    /// raw value); a run's later members own the consecutive tags above
+    /// it.
     // lint:hot_path
     pub fn stage(&mut self, link_ready: SimTime, tag: u64, item: Staged) {
         let dst = match &item {
@@ -523,7 +527,7 @@ impl FabricShard {
     // lint:hot_path
     pub fn send(&mut self, mut packet: Packet, now: SimTime) -> SimTime {
         let link_ready = self.inject(&mut packet, now);
-        let tag = packet.meta.id.raw();
+        let tag = packet.merge_tag();
         self.stage(link_ready, tag, Staged::One(packet));
         link_ready
     }
@@ -558,7 +562,7 @@ impl FabricShard {
     // lint:hot_path
     pub fn send_run(&mut self, mut run: PacketRun, now: SimTime) -> SimTime {
         let link_ready = self.inject_run(&mut run, now);
-        let tag = run.template.meta.id.raw();
+        let tag = run.template.merge_tag();
         self.stage(link_ready, tag, Staged::Run(run));
         link_ready
     }
@@ -587,20 +591,29 @@ impl FabricShard {
     /// shard's queue.
     ///
     /// Identical arithmetic at any shard count: admitting members in the
-    /// per-destination `(link_ready, id)` order reproduces the timeline
+    /// per-destination `(link_ready, tag)` order reproduces the timeline
     /// bit for bit.
+    ///
+    /// **This is the §7 priority arbitration point.** The staged tag
+    /// carries the packet's [`crate::PacketClass`] in its top bit
+    /// ([`Packet::merge_tag`]), so when a system-class and a user-class
+    /// entry reach a destination's inbound link at the same `link_ready`
+    /// instant, the system packet pops — and serializes on the link —
+    /// first, exactly the "system packets take priority" rule of the
+    /// paper's two outgoing queues. Single-class workloads see the plain
+    /// `XferId` order, unchanged from the pre-priority fabric.
     // lint:hot_path
     pub fn commit_next(&mut self, horizon: Option<SimTime>) -> Option<Commit> {
         let (link_ready, item) = self.staged.pop_within(horizon)?;
         match item {
             Staged::One(packet) => {
-                self.dst_keys.remove(packet.dst.raw(), (link_ready, packet.meta.id.raw()));
+                self.dst_keys.remove(packet.dst.raw(), (link_ready, packet.merge_tag()));
                 let arrival = self.admit(&packet, link_ready);
                 Some(Commit::One { link_ready, arrival, packet })
             }
             Staged::Run(run) => {
                 let dst = run.template.dst.raw();
-                self.dst_keys.remove(dst, (link_ready, run.template.meta.id.raw()));
+                self.dst_keys.remove(dst, (link_ready, run.template.merge_tag()));
                 let next = self.dst_keys.min(dst);
                 let mut take: u32 = 1;
                 while take < run.count {
@@ -944,6 +957,55 @@ mod tests {
         assert_eq!(net.in_flight_count(), 0);
     }
 
+    /// §7 arbitration: a system packet staged at the same `link_ready`
+    /// as user packets commits first, even when its transfer ID sorts
+    /// last — and within each class the `XferId` order is untouched.
+    #[test]
+    fn system_class_wins_equal_time_arbitration() {
+        use crate::PacketClass;
+        let mut net = Interconnect::new(2, LinkParams::default());
+        let at = SimTime::from_nanos(100);
+        net.send(pkt(0, 1, 64, 0), at);
+        net.send(pkt(0, 1, 64, 1), at);
+        let mut sys = pkt(0, 1, 64, 2);
+        sys.class = PacketClass::System;
+        net.send(sys, at);
+        let order: Vec<u64> = std::iter::from_fn(|| commit_flat(net.shard_mut(), None).pop())
+            .map(|(_, id, _)| id.seq())
+            .collect();
+        assert_eq!(order, [2, 0, 1], "system first, then user in XferId order");
+    }
+
+    /// A user-class run and a same-time system single: the system packet
+    /// splits the run at member 0 (it owns the link first), and the run
+    /// commits after it without losing a member.
+    #[test]
+    fn system_single_preempts_a_user_run_at_equal_time() {
+        use crate::PacketClass;
+        let stride = SimDuration::from_us(10.0);
+        let mut net = Interconnect::new(4, LinkParams::default());
+        let run =
+            PacketRun { template: pkt(0, 1, 64, 0), count: 3, stride_ns: stride.as_nanos() as u32 };
+        net.shard_mut().send_run(run, SimTime::ZERO);
+        let mut sys = pkt(3, 1, 64, 900);
+        sys.class = PacketClass::System;
+        // Nodes 0 and 3 are both two hops from node 1 on the 2×2 mesh, so
+        // sending at the same instant lands both at the same link_ready.
+        net.send(sys, SimTime::ZERO);
+        let order: Vec<XferId> = std::iter::from_fn(|| {
+            let batch = commit_flat(net.shard_mut(), None);
+            (!batch.is_empty()).then_some(batch)
+        })
+        .flatten()
+        .map(|(_, id, _)| id)
+        .collect();
+        assert_eq!(
+            order,
+            [XferId::new(3, 900), XferId::new(0, 0), XferId::new(0, 1), XferId::new(0, 2)],
+            "system packet commits ahead of the whole equal-time run"
+        );
+    }
+
     #[test]
     fn stats_count_traffic() {
         let mut net = Interconnect::new(2, LinkParams::default());
@@ -1072,7 +1134,7 @@ mod tests {
         for (i, &(s, d, bytes, at)) in sequence.iter().enumerate() {
             let mut p = pkt(s, d, bytes, i as u64);
             let ready = shards[owner[s as usize]].inject(&mut p, SimTime::from_nanos(at));
-            let tag = p.meta.id.raw();
+            let tag = p.merge_tag();
             shards[owner[d as usize]].stage(ready, tag, Staged::One(p));
         }
         let mut shard_times = Vec::new();

@@ -35,4 +35,4 @@ mod fabric;
 mod packet;
 
 pub use fabric::{Commit, FabricShard, Interconnect, LinkParams, PacketRun, Staged};
-pub use packet::{NodeId, Packet};
+pub use packet::{NodeId, Packet, PacketClass};

@@ -57,6 +57,6 @@ pub mod userapi;
 pub use driver::{Driver, Progress, Workload};
 pub use error::Trap;
 pub use node::{Node, NodeConfig};
-pub use process::{Pid, Process, VPage};
+pub use process::{PagerAccount, Pid, Process, VPage};
 pub use syscall::{DmaStrategy, SyscallDmaResult};
 pub use userapi::UdmaXferResult;

@@ -180,6 +180,50 @@ impl<D: Device> Node<D> {
         Ok(())
     }
 
+    /// Revokes device proxy pages `[first_page, first_page + pages)` from
+    /// `pid`: the teardown half of NIPT demand paging. Grants covering the
+    /// range are dropped, any demand-created proxy PTEs in the range are
+    /// unmapped (and their TLB entries shot down), and the I1 Inval store
+    /// fires so a transfer half-initiated through the dying mapping can
+    /// never complete against a recycled NIPT entry. `pid`'s next touch of
+    /// the range faults [`Trap::DeviceNotGranted`].
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::NoSuchProcess`] for an unknown pid.
+    pub fn revoke_device_proxy(
+        &mut self,
+        pid: Pid,
+        first_page: u64,
+        pages: u64,
+    ) -> Result<(), Trap> {
+        let syscall = self.machine.cost().syscall;
+        self.machine.advance(syscall);
+        let proc = self.procs.get_mut(&pid).ok_or(Trap::NoSuchProcess(pid))?;
+        let end = first_page + pages;
+        proc.grants.retain(|g| g.first_page >= end || g.first_page + g.pages <= first_page);
+        let mut unmapped = 0u64;
+        for page in first_page..end {
+            let vpn = VirtAddr::new(shrimp_mem::DEV_PROXY_BASE + page * PAGE_SIZE).page();
+            if proc.pt.unmap(vpn).is_some() {
+                unmapped += 1;
+            }
+        }
+        for page in first_page..end {
+            let vpn = VirtAddr::new(shrimp_mem::DEV_PROXY_BASE + page * PAGE_SIZE).page();
+            self.machine.mmu_mut().flush_page(vpn);
+        }
+        if unmapped > 0 {
+            let pte_cost = self.machine.cost().pte_update;
+            self.machine.advance(pte_cost * unmapped);
+        }
+        // Invariant I1 territory: a transfer the process half-initiated
+        // through the revoked window must not survive the revocation.
+        self.machine.kernel_inval_udma();
+        self.stats.bump("device_revokes");
+        Ok(())
+    }
+
     /// Schedules `pid`, performing a context switch if it is not already
     /// running: full TLB flush plus the I1 Inval store ("the operating
     /// system must invalidate any partially initiated UDMA transfer on
@@ -916,6 +960,24 @@ mod tests {
         n.grant_device_proxy(pid, 0, 1, true).unwrap();
         n.user_store(pid, vdev, 64).unwrap();
         assert_eq!(n.stats().get("device_proxy_mappings_created"), 1);
+    }
+
+    #[test]
+    fn revoke_device_proxy_unmaps_and_faults() {
+        let mut n = node();
+        let pid = n.spawn();
+        n.grant_device_proxy(pid, 0, 2, true).unwrap();
+        let vdev = VirtAddr::new(shrimp_mem::DEV_PROXY_BASE);
+        n.user_store(pid, vdev, 64).unwrap(); // demand-creates the PTE
+        assert!(n.process(pid).unwrap().pt.get(vdev.page()).is_some());
+
+        n.revoke_device_proxy(pid, 0, 2).unwrap();
+        assert_eq!(n.stats().get("device_revokes"), 1);
+        assert!(n.process(pid).unwrap().pt.get(vdev.page()).is_none(), "PTE must die");
+        assert!(n.process(pid).unwrap().grants.is_empty(), "grant must die");
+        let err = n.user_store(pid, vdev, 64).unwrap_err();
+        assert!(matches!(err, Trap::DeviceNotGranted { .. }), "got {err:?}");
+        n.check_invariants().unwrap();
     }
 
     #[test]

@@ -18,15 +18,26 @@ use crate::process::{Pid, VPage};
 use crate::{Node, Trap};
 
 impl<D: Device> Node<D> {
-    /// Allocates a frame, evicting under memory pressure.
+    /// Allocates a frame for `(pid, vpn)`, evicting under memory
+    /// pressure. The requester is charged one demand allocation in its
+    /// per-process pager account; eviction costs land on the *victim's*
+    /// account in [`Node::evict_frame`] — under tenant churn the two
+    /// differ, which is exactly what the accounting exists to show.
     ///
     /// # Errors
     ///
     /// [`Trap::OutOfMemory`] when every frame is pinned, hardware-held or
     /// otherwise unreclaimable.
-    pub(crate) fn alloc_frame_evicting(&mut self, _pid: Pid, _vpn: Vpn) -> Result<Pfn, Trap> {
+    pub(crate) fn alloc_frame_evicting(&mut self, pid: Pid, vpn: Vpn) -> Result<Pfn, Trap> {
+        debug_assert!(
+            self.procs.get(&pid).and_then(|p| p.vpages.get(&vpn)).and_then(VPage::pfn).is_none(),
+            "demand alloc for a page already resident ({pid}, {vpn})"
+        );
         loop {
             if let Ok(pfn) = self.frames.alloc() {
+                if let Some(proc) = self.procs.get_mut(&pid) {
+                    proc.pager.demand_allocs += 1;
+                }
                 return Ok(pfn);
             }
             self.evict_one()?;
@@ -116,6 +127,9 @@ impl<D: Device> Node<D> {
                     + self.machine.cost().disk_transfer(PAGE_SIZE);
                 self.machine.advance(io);
                 self.stats.bump("page_outs");
+                if let Some(proc) = self.procs.get_mut(&pid) {
+                    proc.pager.page_outs += 1;
+                }
             }
             VPage::Swapped { slot, writable }
         } else {
@@ -125,6 +139,7 @@ impl<D: Device> Node<D> {
 
         // Invariant I2: the proxy mapping dies with the real mapping.
         let proc = self.procs.get_mut(&pid).expect("owner exists");
+        proc.pager.evictions += 1;
         proc.pt.unmap(vpn);
         proc.vpages.insert(vpn, new_state);
         let proxy_vpn =
@@ -427,6 +442,39 @@ mod tests {
         assert!(n.stats().get("evictions") > 0);
         assert_eq!(n.stats().get("page_outs"), 0, "clean pages need no cleaning");
         assert_eq!(n.swap().write_count(), 0);
+    }
+
+    #[test]
+    fn pager_accounts_are_per_process() {
+        let mut n = tight_node(4);
+        let a = n.spawn();
+        let b = n.spawn();
+        n.mmap(a, 0x10000, 4, true).unwrap();
+        n.mmap(b, 0x10000, 4, true).unwrap();
+        for i in 0..4u64 {
+            n.user_store(a, VirtAddr::new(0x10000 + i * PAGE_SIZE), 1).unwrap();
+        }
+        // B's demand allocations squeeze A out: the requester and the
+        // victim of the pressure are different processes.
+        for i in 0..4u64 {
+            n.user_store(b, VirtAddr::new(0x10000 + i * PAGE_SIZE), 2).unwrap();
+        }
+        let pa = n.process(a).unwrap().pager;
+        let pb = n.process(b).unwrap().pager;
+        assert_eq!(pa.demand_allocs, 4, "A touched 4 pages");
+        assert_eq!(pb.demand_allocs, 4, "B touched 4 pages");
+        assert!(pa.evictions > 0, "the victim is charged for evictions");
+        assert_eq!(
+            pa.evictions + pb.evictions,
+            n.stats().get("evictions"),
+            "per-process evictions partition the node total"
+        );
+        assert_eq!(
+            pa.page_outs + pb.page_outs,
+            n.stats().get("page_outs"),
+            "per-process page-outs partition the node total"
+        );
+        n.check_invariants().unwrap();
     }
 
     #[test]

@@ -71,6 +71,23 @@ impl VPage {
     }
 }
 
+/// Per-process pager accounting: who demanded frames, and who paid for
+/// the pressure. Under multi-tenant churn the requester and the victim
+/// of an eviction are usually *different* processes — these counters
+/// make that visible per process, where the kernel-wide `StatSet` only
+/// shows node totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagerAccount {
+    /// Frames demand-allocated on this process's behalf (zero-fill
+    /// faults and swap-ins).
+    pub demand_allocs: u64,
+    /// This process's resident pages reclaimed by the second-chance
+    /// clock (charged to the victim, not the requester).
+    pub evictions: u64,
+    /// Dirty pages of this process written to backing store on eviction.
+    pub page_outs: u64,
+}
+
 /// A grant of device proxy pages to a process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DeviceGrant {
@@ -94,6 +111,8 @@ pub struct Process {
     pub vpages: BTreeMap<Vpn, VPage>,
     /// Device proxy grants.
     pub grants: Vec<DeviceGrant>,
+    /// Pager accounting (demand allocations, evictions, page-outs).
+    pub pager: PagerAccount,
 }
 
 impl Process {

@@ -23,6 +23,7 @@
 use shrimp_net::{Commit, FabricShard, Packet, PacketRun};
 use shrimp_sim::{CostModel, FlightRecorder, SimDuration, SimTime, SpanRecord};
 
+use crate::program::DeliveryEvent;
 use crate::ShrimpNode;
 
 /// The model's steady-state per-message clock stride for a warm
@@ -66,11 +67,19 @@ impl Default for RxState {
 pub(crate) struct Lane {
     pub node: ShrimpNode,
     pub rx: RxState,
+    /// Deliveries surfaced to this node's traffic program since its last
+    /// step, in commit order. Only populated while `collect` is set (the
+    /// node runs a reactive program); cleared at every program step.
+    pub inbox: Vec<DeliveryEvent>,
+    /// Whether [`DeliveryCore::deliver`] should surface deliveries into
+    /// `inbox`. Off outside reactive `run_programs` runs, so the legacy
+    /// paths pay one predictable branch and nothing else.
+    pub collect: bool,
 }
 
 impl Lane {
     pub fn new(node: ShrimpNode) -> Self {
-        Lane { node, rx: RxState::default() }
+        Lane { node, rx: RxState::default(), inbox: Vec::new(), collect: false }
     }
 }
 
@@ -205,6 +214,18 @@ impl DeliveryCore {
         }
         self.delivered += 1;
         lane.rx.last_delivery = lane.rx.last_delivery.max(done);
+        if lane.collect {
+            // lint:allow(A1) -- the inbox keeps its capacity across epochs
+            // (program steps drain it in place) and reactive runs reserve
+            // it up front, so steady-state pushes never reallocate.
+            lane.inbox.push(DeliveryEvent {
+                src: packet.src,
+                dst_paddr: packet.dst_paddr,
+                bytes: packet.payload.len() as u32,
+                done,
+                class: packet.class,
+            });
+        }
         if self.recorder.is_enabled() {
             let m = packet.meta;
             self.recorder.record(SpanRecord {

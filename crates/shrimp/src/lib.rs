@@ -52,6 +52,8 @@ mod nic;
 mod nipt;
 mod node;
 mod parallel;
+mod program;
+mod tenant;
 
 pub use api::{Channel, ChannelMessage};
 pub use multicomputer::{
@@ -61,3 +63,8 @@ pub use nic::{Nic, OutgoingPacket, OutgoingRun, PioError, NIC_MMIO};
 pub use nipt::{Nipt, NiptEntry};
 pub use node::ShrimpNode;
 pub use parallel::{NodePlan, ParallelReport, PhaseBreakdown, SendOp, MAX_EPOCH_WINDOWS};
+pub use program::{
+    DeliveryEvent, ProgramPlan, RpcClientProgram, RpcServerProgram, StreamProgram, TrafficProgram,
+};
+pub use shrimp_net::PacketClass;
+pub use tenant::{NiptDirectory, TenantMapping};

@@ -5,7 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use shrimp_machine::MachineConfig;
-use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_mem::{PhysAddr, VirtAddr, PAGE_SIZE};
 use shrimp_net::{Interconnect, LinkParams, NodeId, PacketRun};
 use shrimp_os::{NodeConfig, Pid, Trap, UdmaXferResult};
 use shrimp_sim::{
@@ -438,14 +438,19 @@ impl Multicomputer {
     /// [`Multicomputer::engine_metrics`] set, outside this guarantee.
     pub fn metrics_snapshot(&self) -> MetricSet {
         let n = self.lanes.len();
-        let mut set = MetricSet::with_capacity(7 * n + 8);
+        let mut set = MetricSet::with_capacity(9 * n + 8);
         for (i, lane) in self.lanes.iter().enumerate() {
             let i = i as u32;
-            let machine = lane.node.os().machine();
+            let os = lane.node.os();
+            let machine = os.machine();
             let nipt = machine.device().nipt();
             set.gauge(MetricId::indexed("nipt", "occupancy", i), nipt.occupancy_gauge());
             set.counter(MetricId::indexed("nipt", "evictions", i), nipt.evictions());
             set.counter(MetricId::indexed("nipt", "refaults", i), nipt.refaults());
+            // The pager's frame churn sits beside the NIPT's slot churn:
+            // under multi-tenant pressure both tables page on demand.
+            set.counter(MetricId::indexed("pager", "evictions", i), os.stats().get("evictions"));
+            set.counter(MetricId::indexed("pager", "page_outs", i), os.stats().get("page_outs"));
             let tlb = machine.mmu().tlb();
             set.counter(MetricId::indexed("tlb", "hits", i), tlb.hits());
             set.counter(MetricId::indexed("tlb", "misses", i), tlb.misses());
@@ -646,6 +651,28 @@ impl Multicomputer {
     ) -> Result<Vec<u8>, ShrimpError> {
         self.check_node(i)?;
         Ok(self.lanes[i].node.os_mut().read_user(pid, va, len)?)
+    }
+
+    /// The physical address backing `va` in `pid`'s address space on node
+    /// `i`. Traffic programs use this to learn where exported receive
+    /// buffers live in physical memory — the address deliveries into those
+    /// buffers will name ([`DeliveryEvent::dst_paddr`]). Only meaningful
+    /// for *wired* (exported) pages, whose frames cannot move.
+    ///
+    /// [`DeliveryEvent::dst_paddr`]: crate::DeliveryEvent::dst_paddr
+    ///
+    /// # Errors
+    ///
+    /// Node bounds, unknown process, or a page that is not resident.
+    pub fn user_paddr(&self, i: usize, pid: Pid, va: VirtAddr) -> Result<PhysAddr, ShrimpError> {
+        self.check_node(i)?;
+        let proc = self.lanes[i].node.os().process(pid)?;
+        let pfn = proc
+            .vpages
+            .get(&va.page())
+            .and_then(shrimp_os::VPage::pfn)
+            .ok_or(Trap::SegFault { pid, va })?;
+        Ok(pfn.addr(va.page_offset()))
     }
 
     /// Establishes a deliberate-update mapping: wires `pages` pages of the

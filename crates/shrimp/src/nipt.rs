@@ -115,6 +115,22 @@ impl Nipt {
         hit
     }
 
+    /// Ownership probe for NIPT demand paging: `true` when `index` still
+    /// holds exactly `expect`. A mismatch — the slot was recycled for
+    /// another tenant, or never installed — counts as a refault, since the
+    /// probing tenant must re-enter the kernel to reload its mapping
+    /// before it can send. (So `refaults` counts missed *or mis-owned*
+    /// data-path checks.)
+    // lint:hot_path
+    #[inline]
+    pub fn lookup_expect(&mut self, index: u64, expect: NiptEntry) -> bool {
+        let hit = self.entries.get(index as usize).copied().flatten() == Some(expect);
+        if !hit {
+            self.refaults.incr();
+        }
+        hit
+    }
+
     /// First invalid index at or after `from`, for allocation.
     pub fn first_free(&self, from: u64) -> Option<u64> {
         (from as usize..self.entries.len()).find(|&i| self.entries[i].is_none()).map(|i| i as u64)
@@ -208,6 +224,23 @@ mod tests {
         assert!(n.lookup(100).is_none());
         assert!(n.get(0).is_none());
         assert_eq!(n.refaults(), 2);
+    }
+
+    #[test]
+    fn lookup_expect_counts_mismatches_as_refaults() {
+        let mut n = Nipt::new(4);
+        let mine = NiptEntry { node: NodeId::new(1), pfn: Pfn::new(7) };
+        let theirs = NiptEntry { node: NodeId::new(2), pfn: Pfn::new(8) };
+        n.set(0, mine);
+        assert!(n.lookup_expect(0, mine));
+        assert_eq!(n.refaults(), 0);
+        // The slot was recycled out from under us: a refault.
+        n.set(0, theirs);
+        assert!(!n.lookup_expect(0, mine));
+        // Never installed, or out of range: also refaults.
+        assert!(!n.lookup_expect(1, mine));
+        assert!(!n.lookup_expect(100, mine));
+        assert_eq!(n.refaults(), 3);
     }
 
     #[test]

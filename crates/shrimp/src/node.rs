@@ -117,4 +117,38 @@ impl ShrimpNode {
         self.os.grant_device_proxy(pid, start, frames.len() as u64, true)?;
         Ok(start)
     }
+
+    /// Import over live slots: installs NIPT entries for `(dst_node,
+    /// frames)` at exactly `[start, start + frames.len())`, overwriting
+    /// whatever is there (each overwrite of a valid entry counts as a NIPT
+    /// eviction), and grants the device proxy pages to `pid`. The caller
+    /// must have revoked the previous owner's grant first
+    /// (`revoke_device_proxy` in the kernel) — this is the reload half of
+    /// NIPT demand paging under tenant churn.
+    ///
+    /// # Errors
+    ///
+    /// Any grant trap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run falls outside the table.
+    pub fn import_mapping_over(
+        &mut self,
+        pid: Pid,
+        dst_node: NodeId,
+        frames: &[Pfn],
+        start: u64,
+    ) -> Result<u64, Trap> {
+        let nic = self.os.machine_mut().device_mut();
+        assert!(
+            start + frames.len() as u64 <= nic.nipt().capacity() as u64,
+            "import_mapping_over run out of NIPT bounds"
+        );
+        for (i, &pfn) in frames.iter().enumerate() {
+            nic.nipt_mut().set(start + i as u64, crate::NiptEntry { node: dst_node, pfn });
+        }
+        self.os.grant_device_proxy(pid, start, frames.len() as u64, true)?;
+        Ok(start)
+    }
 }

@@ -45,13 +45,14 @@
 //! `(link_ready, id)` key (see `DESIGN.md` §6b).
 
 use shrimp_mem::VirtAddr;
-use shrimp_net::{FabricShard, PacketRun, Staged};
+use shrimp_net::{FabricShard, PacketClass, PacketRun, Staged};
 use shrimp_os::{Pid, UdmaXferResult};
 use shrimp_sim::{
     ExchangeGrid, FlightRecorder, Histogram, SampleRing, SimTime, SpinBarrier, TimeFrontier,
 };
 
 use crate::engine::{DeliveryCore, Lane, LaneMap};
+use crate::program::{NullProgram, ProgramPlan, StreamProgram, TrafficProgram};
 use crate::{Multicomputer, ShrimpError};
 
 /// Sends a node executes per epoch. Fixed (never derived from the thread
@@ -98,8 +99,11 @@ struct WindowSchedule {
 }
 
 impl WindowSchedule {
-    fn new(ops: &[Vec<SendOp>], forced: Option<usize>) -> Self {
-        WindowSchedule { pred: ops.iter().map(Vec::len).collect(), forced }
+    /// `pred` is the per-node predicted send count: a plan's op count,
+    /// or a program's initial emission plus its
+    /// [`TrafficProgram::planned_hint`].
+    fn new(pred: Vec<usize>, forced: Option<usize>) -> Self {
+        WindowSchedule { pred, forced }
     }
 
     /// Window count for the next barrier crossing; advances the plan
@@ -174,6 +178,10 @@ pub struct SendOp {
     pub dev_off: u64,
     /// Transfer length in bytes.
     pub nbytes: u64,
+    /// The §7 priority class the resulting packets travel under
+    /// ([`PacketClass::User`] for ordinary data; the engine stamps it
+    /// onto every packet the send produces).
+    pub class: PacketClass,
 }
 
 /// A node's share of a parallel workload.
@@ -203,17 +211,31 @@ pub struct ParallelReport {
 /// by the sending NIC — a run's first member for [`Staged::Run`]).
 type Flit = (SimTime, u64, Staged);
 
-/// A node owned by a shard: its [`Lane`] (node + receive-side state)
-/// plus this run's send plan.
+/// A node owned by a shard: its [`Lane`] (node + receive-side state),
+/// this run's emitted-so-far send list, and the traffic program that
+/// grows it (absent for nodes that only receive).
 struct ShardNode {
     /// Global node index.
     index: usize,
     lane: Lane,
+    /// Sends emitted so far: the whole plan up front for a stream, a
+    /// growing log for a reactive program (`next` walks it; emitted ops
+    /// are never revisited, so the log doubles as the run's op history).
     ops: Vec<SendOp>,
     next: usize,
+    /// The node's traffic program, if any (stepped at epoch boundaries
+    /// at which deliveries arrived).
+    program: Option<Box<dyn TrafficProgram>>,
+    /// A kernel trap finished this node's traffic for the run: its
+    /// program is no longer stepped, its remaining ops are dropped.
+    failed: bool,
 }
 
 impl ShardNode {
+    /// No ops left to execute *right now* — the node cannot advance its
+    /// own clock, so it is excluded from the published bound. A reactive
+    /// program may still revive it (deliveries wake it at the next epoch
+    /// boundary).
     fn exhausted(&self) -> bool {
         self.next >= self.ops.len()
     }
@@ -260,6 +282,15 @@ struct Shard {
     incoming: Vec<Flit>,
     /// This shard's clone of the global windows-per-crossing schedule.
     schedule: WindowSchedule,
+    /// Whether any program in the run (on *any* shard) is reactive: the
+    /// shard then publishes the reactive bound — node clocks *plus*
+    /// staged/posted traffic — so replies injected next epoch can never
+    /// land behind the horizon. All-static runs publish the legacy
+    /// clock-only bound and reproduce the legacy epochs exactly.
+    reactive: bool,
+    /// Minimum `link_ready` among flits this shard posted this epoch
+    /// (reset after every bound publication; reactive runs only).
+    posted_min: Option<SimTime>,
     /// Host phase clock (`None` = phase timing off).
     clock: Option<fn() -> u64>,
     /// Host-time samples per epoch phase (empty when `clock` is `None`).
@@ -284,19 +315,18 @@ impl Shard {
             // Execute phase: K lookahead windows' worth of sends per
             // node, all paid for with the one barrier crossing below.
             let span = self.schedule.next() * CHUNK;
+            if self.reactive {
+                self.pump_programs();
+            }
             for ni in 0..self.nodes.len() {
                 self.execute_chunk(ni, span);
             }
             for dst in 0..self.threads {
                 grid.post_batch(self.id, dst, &mut self.staging[dst]);
             }
-            let bound = self
-                .nodes
-                .iter()
-                .filter(|n| !n.exhausted())
-                .map(|n| n.lane.node.os().machine().now())
-                .min();
+            let bound = self.publish_bound();
             frontier.publish(self.id, bound);
+            self.posted_min = None;
             lap(clock, &mut mark, &mut self.phases.execute);
             barrier.wait();
             lap(clock, &mut mark, &mut self.phases.barrier);
@@ -332,6 +362,68 @@ impl Shard {
                 return;
             }
         }
+    }
+
+    /// Steps every reactive-era program whose node received deliveries
+    /// last epoch (the inbox its lane collected in commit order), letting
+    /// it append reply sends for this epoch's execute sweep. Programs
+    /// are delivery-driven after their initial step — a node with an
+    /// empty inbox stays dormant, exactly as the bound it was excluded
+    /// from assumed. A trap in a step finishes the node's traffic like a
+    /// mid-plan kernel trap.
+    // lint:hot_path
+    fn pump_programs(&mut self) {
+        for ni in 0..self.nodes.len() {
+            let sn = &mut self.nodes[ni];
+            if sn.lane.inbox.is_empty() {
+                continue;
+            }
+            let Some(program) = sn.program.as_mut() else {
+                sn.lane.inbox.clear();
+                continue;
+            };
+            if sn.failed || program.finished() {
+                sn.lane.inbox.clear();
+                continue;
+            }
+            let Lane { node, inbox, .. } = &mut sn.lane;
+            let result = program.step(node, inbox, &mut sn.ops);
+            inbox.clear();
+            if let Err(trap) = result {
+                // lint:allow(A1) -- a trap is terminal for the node's
+                // traffic: the cold error path, never the steady state.
+                self.errors.push((sn.index, trap.into()));
+                sn.failed = true;
+                sn.next = sn.ops.len();
+            }
+        }
+    }
+
+    /// The bound this shard publishes for the crossing. Legacy (all
+    /// programs static): the minimum clock of its unexhausted nodes —
+    /// the exact pre-program bound, same epochs, same timeline. Reactive:
+    /// additionally capped by the earliest staged entry and the earliest
+    /// flit posted this epoch (each plus one hop of lookahead), because
+    /// a delivery at instant `t` can wake a dormant program whose reply
+    /// cannot reach any inbound link before `t + hop` — so committing
+    /// through `min + hop` is always safe, wherever in the mesh the
+    /// waiting node and the pending traffic live.
+    // lint:hot_path
+    fn publish_bound(&self) -> Option<SimTime> {
+        let mut bound = self
+            .nodes
+            .iter()
+            .filter(|n| !n.exhausted())
+            .map(|n| n.lane.node.os().machine().now())
+            .min();
+        if self.reactive {
+            let lookahead = self.fabric.lookahead();
+            for t in [self.fabric.next_staged(), self.posted_min].into_iter().flatten() {
+                let capped = t + lookahead;
+                bound = Some(bound.map_or(capped, |b| b.min(capped)));
+            }
+        }
+        bound
     }
 
     /// Runs up to `span` sends of node `ni` (the crossing's
@@ -390,8 +482,12 @@ impl Shard {
         sn.lane.node.drain_nic(tracing, &mut self.outbox);
         for out in self.outbox.drain(..) {
             let mut pkt = out.packet;
+            pkt.class = op.class;
             let link_ready = self.fabric.inject(&mut pkt, out.ready_at);
-            let tag = pkt.meta.id.raw();
+            let tag = pkt.merge_tag();
+            if self.reactive {
+                self.posted_min = Some(self.posted_min.map_or(link_ready, |m| m.min(link_ready)));
+            }
             self.packets += 1;
             let dst_shard = pkt.dst.raw() as usize % self.threads;
             // lint:allow(A1) -- staging batches keep their capacity across
@@ -435,8 +531,12 @@ impl Shard {
             let ready_at = out.ready_at;
             let mut run =
                 PacketRun { template: out.packet, count: out.count, stride_ns: out.stride_ns };
+            run.template.class = op.class;
             let link_ready = self.fabric.inject_run(&mut run, ready_at);
-            let tag = run.template.meta.id.raw();
+            let tag = run.template.merge_tag();
+            if self.reactive {
+                self.posted_min = Some(self.posted_min.map_or(link_ready, |m| m.min(link_ready)));
+            }
             self.packets += u64::from(run.count);
             let dst_shard = run.template.dst.raw() as usize % self.threads;
             // lint:allow(A1) -- staging batches keep their capacity across
@@ -477,11 +577,88 @@ impl Multicomputer {
             self.check_node(plan.node)?;
             ops[plan.node].extend_from_slice(&plan.ops);
         }
+        // The legacy path is literally the trivial program: each node's
+        // concatenated plan becomes a stream that emits everything on
+        // its initial step and reacts to nothing.
+        let mut programs: Vec<ProgramPlan> = ops
+            .into_iter()
+            .enumerate()
+            .filter(|(_, ops)| !ops.is_empty())
+            .map(|(node, ops)| ProgramPlan { node, program: Box::new(StreamProgram::new(ops)) })
+            .collect();
+        self.run_programs(&mut programs, threads)
+    }
+
+    /// Runs reactive traffic programs to completion across `threads`
+    /// worker threads — the program-driven generalization of
+    /// [`Multicomputer::run`] (which is now a wrapper emitting each plan
+    /// as a trivial [`StreamProgram`]).
+    ///
+    /// Each program is stepped once up front (empty inbox) to emit its
+    /// opening sends, then re-stepped at every epoch boundary at which
+    /// its node received deliveries, with those deliveries surfaced in
+    /// commit order. Reply injection is therefore a pure function of the
+    /// simulated timeline, and the timeline, `state_digest` and trace
+    /// bytes are bit-identical at any thread count. On return every
+    /// program is handed back in its final state (for latency histograms
+    /// and the like); at most one program per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two programs name the same node.
+    ///
+    /// # Errors
+    ///
+    /// A bad node index fails up front. A kernel trap in a program step
+    /// or mid-plan finishes that node's traffic; the rest of the machine
+    /// runs to completion, state is reassembled, and the trap of the
+    /// lowest-indexed trapped node is returned.
+    pub fn run_programs(
+        &mut self,
+        programs: &mut [ProgramPlan],
+        threads: usize,
+    ) -> Result<ParallelReport, ShrimpError> {
+        let n = self.lanes.len();
+        for pp in programs.iter() {
+            self.check_node(pp.node)?;
+        }
         self.run_until_quiet();
+        let reactive = programs.iter().any(|pp| pp.program.reactive());
+
+        // Take ownership of the programs (a placeholder keeps each
+        // `ProgramPlan` intact) and run every initial step against an
+        // empty inbox while the machine is still assembled: opening
+        // emissions seed the schedule exactly as plan depths would.
+        let mut ops: Vec<Vec<SendOp>> = vec![Vec::new(); n];
+        let mut progs: Vec<Option<Box<dyn TrafficProgram>>> = (0..n).map(|_| None).collect();
+        let mut plan_slot: Vec<Option<usize>> = vec![None; n];
+        let mut init_errors: Vec<(usize, ShrimpError)> = Vec::new();
+        let mut pred: Vec<usize> = vec![0; n];
+        for (slot, pp) in programs.iter_mut().enumerate() {
+            let node = pp.node;
+            assert!(plan_slot[node].is_none(), "node {node} has more than one traffic program");
+            plan_slot[node] = Some(slot);
+            let program =
+                progs[node].insert(std::mem::replace(&mut pp.program, Box::new(NullProgram)));
+            let hint = program.planned_hint();
+            let lane = &mut self.lanes[node];
+            match program.step(&mut lane.node, &[], &mut ops[node]) {
+                Ok(()) => pred[node] = ops[node].len() + hint,
+                Err(trap) => {
+                    init_errors.push((node, trap.into()));
+                    ops[node].clear();
+                }
+            }
+            if reactive {
+                lane.collect = true;
+                lane.inbox.reserve(2 * CHUNK);
+            }
+        }
         let threads = threads.clamp(1, n);
-        // The windows-per-crossing schedule is fixed by the plan shape
-        // before the machine disassembles; every shard gets a clone.
-        let schedule = WindowSchedule::new(&ops, self.epoch_windows);
+        // The windows-per-crossing schedule is fixed by the initial
+        // emissions before the machine disassembles; every shard gets a
+        // clone.
+        let schedule = WindowSchedule::new(pred, self.epoch_windows);
 
         // Disassemble: lanes (nodes + receive-side state) move to their
         // shards (round-robin: shard `s` owns nodes `s, s+threads, …`),
@@ -522,14 +699,19 @@ impl Multicomputer {
                 messages: 0,
                 packets: 0,
                 errors: Vec::new(),
+                reactive,
+                posted_min: None,
             })
             .collect();
         for (index, lane) in std::mem::take(&mut self.lanes).into_iter().enumerate() {
+            let failed = init_errors.iter().any(|&(node, _)| node == index);
             shards[index % threads].nodes.push(ShardNode {
                 index,
                 lane,
                 ops: std::mem::take(&mut ops[index]),
                 next: 0,
+                program: progs[index].take(),
+                failed,
             });
         }
 
@@ -589,11 +771,24 @@ impl Multicomputer {
                 }
             }
             for sn in shard.nodes {
+                if let Some(program) = sn.program {
+                    let slot = plan_slot[sn.index].expect("program nodes have a plan slot");
+                    programs[slot].program = program;
+                }
                 slots[sn.index] = Some(sn.lane);
             }
             fabric_shards.push(shard.fabric);
         }
         self.lanes = slots.into_iter().map(|s| s.expect("every node comes back")).collect();
+        for lane in &mut self.lanes {
+            lane.collect = false;
+            lane.inbox.clear();
+        }
+        for (index, error) in init_errors {
+            if first_error.is_none_or(|(lowest, _)| index < lowest) {
+                first_error = Some((index, error));
+            }
+        }
         let owner: Vec<usize> = (0..n).map(|i| i % threads).collect();
         self.fabric.merge(fabric_shards, &owner);
         // Deterministic trace merge: spans re-sort into the same
@@ -605,16 +800,6 @@ impl Multicomputer {
             Some((_, error)) => Err(error),
             None => Ok(report),
         }
-    }
-
-    /// The original name of [`Multicomputer::run`], kept for callers
-    /// written against the earlier two-engine naming. Identical behavior.
-    pub fn run_parallel(
-        &mut self,
-        plans: &[NodePlan],
-        threads: usize,
-    ) -> Result<ParallelReport, ShrimpError> {
-        self.run(plans, threads)
     }
 }
 
@@ -647,6 +832,7 @@ mod tests {
                         dev_page: dev,
                         dev_off: 0,
                         nbytes: bytes,
+                        class: PacketClass::User,
                     };
                     msgs
                 ],
@@ -756,12 +942,93 @@ mod tests {
     }
 
     #[test]
-    fn run_parallel_is_run() {
+    fn programs_reproduce_the_plan_timeline() {
+        // A `StreamProgram` per node must be byte-for-byte the plan path
+        // (it IS the plan path now, but pin it from the public API too).
         let (mut a, plans) = paired_stream(4, 10, 256);
         let (mut b, _) = paired_stream(4, 10, 256);
         let ra = a.run(&plans, 2).unwrap();
-        let rb = b.run_parallel(&plans, 2).unwrap();
+        let mut programs: Vec<ProgramPlan> = plans
+            .iter()
+            .map(|p| ProgramPlan {
+                node: p.node,
+                program: Box::new(StreamProgram::new(p.ops.clone())),
+            })
+            .collect();
+        let rb = b.run_programs(&mut programs, 2).unwrap();
         assert_eq!(ra, rb);
         assert_eq!(a.state_digest(), b.state_digest());
+        for pp in &programs {
+            assert!(pp.program.finished(), "stream on node {} not drained", pp.node);
+        }
+    }
+
+    #[test]
+    fn rpc_ping_pong_is_thread_count_invariant() {
+        use crate::program::{RpcClientProgram, RpcServerProgram};
+
+        let build = || {
+            let mut mc = Multicomputer::new(4, MulticomputerConfig::default());
+            let mut programs = Vec::new();
+            for p in 0..2usize {
+                let (c, s) = (2 * p, 2 * p + 1);
+                let cpid = mc.spawn_process(c);
+                let spid = mc.spawn_process(s);
+                mc.map_user_buffer(c, cpid, 0x10_0000, 2).unwrap();
+                mc.map_user_buffer(s, spid, 0x40_0000, 2).unwrap();
+                // Client's request buffer maps into the server; the
+                // server's reply buffer maps back into the client.
+                let req_dev = mc.export(s, spid, VirtAddr::new(0x40_0000), 1, c, cpid).unwrap();
+                let rep_dev = mc.export(c, cpid, VirtAddr::new(0x10_1000), 1, s, spid).unwrap();
+                let fill: Vec<u8> = (0..256).map(|i| i as u8 ^ c as u8).collect();
+                mc.write_user(c, cpid, VirtAddr::new(0x10_0000), &fill).unwrap();
+                mc.write_user(s, spid, VirtAddr::new(0x40_1000), &fill).unwrap();
+                let req_paddr = mc.user_paddr(s, spid, VirtAddr::new(0x40_0000)).unwrap();
+                let rep_paddr = mc.user_paddr(c, cpid, VirtAddr::new(0x10_1000)).unwrap();
+                let request = SendOp {
+                    pid: cpid,
+                    src_va: VirtAddr::new(0x10_0000),
+                    dev_page: req_dev,
+                    dev_off: 0,
+                    nbytes: 256,
+                    class: PacketClass::User,
+                };
+                let reply = SendOp {
+                    pid: spid,
+                    src_va: VirtAddr::new(0x40_1000),
+                    dev_page: rep_dev,
+                    dev_off: 0,
+                    nbytes: 256,
+                    class: PacketClass::User,
+                };
+                programs.push(ProgramPlan {
+                    node: c,
+                    program: Box::new(RpcClientProgram::closed_loop(request, 6, rep_paddr, 256)),
+                });
+                programs.push(ProgramPlan {
+                    node: s,
+                    program: Box::new(RpcServerProgram::new(
+                        req_paddr,
+                        256,
+                        vec![(req_paddr, reply)],
+                        6,
+                    )),
+                });
+            }
+            (mc, programs)
+        };
+
+        let mut prints = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let (mut mc, mut programs) = build();
+            let report = mc.run_programs(&mut programs, threads).unwrap();
+            for pp in &programs {
+                assert!(pp.program.finished(), "node {} program stalled", pp.node);
+            }
+            prints.push((fingerprint(&mc), mc.state_digest(), report));
+        }
+        for p in &prints[1..] {
+            assert_eq!(p, &prints[0], "RPC timeline must be thread-count independent");
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! sides of the parallel engine's epoch chunk, and for randomized
 //! interleavings of burst and single-message sends.
 
-use shrimp::{Multicomputer, MulticomputerConfig, NodePlan, SendOp};
+use shrimp::{Multicomputer, MulticomputerConfig, NodePlan, PacketClass, SendOp};
 use shrimp_mem::VirtAddr;
 use shrimp_os::Pid;
 use shrimp_sim::SplitMix64;
@@ -91,6 +91,7 @@ fn parallel_fingerprint(burst: bool, threads: usize, schedule: &[u64]) -> (u64, 
                     dev_page: f.dev_page,
                     dev_off: off(i),
                     nbytes: NBYTES,
+                    class: PacketClass::User,
                 };
                 ops.extend(std::iter::repeat_n(op, size as usize));
             }

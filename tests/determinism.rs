@@ -1,4 +1,4 @@
-//! Determinism of the parallel engine: `run_parallel` must produce
+//! Determinism of the parallel engine: `Multicomputer::run` must produce
 //! **bit-identical** simulated timelines and receiver memory at every
 //! thread count — including `threads = 1` versus the pre-existing serial
 //! driver — and the cross-shard merge order must equal the canonical
@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use shrimp::{Multicomputer, MulticomputerConfig, NodePlan, SendOp};
+use shrimp::{Multicomputer, MulticomputerConfig, NodePlan, PacketClass, SendOp};
 use shrimp_mem::VirtAddr;
 use shrimp_os::Pid;
 use shrimp_sim::{merge_tag, EventQueue, MergeQueue, SimTime};
@@ -39,6 +39,7 @@ fn paired_stream(n: u16, msgs: usize, bytes: u64) -> (Multicomputer, Vec<NodePla
                     dev_page: dev,
                     dev_off: 0,
                     nbytes: bytes,
+                    class: PacketClass::User,
                 };
                 msgs
             ],
@@ -54,7 +55,7 @@ fn digests_are_identical_across_thread_counts() {
         let mut digests = Vec::new();
         for threads in [1usize, 2, 4] {
             let (mut mc, plans) = paired_stream(nodes, msgs, bytes);
-            let report = mc.run_parallel(&plans, threads).unwrap();
+            let report = mc.run(&plans, threads).unwrap();
             assert_eq!(report.messages, (nodes as u64 / 2) * msgs as u64);
             digests.push(mc.state_digest());
         }
@@ -84,7 +85,7 @@ fn parallel_engine_matches_the_serial_driver() {
 
     for threads in [1usize, 3] {
         let (mut par, plans) = paired_stream(8, 20, 768);
-        par.run_parallel(&plans, threads).unwrap();
+        par.run(&plans, threads).unwrap();
         assert_eq!(
             par.state_digest(),
             serial_digest,
@@ -139,10 +140,10 @@ fn tracing_is_invisible_to_state_digests() {
     // every thread count.
     for threads in [1usize, 2, 4] {
         let (mut plain, plans) = paired_stream(8, 15, 1024);
-        plain.run_parallel(&plans, threads).unwrap();
+        plain.run(&plans, threads).unwrap();
         let (mut traced, plans) = paired_stream(8, 15, 1024);
         traced.set_tracing(true);
-        traced.run_parallel(&plans, threads).unwrap();
+        traced.run(&plans, threads).unwrap();
         assert!(!traced.recorder().is_empty(), "tracing on but nothing recorded");
         assert_eq!(
             plain.state_digest(),
@@ -163,7 +164,7 @@ fn traces_and_stats_are_bit_identical_across_thread_counts() {
     for threads in [1usize, 2, 4] {
         let (mut mc, plans) = paired_stream(8, 20, 1024);
         mc.set_tracing(true);
-        mc.run_parallel(&plans, threads).unwrap();
+        mc.run(&plans, threads).unwrap();
         traces.push(mc.export_trace());
         stats.push(mc.stats());
     }
@@ -189,7 +190,7 @@ fn merged_parallel_stats_equal_serial_stats() {
     assert!(serial_stats.get("packets_sent") > 0 || serial_stats.iter().count() > 0);
 
     let (mut par, plans) = paired_stream(8, 20, 768);
-    par.run_parallel(&plans, 2).unwrap();
+    par.run(&plans, 2).unwrap();
     assert_eq!(par.stats(), serial_stats, "parallel merge lost or double-counted a counter");
 }
 
@@ -198,9 +199,9 @@ fn digests_distinguish_different_workloads() {
     // A digest that never changes proves nothing: different payload sizes
     // must produce different machine states.
     let (mut a, plans) = paired_stream(2, 5, 256);
-    a.run_parallel(&plans, 2).unwrap();
+    a.run(&plans, 2).unwrap();
     let (mut b, plans) = paired_stream(2, 5, 512);
-    b.run_parallel(&plans, 2).unwrap();
+    b.run(&plans, 2).unwrap();
     assert_ne!(a.state_digest(), b.state_digest());
 }
 

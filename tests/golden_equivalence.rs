@@ -33,7 +33,7 @@ const STREAM_FINAL_TIMES_NS: (u64, u64) = (7_552_383, 7_713_851);
 /// Final clocks of the *pure* 50-message 4 KB stream (one fill, fifty
 /// sends, one drain — the shape a [`shrimp::NodePlan`] expresses), as
 /// simulated by the serial driver when the parallel engine landed:
-/// (sender, receiver). Both the serial driver and `run_parallel` at any
+/// (sender, receiver). Both the serial driver and `Multicomputer::run` at any
 /// thread count must land exactly here.
 const PLAN_STREAM_FINAL_TIMES_NS: (u64, u64) = (7_133_433, 7_286_351);
 
@@ -143,6 +143,7 @@ fn plan_stream() -> (Multicomputer, Vec<shrimp::NodePlan>) {
                 dev_page,
                 dev_off: 0,
                 nbytes: msg_bytes,
+                class: shrimp::PacketClass::User,
             };
             50
         ],
@@ -166,7 +167,7 @@ fn serial_plan_stream_matches_pinned_timeline() {
 fn parallel_plan_stream_matches_pinned_timeline() {
     for threads in [1usize, 2] {
         let (mut mc, plans) = plan_stream();
-        mc.run_parallel(&plans, threads).unwrap();
+        mc.run(&plans, threads).unwrap();
         assert_eq!(
             mc.node(0).os().machine().now(),
             SimTime::from_nanos(PLAN_STREAM_FINAL_TIMES_NS.0),

@@ -14,7 +14,7 @@
 //! Registered as a `shrimp-bench` test target so it can drive both the
 //! raw `Multicomputer` API and the bench workloads.
 
-use shrimp::{Multicomputer, MulticomputerConfig, NodePlan, SendOp};
+use shrimp::{Multicomputer, MulticomputerConfig, NodePlan, PacketClass, SendOp};
 use shrimp_bench::host_perf;
 use shrimp_mem::VirtAddr;
 
@@ -45,6 +45,7 @@ fn paired_stream(n: u16, msgs: usize, bytes: u64) -> (Multicomputer, Vec<NodePla
                     dev_page: dev,
                     dev_off: 0,
                     nbytes: bytes,
+                    class: PacketClass::User,
                 };
                 msgs
             ],
