@@ -1,0 +1,28 @@
+// A1-T: the hot root is allocation-free itself; the violation sits two
+// calls deep and the diagnostic carries the root → site chain.
+
+struct Pool {
+    items: Vec<u64>,
+}
+
+impl Pool {
+    // lint:hot_path
+    fn root(&mut self, v: u64) {
+        self.middle(v);
+    }
+
+    fn middle(&mut self, v: u64) {
+        self.leaf(v);
+    }
+
+    fn leaf(&mut self, v: u64) {
+        self.items.push(v); // line 19: fires, chain root → middle → leaf
+    }
+
+    // lint:hot_path
+    fn pruned_root(&mut self, v: u64) {
+        // lint:allow(A1) -- the cold edge below is pruned; leaf is not
+        // scanned from this root.
+        self.leaf(v);
+    }
+}

@@ -1,0 +1,43 @@
+// F1: user-controlled offsets must flow through a `lint:checks(F1)`
+// sanitizer before indexing physical memory — with one, the same shape
+// is clean.
+
+struct PhysMemory;
+
+impl PhysMemory {
+    fn write_u64(&mut self, _pa: u64, _v: u64) {}
+    fn read_u64(&self, _pa: u64) -> u64 {
+        0
+    }
+}
+
+struct Mmu;
+
+impl Mmu {
+    // lint:checks(F1) -- stands in for the real translate: the returned
+    // address has passed the mapping and privilege checks.
+    fn translate(&self, va: u64) -> u64 {
+        va
+    }
+}
+
+struct Core {
+    mem: PhysMemory,
+    mmu: Mmu,
+    slots: [u64; 8],
+}
+
+impl Core {
+    fn store(&mut self, va: u64, value: u64) {
+        self.mem.write_u64(va, value); // line 32: fires, va unsanitized
+    }
+
+    fn load(&mut self, va: u64) -> u64 {
+        let pa = self.mmu.translate(va);
+        self.mem.read_u64(pa) // clean: pa came out of the sanitizer
+    }
+
+    fn mmio_load(&mut self, offset: u64) -> u64 {
+        self.slots[offset as usize] // line 41: fires, raw tainted index
+    }
+}

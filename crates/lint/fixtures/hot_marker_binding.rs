@@ -1,0 +1,16 @@
+// Regression: doc comments and attributes between `lint:hot_path` and
+// its `fn` must not unbind the marker.
+
+struct W {
+    v: Vec<u64>,
+}
+
+impl W {
+    // lint:hot_path
+    /// Doc comment between the marker and the fn.
+    #[inline]
+    #[allow(dead_code)]
+    fn hot(&mut self, x: u64) {
+        self.v.push(x); // line 14: fires — the marker bound through both
+    }
+}

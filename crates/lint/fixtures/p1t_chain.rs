@@ -1,0 +1,18 @@
+// P1-T: the delivery-path hot root never panics itself; the unwrap one
+// call down is reached transitively and reported with the chain.
+
+struct Rx {
+    slot: Option<u64>,
+    out: u64,
+}
+
+impl Rx {
+    // lint:hot_path
+    fn deliver(&mut self) {
+        self.commit();
+    }
+
+    fn commit(&mut self) {
+        self.out = self.slot.unwrap(); // line 16: fires with the chain
+    }
+}

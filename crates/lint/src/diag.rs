@@ -22,10 +22,14 @@ pub enum Rule {
     /// Panic discipline: no `unwrap`/`expect`/`panic!` in delivery-path
     /// code without an `// INVARIANT:` justification.
     P1,
+    /// Protection flow: user/packet-controlled values must pass a
+    /// `// lint:checks(F1)` sanitizer before indexing `PhysMemory`,
+    /// frame tables, or NIPT slots.
+    F1,
 }
 
 impl Rule {
-    /// The machine-readable rule id (`D1`, `A1`, `U1`, `P1`, `L0`).
+    /// The machine-readable rule id (`D1`, `A1`, `U1`, `P1`, `F1`, `L0`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::L0 => "L0",
@@ -33,6 +37,7 @@ impl Rule {
             Rule::A1 => "A1",
             Rule::U1 => "U1",
             Rule::P1 => "P1",
+            Rule::F1 => "F1",
         }
     }
 
@@ -44,6 +49,7 @@ impl Rule {
             "A1" => Some(Rule::A1),
             "U1" => Some(Rule::U1),
             "P1" => Some(Rule::P1),
+            "F1" => Some(Rule::F1),
             _ => None,
         }
     }
@@ -92,6 +98,10 @@ pub struct Markers {
     pub allows: Vec<Allow>,
     /// Lines bearing `lint:hot_path` (each marks the next `fn`).
     pub hot_paths: Vec<u32>,
+    /// Lines bearing `lint:checks(F1)`. Above a `fn`, the fn is an F1
+    /// sanitizer; inside a body, the covered statement is a hand-written
+    /// bounds check that cleanses the values it mentions.
+    pub checks: Vec<u32>,
     /// Lines whose comment contains `SAFETY:`.
     pub safety: Vec<u32>,
     /// Lines whose comment contains `INVARIANT:`.
@@ -154,6 +164,42 @@ impl Markers {
     }
 }
 
+/// Renders diagnostics as a JSON array (for the CI artifact). Hand
+/// rolled — the linter is deliberately dependency-free.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            d.rule,
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    out.push('\n');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn covers(marks: &[u32], line: u32) -> bool {
     marks.iter().any(|&m| m <= line && line - m <= JUSTIFY_WINDOW)
 }
@@ -172,6 +218,9 @@ fn scan_comment(c: &Comment, m: &mut Markers) {
     }
     if text.starts_with("lint:hot_path") {
         m.hot_paths.push(c.line);
+    }
+    if text.starts_with("lint:checks(F1)") {
+        m.checks.push(c.line);
     }
     if text.contains("SAFETY:") {
         m.safety.push(c.line);

@@ -2,44 +2,64 @@
 //!
 //! The repo's engine invariants — bit-identical timelines at any thread
 //! count, zero heap allocations per message on the data plane, a single
-//! audited `unsafe` impl, no unjustified panics on the delivery path —
-//! are *sampled* by `tests/determinism.rs` and
+//! audited `unsafe` impl, no unjustified panics on the delivery path,
+//! and the paper's check-before-index protection discipline — are
+//! *sampled* by `tests/determinism.rs` and
 //! `crates/bench/tests/zero_alloc.rs`, but a test only sees the
 //! workloads it runs. This linter enforces the same properties
 //! **structurally**: source that could violate them is rejected before
 //! it ever executes, the way the paper turns runtime protection checks
 //! into mapping invariants.
 //!
+//! v2 is workspace-level and call-graph-aware: an item parser
+//! (`items.rs`) lifts every `fn` into a symbol table, a heuristic
+//! resolver (`graph.rs`) builds the intra-workspace call graph, and the
+//! allocation/panic rules walk it from every `// lint:hot_path` root.
+//!
 //! Rules (each with a machine-readable id and `file:line` diagnostics):
 //!
 //! - **D1 determinism** — in simulation crates, no `HashMap`/`HashSet`,
 //!   `Instant`/`SystemTime`, `thread_rng`, or pointer-value-to-integer
 //!   casts,
-//! - **A1 zero-alloc** — functions marked `// lint:hot_path` contain no
-//!   allocating calls,
+//! - **A1 zero-alloc (transitive)** — functions marked
+//!   `// lint:hot_path` and everything they reach contain no allocating
+//!   calls; callee diagnostics carry the root→site call chain,
 //! - **U1 unsafe audit** — crate roots carry
 //!   `#![forbid(unsafe_code)]`/`#![deny(unsafe_code)]` (the latter with a
 //!   justification) and every `unsafe` carries `// SAFETY:`,
-//! - **P1 panic discipline** — no `unwrap`/`expect`/`panic!` on the
-//!   delivery path without `// INVARIANT:`.
+//! - **P1 panic discipline (transitive)** — no `unwrap`/`expect`/
+//!   `panic!` on the delivery path — or reachable from its hot roots —
+//!   without `// INVARIANT:`,
+//! - **F1 protection flow** — user/packet-controlled values (proxy
+//!   offsets, packet destination addresses, NIPT probe indices) must
+//!   pass a `// lint:checks(F1)` sanitizer before indexing
+//!   `PhysMemory`, frame tables, or NIPT slots.
 //!
 //! Escape hatch: `// lint:allow(<rule>) -- <reason>` on (or just above)
-//! the offending line. The reason is mandatory; a reasonless allow is
+//! the offending line; at a *call site* it also prunes the transitive
+//! walk past that edge. The reason is mandatory; a reasonless allow is
 //! itself a diagnostic (L0).
 //!
-//! Run it as a binary (`cargo run -p shrimp-lint -- --workspace`) or let
-//! `cargo test` run the bundled workspace-is-clean test.
+//! Run it as a binary (`cargo run -p shrimp-lint -- --workspace`), dump
+//! the hot-path call graph (`-- --callgraph`), or let `cargo test` run
+//! the bundled workspace-is-clean test.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod taint;
 pub mod workspace;
 
 pub use config::FileContext;
 pub use diag::{Diagnostic, Rule};
-pub use rules::lint_source;
-pub use workspace::{find_workspace_root, lint_workspace};
+pub use graph::{SourceInput, Workspace};
+pub use rules::{analyze, lint_source};
+pub use workspace::{
+    collect_workspace, find_workspace_root, lint_workspace, render_workspace_callgraph,
+};

@@ -1,25 +1,43 @@
 //! `shrimp-lint` CLI: lints the workspace, prints `file:line: [RULE]`
-//! diagnostics, exits 1 if any fire.
+//! diagnostics, exits 1 if any fire. `--callgraph` dumps the hot-path
+//! call graph instead; `--format json` emits machine-readable output.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use shrimp_lint::{find_workspace_root, lint_workspace};
+use shrimp_lint::{diag, find_workspace_root, lint_workspace, render_workspace_callgraph};
 
-const USAGE: &str = "usage: shrimp-lint [--workspace] [--root <dir>]\n\
+const USAGE: &str = "usage: shrimp-lint [--workspace] [--root <dir>] [--callgraph] \
+                     [--format text|json]\n\
                      \n\
                      Checks the repo's structural invariants:\n\
-                     \x20 D1 determinism   A1 zero-alloc hot paths\n\
-                     \x20 U1 unsafe audit  P1 panic discipline\n\
+                     \x20 D1 determinism   A1 zero-alloc hot paths (transitive)\n\
+                     \x20 U1 unsafe audit  P1 panic discipline (transitive)\n\
+                     \x20 F1 protection flow (tainted index needs a sanitizer)\n\
                      \n\
-                     Escape hatch: // lint:allow(<rule>) -- <reason>";
+                     --callgraph  dump every lint:hot_path root's reachable call set\n\
+                     --format     text (default) or json\n\
+                     \n\
+                     Escape hatch: // lint:allow(<rule>) -- <reason>\n\
+                     Sanitizer:    // lint:checks(F1) on a bounds/translation helper";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut callgraph = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => {} // the default (and only) scope
+            "--callgraph" => callgraph = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => {
+                    eprintln!("--format needs `text` or `json`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -47,16 +65,37 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    if callgraph {
+        return match render_workspace_callgraph(&root) {
+            Ok(dump) => {
+                print!("{dump}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("shrimp-lint: I/O error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     match lint_workspace(&root) {
         Ok(diags) if diags.is_empty() => {
-            println!("shrimp-lint: workspace clean (D1 A1 U1 P1)");
+            if json {
+                print!("{}", diag::to_json(&diags));
+            } else {
+                println!("shrimp-lint: workspace clean (D1 A1 U1 P1 F1)");
+            }
             ExitCode::SUCCESS
         }
         Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+            if json {
+                print!("{}", diag::to_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                println!("shrimp-lint: {} diagnostic(s)", diags.len());
             }
-            println!("shrimp-lint: {} diagnostic(s)", diags.len());
             ExitCode::FAILURE
         }
         Err(e) => {

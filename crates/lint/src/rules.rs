@@ -1,38 +1,72 @@
-//! The rule engine: D1 determinism, A1 zero-alloc hot paths, U1 unsafe
-//! audit, P1 panic discipline.
+//! The rule engine: D1 determinism, A1 transitive zero-alloc, U1 unsafe
+//! audit, P1 transitive panic discipline, F1 protection flow.
 //!
-//! Every rule works on the lexed token stream of one file plus its
-//! comment markers; no type information is needed because each invariant
-//! was designed to be *structurally* visible (the same trick the paper
-//! plays: turn a runtime property into something a dumb, fast check can
-//! reject). Test code (`#[cfg(test)]` modules, `#[test]` functions) is
-//! excluded everywhere — tests may hash, panic and allocate freely.
+//! Every rule works on lexed token streams plus comment markers; the v2
+//! engine adds the workspace call graph (`graph.rs`), so A1 and P1 now
+//! check everything *reachable* from a `lint:hot_path` root, and F1
+//! (`taint.rs`) gates user/packet-controlled values at protection sinks.
+//! No type solving is involved — each invariant was designed to be
+//! *structurally* visible (the same trick the paper plays: turn a
+//! runtime property into something a dumb, fast check can reject). Test
+//! code (`#[cfg(test)]` modules, `#[test]` functions) is excluded
+//! everywhere — tests may hash, panic and allocate freely.
 
 use crate::config::FileContext;
 use crate::diag::{Diagnostic, Markers, Rule, JUSTIFY_WINDOW};
-use crate::lexer::{lex, Token};
+use crate::graph::{FnId, SourceInput, Workspace};
+use crate::lexer::Token;
+use crate::taint::f1_taint;
 
 /// Lints one file's source under `ctx`, returning every diagnostic that
 /// is not covered by an allow-escape. `file` is the path used in
-/// diagnostics (repo-relative by convention).
+/// diagnostics (repo-relative by convention). Cross-file edges resolve
+/// only in whole-workspace runs ([`analyze`]); a single file is its own
+/// one-unit workspace.
 pub fn lint_source(file: &str, src: &str, ctx: &FileContext) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let markers = Markers::scan(&lexed);
-    let test_mask = test_region_mask(&lexed.tokens);
+    analyze(vec![SourceInput { path: file.to_owned(), src: src.to_owned(), ctx: *ctx }])
+}
 
-    let mut diags = markers.malformed(file);
-    if ctx.determinism {
-        d1_determinism(file, &lexed.tokens, &test_mask, &mut diags);
-    }
-    a1_hot_paths(file, &lexed.tokens, &test_mask, &markers, &mut diags);
-    u1_unsafe(file, &lexed.tokens, &test_mask, &markers, ctx, &mut diags);
-    if ctx.delivery_path {
-        p1_panic_discipline(file, &lexed.tokens, &test_mask, &markers, &mut diags);
+/// Runs every rule over a set of files as one workspace: per-file local
+/// rules (L0, D1, U1, P1), then the call-graph passes (A1-T, P1-T) and
+/// the F1 taint pass. Returns allow-filtered diagnostics sorted by
+/// `(file, line, rule)`.
+pub fn analyze(inputs: Vec<SourceInput>) -> Vec<Diagnostic> {
+    let ws = Workspace::build(inputs);
+    let mut diags = Vec::new();
+
+    for unit in &ws.units {
+        let mut local = unit.markers.malformed(&unit.path);
+        if unit.ctx.determinism {
+            d1_determinism(&unit.path, &unit.tokens, &unit.mask, &mut local);
+        }
+        u1_unsafe(&unit.path, &unit.tokens, &unit.mask, &unit.markers, &unit.ctx, &mut local);
+        if unit.ctx.delivery_path {
+            p1_scan(&unit.path, &unit.tokens, &unit.mask, 0, &unit.markers, None, &mut local);
+        }
+        local.retain(|d| d.rule == Rule::L0 || !unit.markers.allowed(d.rule, d.line));
+        diags.append(&mut local);
     }
 
-    diags.retain(|d| d.rule == Rule::L0 || !markers.allowed(d.rule, d.line));
-    diags.sort_by_key(|d| (d.line, d.rule));
-    diags
+    a1_transitive(&ws, &mut diags);
+    p1_transitive(&ws, &mut diags);
+    f1_taint(&ws, &mut diags);
+
+    // A panic can be flagged both locally (its file is on the delivery
+    // path) and transitively (reached from a root): keep the transitive
+    // diagnostic — its call chain says *why* the line matters.
+    let mut keep: Vec<Diagnostic> = Vec::with_capacity(diags.len());
+    for d in diags {
+        match keep.iter_mut().find(|k| (k.rule, &k.file, k.line) == (d.rule, &d.file, d.line)) {
+            Some(k) => {
+                if d.message.contains("call chain:") {
+                    *k = d;
+                }
+            }
+            None => keep.push(d),
+        }
+    }
+    keep.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    keep
 }
 
 /// Marks every token inside a `#[cfg(test)]` or `#[test]` item.
@@ -42,7 +76,7 @@ pub fn lint_source(file: &str, src: &str, ctx: &FileContext) -> Vec<Diagnostic> 
 /// shapes this workspace uses: `#[cfg(test)] mod tests { … }` and
 /// `#[test] fn case() { … }` (intervening attributes like
 /// `#[should_panic]` sit before the brace and are masked with it).
-fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -162,37 +196,37 @@ fn window_has_pointer_production(window: &[Token]) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// A1 — zero-alloc hot paths
+// A1 — zero-alloc hot paths, transitively
 // ---------------------------------------------------------------------
 
-/// Method names that (may) allocate, banned inside hot-path functions.
-const A1_BANNED_METHODS: &[&str] = &["push", "to_vec", "collect", "to_string"];
+/// Method names that (may) allocate, banned inside hot-path functions
+/// and everything they reach.
+const A1_BANNED_METHODS: &[&str] =
+    &["push", "to_vec", "collect", "to_string", "insert", "extend", "reserve", "with_capacity"];
 
-fn a1_hot_paths(
-    file: &str,
-    tokens: &[Token],
-    mask: &[bool],
-    markers: &Markers,
-    out: &mut Vec<Diagnostic>,
-) {
-    for &marker_line in &markers.hot_paths {
-        // The marked function: first `fn` token at or after the marker
-        // line, then its body = the next braced block.
-        let Some(fn_idx) = tokens.iter().position(|t| t.line >= marker_line && t.is_ident("fn"))
-        else {
-            continue;
-        };
-        let mut open = fn_idx;
-        while open < tokens.len() && !tokens[open].is_punct('{') {
-            open += 1;
+/// A1-T: walk the call graph from every `lint:hot_path` root and scan
+/// each reachable body. A `lint:allow(A1)` covering a *call site* prunes
+/// traversal past that edge (the annotation vouches for the callee); one
+/// covering an allocation site waives that site as before. Diagnostics
+/// in callees carry the root→site call chain.
+fn a1_transitive(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let reached =
+        ws.reachable(ws.hot_roots(), &|caller, line| ws.allowed(caller.0, Rule::A1, line));
+    for (id, chain) in reached {
+        let unit = &ws.units[id.0];
+        let f = &unit.items.fns[id.1];
+        let Some((b0, b1)) = f.body else { continue };
+        let b1 = b1.min(unit.tokens.len());
+        let mut local = Vec::new();
+        a1_scan_body(&unit.path, &unit.tokens[b0..b1], &unit.mask[b0..b1], &mut local);
+        local.retain(|d| !unit.markers.allowed(Rule::A1, d.line));
+        if chain.len() > 1 {
+            let chain_text = ws.chain_text(&chain);
+            for d in &mut local {
+                d.message.push_str(&format!("; call chain: {chain_text}"));
+            }
         }
-        let end = matching(tokens, open, '{', '}');
-        a1_scan_body(
-            file,
-            &tokens[open..end.min(tokens.len())],
-            &mask[open..end.min(mask.len())],
-            out,
-        );
+        out.append(&mut local);
     }
 }
 
@@ -329,17 +363,51 @@ fn comment_adjacent_above(markers: &Markers, line: u32) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// P1 — panic discipline
+// P1 — panic discipline, transitively
 // ---------------------------------------------------------------------
 
-fn p1_panic_discipline(
+/// P1-T: panics *reachable* from delivery-path hot roots are held to the
+/// same `// INVARIANT:` standard as panics written inline. Roots are the
+/// `lint:hot_path` fns of delivery-path files; `lint:allow(P1)` at a
+/// call site prunes the edge.
+fn p1_transitive(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<FnId> =
+        ws.hot_roots().iter().copied().filter(|&id| ws.units[id.0].ctx.delivery_path).collect();
+    let reached = ws.reachable(&roots, &|caller, line| ws.allowed(caller.0, Rule::P1, line));
+    for (id, chain) in reached {
+        let unit = &ws.units[id.0];
+        let f = &unit.items.fns[id.1];
+        let Some((b0, b1)) = f.body else { continue };
+        let b1 = b1.min(unit.tokens.len());
+        let chain_text = (chain.len() > 1).then(|| ws.chain_text(&chain));
+        let mut local = Vec::new();
+        p1_scan(
+            &unit.path,
+            &unit.tokens[..b1],
+            &unit.mask[..b1],
+            b0,
+            &unit.markers,
+            chain_text.as_deref(),
+            &mut local,
+        );
+        local.retain(|d| !unit.markers.allowed(Rule::P1, d.line));
+        out.append(&mut local);
+    }
+}
+
+/// Scans `tokens[start..]` for unjustified panic sites. `chain` (when
+/// present) is appended to each message — the root→site path for
+/// transitive findings.
+fn p1_scan(
     file: &str,
     tokens: &[Token],
     mask: &[bool],
+    start: usize,
     markers: &Markers,
+    chain: Option<&str>,
     out: &mut Vec<Diagnostic>,
 ) {
-    for (i, t) in tokens.iter().enumerate() {
+    for (i, t) in tokens.iter().enumerate().skip(start) {
         if mask[i] {
             continue;
         }
@@ -351,15 +419,14 @@ fn p1_panic_discipline(
                 && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
         if flagged && !markers.has_invariant(t.line) {
             let what = t.ident().unwrap_or_default();
-            out.push(Diagnostic {
-                rule: Rule::P1,
-                file: file.to_owned(),
-                line: t.line,
-                message: format!(
-                    "`{what}` on the delivery path without an `// INVARIANT:` comment within \
-                     {JUSTIFY_WINDOW} lines stating why it cannot fire"
-                ),
-            });
+            let mut message = format!(
+                "`{what}` on the delivery path without an `// INVARIANT:` comment within \
+                 {JUSTIFY_WINDOW} lines stating why it cannot fire"
+            );
+            if let Some(c) = chain {
+                message.push_str(&format!("; call chain: {c}"));
+            }
+            out.push(Diagnostic { rule: Rule::P1, file: file.to_owned(), line: t.line, message });
         }
     }
 }

@@ -1,0 +1,270 @@
+//! F1 — protection flow: user/packet-controlled values must pass a
+//! sanitizer before they index protected state.
+//!
+//! The paper's protection argument (invariants I1–I4) is that every
+//! proxy-derived address or offset is *checked and translated* — by the
+//! NIPT lookup, the MMU, or an explicit interval check — before it can
+//! select physical memory, a frame, or a NIPT slot. This pass makes that
+//! discipline structural:
+//!
+//! - **Sources.** Parameters named in [`F1_SOURCE_PARAMS`] (proxy
+//!   store/load offsets and values, MMIO register writes, NI device
+//!   addresses, recycled NIPT slot indices) start *tainted*, as does any
+//!   read of a field in [`F1_TAINTED_FIELDS`] (packet destination
+//!   addresses, tenant `dev_page` views, run strides/counts). Taint is
+//!   re-seeded at every function boundary, so the intra-procedural walk
+//!   still gates each layer of a cross-crate flow.
+//! - **Propagation.** A `let` whose rhs mentions a tainted value taints
+//!   its bindings; rebinding from a clean rhs clears them.
+//! - **Sanitizers.** A call to a function annotated `// lint:checks(F1)`
+//!   (NIPT lookup, MMU translate, `PhysMemory::check`, `frame_in_use`)
+//!   cleanses: its result is clean and its arguments are exempt inside
+//!   the call. `get`/`get_mut` are structural sanitizers (checked access
+//!   by construction). A `// lint:checks(F1)` comment *inside* a body
+//!   marks a hand-written bounds check: values the covered statement
+//!   mentions are clean from there on.
+//! - **Sinks.** Passing a tainted value in an index-like argument of a
+//!   [`F1_SINKS`] method (`PhysMemory` accessors, `Nipt::set`/`clear`,
+//!   `FrameAllocator::free`), or using one as a raw slice index, is an
+//!   error unless waived with `lint:allow(F1) -- <why>`. Sink methods
+//!   called from inside the sink type's own impl are exempt — internal
+//!   delegation lands on the type's own annotated check.
+
+use std::collections::BTreeSet;
+
+use crate::config::{F1_SINKS, F1_SOURCE_PARAMS, F1_TAINTED_FIELDS};
+use crate::diag::{Diagnostic, Rule, JUSTIFY_WINDOW};
+use crate::graph::{call_args_end, let_binding, FnId, Workspace};
+use crate::items::{matching_bracket, split_top_level_commas};
+use crate::lexer::Token;
+
+/// Runs the F1 pass over every function of every `ctx.f1` unit,
+/// appending (already allow-filtered) diagnostics.
+pub fn f1_taint(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for u in 0..ws.units.len() {
+        if !ws.units[u].ctx.f1 {
+            continue;
+        }
+        for i in 0..ws.units[u].items.fns.len() {
+            let f = &ws.units[u].items.fns[i];
+            if f.is_test || ws.is_sanitizer((u, i)) {
+                continue;
+            }
+            scan_fn(ws, (u, i), out);
+        }
+    }
+}
+
+fn scan_fn(ws: &Workspace, id: FnId, out: &mut Vec<Diagnostic>) {
+    let unit = &ws.units[id.0];
+    let f = &unit.items.fns[id.1];
+    let Some((b0, b1)) = f.body else { return };
+    let toks = &unit.tokens[..b1.min(unit.tokens.len())];
+    let owner = f.owner.as_deref();
+    let empty = std::collections::BTreeMap::new();
+    let env = ws.env_of(id).unwrap_or(&empty);
+
+    let mut tainted: BTreeSet<String> = f
+        .params
+        .iter()
+        .filter_map(|p| p.name.clone())
+        .filter(|n| F1_SOURCE_PARAMS.iter().any(|&(fname, pname)| fname == f.name && pname == n))
+        .collect();
+
+    // Lines covered by a statement-level `lint:checks(F1)` marker.
+    let covered =
+        |line: u32| unit.markers.checks.iter().any(|&m| m <= line && line - m <= JUSTIFY_WINDOW);
+
+    let mut i = b0;
+    while i < toks.len() {
+        let t = &toks[i];
+        // A covered statement is a hand-written check: the values it
+        // mentions are validated from here on.
+        if covered(t.line) {
+            if let Some(n) = t.ident() {
+                tainted.remove(n);
+            }
+            i += 1;
+            continue;
+        }
+        // `let` bindings: taint or cleanse the bound names.
+        if t.is_ident("let") {
+            if let Some((names, r0, r1)) = let_binding(toks, i) {
+                let sanitized = has_sanitizer_call(ws, &toks[r0..=r1]);
+                let dirty = !sanitized && taint_in(ws, toks, r0, r1 + 1, &tainted).is_some();
+                for n in names {
+                    if dirty {
+                        tainted.insert(n);
+                    } else {
+                        tainted.remove(&n);
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Plain reassignment `name = rhs;`.
+        if let Some(name) = t.ident() {
+            let stmt_start = i == b0 + 1
+                || toks.get(i - 1).is_some_and(|p| ";{}".chars().any(|c| p.is_punct(c)));
+            let plain_eq = toks.get(i + 1).is_some_and(|n| n.is_punct('='))
+                && !toks.get(i + 2).is_some_and(|n| n.is_punct('='));
+            if stmt_start && plain_eq {
+                let end = stmt_end(toks, i + 2);
+                let sanitized = has_sanitizer_call(ws, &toks[i + 2..end]);
+                let dirty = !sanitized && taint_in(ws, toks, i + 2, end, &tainted).is_some();
+                if dirty {
+                    tainted.insert(name.to_owned());
+                } else {
+                    tainted.remove(name);
+                }
+            }
+        }
+        // Sink method call `recv.m(args…)`.
+        if let Some(m) = t.ident() {
+            if toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && i >= 1
+                && toks[i - 1].is_punct('.')
+            {
+                if let Some((sink_ty, checked_args)) = sink_entry(m) {
+                    let recv = if i >= 2 { ws.expr_type(toks, i - 2, env, owner) } else { None };
+                    if recv.as_deref() == Some(sink_ty) && owner != Some(sink_ty) {
+                        let end = call_args_end(toks, i);
+                        let mut groups = Vec::new();
+                        split_top_level_commas(&toks[i + 2..end.saturating_sub(1)], &mut groups);
+                        for g in groups.iter().take(checked_args) {
+                            if let Some(what) = taint_in_slice(ws, g, &tainted) {
+                                push_diag(ws, id, t.line, &what, &format!("{sink_ty}::{m}"), out);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Raw slice/array indexing `expr[…]` with a tainted index.
+        if t.is_punct('[')
+            && i >= 1
+            && (toks[i - 1].ident().is_some_and(|n| n != "mut")
+                || toks[i - 1].is_punct(')')
+                || toks[i - 1].is_punct(']'))
+        {
+            let end = matching_bracket(toks, i, toks.len());
+            if let Some(what) = taint_in(ws, toks, i + 1, end.saturating_sub(1), &tainted) {
+                push_diag(ws, id, t.line, &what, "a raw index expression", out);
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// The sink table entry for method name `m`: `(receiver type, how many
+/// leading arguments are index-like and must be clean)`.
+fn sink_entry(m: &str) -> Option<(&'static str, usize)> {
+    for &(ty, methods) in F1_SINKS {
+        if let Some(&(_, n)) = methods.iter().find(|&&(name, _)| name == m) {
+            return Some((ty, n));
+        }
+    }
+    None
+}
+
+/// Whether the token run contains a call to a sanitizer (annotated
+/// `lint:checks(F1)` fn or structural `get`/`get_mut`).
+fn has_sanitizer_call(ws: &Workspace, toks: &[Token]) -> bool {
+    toks.iter().enumerate().any(|(j, t)| {
+        t.ident().is_some_and(|n| ws.sanitizer_names().contains(n))
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+    })
+}
+
+/// First tainted value in `toks[start..end)`: an ident in `tainted` or a
+/// read of a field in [`F1_TAINTED_FIELDS`]. Argument spans of sanitizer
+/// calls are skipped — a value inside `nipt.lookup(index)` is being
+/// checked, not leaked.
+fn taint_in(
+    ws: &Workspace,
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    tainted: &BTreeSet<String>,
+) -> Option<String> {
+    let end = end.min(toks.len());
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+        if let Some(n) = t.ident() {
+            if ws.sanitizer_names().contains(n) && toks.get(j + 1).is_some_and(|x| x.is_punct('('))
+            {
+                j = call_args_end(toks, j);
+                continue;
+            }
+            if tainted.contains(n) {
+                return Some(n.to_owned());
+            }
+        }
+        if t.is_punct('.') {
+            if let Some(fld) = toks.get(j + 1).and_then(Token::ident) {
+                if F1_TAINTED_FIELDS.contains(&fld)
+                    && !toks.get(j + 2).is_some_and(|x| x.is_punct('('))
+                {
+                    return Some(format!(".{fld}"));
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+fn taint_in_slice(ws: &Workspace, toks: &[Token], tainted: &BTreeSet<String>) -> Option<String> {
+    taint_in(ws, toks, 0, toks.len(), tainted)
+}
+
+/// End (exclusive) of the statement starting at `start`: the top-level `;`.
+fn stmt_end(toks: &[Token], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if depth == 0 && t.is_punct(';') {
+            return j;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+fn push_diag(
+    ws: &Workspace,
+    id: FnId,
+    line: u32,
+    what: &str,
+    sink: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let unit = &ws.units[id.0];
+    if unit.markers.allowed(Rule::F1, line) {
+        return;
+    }
+    out.push(Diagnostic {
+        rule: Rule::F1,
+        file: unit.path.clone(),
+        line,
+        message: format!(
+            "tainted value `{what}` (user/packet-controlled) reaches {sink} in `{}` without a \
+             sanitizer on the path; route it through a `// lint:checks(F1)` helper (NIPT lookup, \
+             MMU translate, interval check) or waive with `lint:allow(F1) -- <why safe>`",
+            ws.label(id)
+        ),
+    });
+}

@@ -6,15 +6,17 @@ use std::path::{Path, PathBuf};
 
 use crate::config::FileContext;
 use crate::diag::Diagnostic;
-use crate::rules::lint_source;
+use crate::graph::{SourceInput, Workspace};
+use crate::rules::analyze;
 
-/// Lints every `crates/*/src/**/*.rs` file under `root` (the workspace
-/// root), returning all diagnostics sorted by file and line.
+/// Reads every `crates/*/src/**/*.rs` file under `root` into analysis
+/// inputs, sorted by path (test directories and fixtures are outside
+/// `src/` and are never collected).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from directory walking or file reads.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceInput>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     for entry in fs::read_dir(&crates_dir)? {
@@ -25,14 +27,35 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     }
     files.sort();
 
-    let mut diags = Vec::new();
+    let mut inputs = Vec::with_capacity(files.len());
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
         let src = fs::read_to_string(&path)?;
-        diags.extend(lint_source(&rel, &src, &FileContext::for_path(&rel)));
+        let ctx = FileContext::for_path(&rel);
+        inputs.push(SourceInput { path: rel, src, ctx });
     }
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(diags)
+    Ok(inputs)
+}
+
+/// Lints the whole workspace under `root`: every file is parsed into one
+/// symbol table, then all rules — including the transitive A1-T/P1-T
+/// walks and the F1 taint pass — run over the shared call graph.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(analyze(collect_workspace(root)?))
+}
+
+/// Renders the `--callgraph` dump for the workspace under `root`: every
+/// `lint:hot_path` root with its reachable call set.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking or file reads.
+pub fn render_workspace_callgraph(root: &Path) -> io::Result<String> {
+    Ok(Workspace::build(collect_workspace(root)?).render_callgraph())
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

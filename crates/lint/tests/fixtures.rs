@@ -4,15 +4,20 @@
 //! the executable form of those comments.
 
 use shrimp_lint::config::FileContext;
-use shrimp_lint::diag::Rule;
+use shrimp_lint::diag::{Diagnostic, Rule};
 use shrimp_lint::rules::lint_source;
 
-/// Lints a fixture file and returns the `(rule, line)` set.
-fn fire(name: &str, ctx: FileContext) -> Vec<(Rule, u32)> {
+/// Lints a fixture file and returns the full diagnostics.
+fn fire_diags(name: &str, ctx: FileContext) -> Vec<Diagnostic> {
     let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading fixture {path}: {e}"));
-    lint_source(name, &src, &ctx).iter().map(|d| (d.rule, d.line)).collect()
+    lint_source(name, &src, &ctx)
+}
+
+/// Lints a fixture file and returns the `(rule, line)` set.
+fn fire(name: &str, ctx: FileContext) -> Vec<(Rule, u32)> {
+    fire_diags(name, ctx).iter().map(|d| (d.rule, d.line)).collect()
 }
 
 fn det() -> FileContext {
@@ -97,6 +102,60 @@ fn p1_flags_unjustified_panics_on_the_delivery_path() {
 #[test]
 fn p1_is_inert_off_the_delivery_path() {
     assert_eq!(fire("p1_unwrap.rs", FileContext::default()), vec![]);
+}
+
+#[test]
+fn a1_transitive_reaches_an_allocation_two_calls_deep_with_the_chain() {
+    let diags = fire_diags("a1t_chain.rs", FileContext::default());
+    assert_eq!(
+        diags.iter().map(|d| (d.rule, d.line)).collect::<Vec<_>>(),
+        vec![(Rule::A1, 19)],
+        "the push in leaf() fires once via root(); the lint:allow(A1) on \
+         pruned_root's call edge prunes that traversal"
+    );
+    assert!(
+        diags[0].message.contains("call chain: Pool::root → Pool::middle → Pool::leaf"),
+        "diagnostic must carry the root → site chain, got: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn f1_flags_tainted_indexing_unless_it_flowed_through_a_sanitizer() {
+    let f1 = FileContext { f1: true, ..FileContext::default() };
+    assert_eq!(
+        fire("f1_taint.rs", f1),
+        vec![(Rule::F1, 32), (Rule::F1, 41)],
+        "store's unsanitized va and mmio_load's raw tainted index fire; \
+         load's pa passed through the lint:checks(F1) translate and does not"
+    );
+}
+
+#[test]
+fn f1_is_inert_outside_protection_crates() {
+    assert_eq!(fire("f1_taint.rs", FileContext::default()), vec![]);
+}
+
+#[test]
+fn p1_transitive_reaches_a_panic_below_a_delivery_root_with_the_chain() {
+    let delivery = FileContext { delivery_path: true, ..FileContext::default() };
+    let diags = fire_diags("p1t_chain.rs", delivery);
+    assert_eq!(diags.iter().map(|d| (d.rule, d.line)).collect::<Vec<_>>(), vec![(Rule::P1, 16)]);
+    assert!(
+        diags[0].message.contains("call chain: Rx::deliver → Rx::commit"),
+        "diagnostic must carry the root → site chain, got: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn hot_path_marker_binds_through_doc_comments_and_attributes() {
+    assert_eq!(
+        fire("hot_marker_binding.rs", FileContext::default()),
+        vec![(Rule::A1, 14)],
+        "a doc comment and #[...] attributes between the marker and the fn \
+         must not unbind lint:hot_path"
+    );
 }
 
 #[test]

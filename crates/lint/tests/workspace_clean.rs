@@ -3,7 +3,7 @@
 //! HashMap on a simulated path, allocation in a hot path, bare
 //! `unsafe`, or unjustified delivery-path panic fails `cargo test`.
 
-use shrimp_lint::workspace::lint_workspace;
+use shrimp_lint::workspace::{lint_workspace, render_workspace_callgraph};
 
 #[test]
 fn the_whole_workspace_is_lint_clean() {
@@ -14,5 +14,23 @@ fn the_whole_workspace_is_lint_clean() {
         "shrimp-lint found {} violation(s):\n{}",
         diags.len(),
         diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}
+
+/// The committed call-graph dump is the reviewable record of what the
+/// hot-path proofs cover; it must match what the analyzer derives from
+/// the sources in this checkout.
+#[test]
+fn the_committed_callgraph_dump_is_in_sync() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let derived =
+        render_workspace_callgraph(std::path::Path::new(&root)).expect("walking workspace sources");
+    let committed_path = format!("{}/callgraph.txt", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&committed_path)
+        .unwrap_or_else(|e| panic!("reading {committed_path}: {e}"));
+    assert!(
+        derived == committed,
+        "crates/lint/callgraph.txt is stale; regenerate with\n  \
+         cargo run -p shrimp-lint -- --callgraph > crates/lint/callgraph.txt"
     );
 }

@@ -53,6 +53,9 @@ impl Mmu {
     /// - [`Fault::NotMapped`] — no valid entry for the page,
     /// - [`Fault::Privilege`] — user access to a kernel-only page,
     /// - [`Fault::WriteProtected`] — store to a read-only page.
+    // lint:checks(F1) -- translate is the protection boundary: it yields a
+    // physical address only after the mapping, privilege, and write checks
+    // all pass, so its result is safe to index physical memory with.
     pub fn translate(
         &mut self,
         pt: &mut PageTable,
@@ -70,6 +73,9 @@ impl Mmu {
                 if !pte.is_valid() {
                     return Err(Fault::NotMapped { va, vpn, access });
                 }
+                // lint:allow(A1) -- Tlb::insert writes a fixed-capacity
+                // entry list (evict-oldest on overflow); refill reuses the
+                // Vec's retained capacity once the TLB has filled.
                 self.tlb.insert(vpn, pte);
                 (pte, self.tlb_miss_cost)
             }

@@ -363,8 +363,10 @@ impl DstIndex {
             self.counts[d] = (n + 1) as u32;
         } else {
             self.spills += 1;
-            // lint:allow(A1) -- overflow beyond DST_LANE_CAP same-dst keys
-            // is pathological fan-in; the spill keeps it correct.
+            // Each overflow past DST_LANE_CAP same-dst keys is counted
+            // in `spills` so the metrics plane surfaces fan-in pressure.
+            // lint:allow(A1) -- allocates only while the spill's high-water
+            // mark grows; swap_remove drains keep the capacity.
             self.spill.push((dst, key));
         }
     }
@@ -515,6 +517,8 @@ impl FabricShard {
             Staged::One(p) => p.dst,
             Staged::Run(r) => r.template.dst,
         };
+        // lint:allow(A1) -- DstIndex::insert writes a preallocated slab
+        // (it is a lint:hot_path root itself and checked on its own).
         self.dst_keys.insert(dst.raw(), (link_ready, tag));
         // lint:allow(A1) -- MergeQueue::push reuses heap capacity retained
         // across pops; steady-state staging never allocates.

@@ -421,6 +421,10 @@ impl<D: Device> Node<D> {
         let layout = self.machine.layout();
         let va = fault.va();
         match layout.region_of_virt(va) {
+            // Page-fault service is the cold path by definition:
+            // steady-state hot-path accesses hit valid, resident mappings
+            // and never reach the fault_* handlers below.
+            // lint:allow(A1) -- cold fault path (see above).
             Region::Memory => self.fault_memory(pid, fault),
             Region::MemoryProxy => self.fault_memory_proxy(pid, fault),
             Region::DeviceProxy => self.fault_device_proxy(pid, fault),

@@ -208,6 +208,11 @@ impl DeliveryCore {
         };
         lane.rx.eisa_busy = done;
         let mem = lane.node.os_mut().machine_mut().mem_mut();
+        // dst_paddr was produced by the sender's NIPT lookup (invariant
+        // I2: outgoing translation is the protection check); the write
+        // re-validates bounds and a failure counts a drop, never a stray
+        // store.
+        // lint:allow(F1) -- sender-side NIPT translation (I2, see above).
         if mem.write(packet.dst_paddr, &packet.payload).is_err() {
             self.dropped += 1;
             return;

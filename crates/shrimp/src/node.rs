@@ -141,6 +141,8 @@ impl ShrimpNode {
         start: u64,
     ) -> Result<u64, Trap> {
         let nic = self.os.machine_mut().device_mut();
+        // lint:checks(F1) -- the assert bounds the whole run against the
+        // NIPT capacity before any slot is written.
         assert!(
             start + frames.len() as u64 <= nic.nipt().capacity() as u64,
             "import_mapping_over run out of NIPT bounds"

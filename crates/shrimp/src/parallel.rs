@@ -538,6 +538,8 @@ impl Shard {
                 self.posted_min = Some(self.posted_min.map_or(link_ready, |m| m.min(link_ready)));
             }
             self.packets += u64::from(run.count);
+            // lint:checks(F1) -- `% self.threads` clamps the shard index
+            // into range regardless of the packet's destination field.
             let dst_shard = run.template.dst.raw() as usize % self.threads;
             // lint:allow(A1) -- staging batches keep their capacity across
             // epochs (post_batch drains them in place), so steady-state

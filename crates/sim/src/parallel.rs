@@ -299,6 +299,8 @@ impl<T> MergeQueue<T> {
             // keep `cur` sorted descending so the minimum stays at the
             // back. Near-past keys insert near the back — a short move.
             let idx = self.cur.partition_point(|e| e.key() > entry.key());
+            // lint:allow(A1) -- Vec::insert shifts within `cur`'s retained
+            // capacity; the refill pass reserves it and pops shrink in place.
             self.cur.insert(idx, entry);
         } else if entry.raw_at() < self.rung_end() {
             self.place_in_rung(entry);
@@ -322,6 +324,8 @@ impl<T> MergeQueue<T> {
         } else {
             self.spills += 1;
             let idx = self.spill.partition_point(|e| e.key() > entry.key());
+            // lint:allow(A1) -- Vec::insert into the spill lane, which keeps
+            // its capacity across rung re-seeds (drained in place).
             self.spill.insert(idx, entry);
         }
     }
